@@ -1,0 +1,39 @@
+"""Shared benchmark fixtures.
+
+Each benchmark runs one experiment from :mod:`repro.bench`, times it with
+pytest-benchmark, asserts its reproduction checks, and writes the rendered
+paper-vs-measured report to ``benchmarks/results/<exp_id>.txt`` so the
+artifacts survive the run.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def record_experiment(results_dir):
+    """Save an ExperimentResult's rendered report and assert its checks."""
+
+    def _record(result):
+        text = result.render()
+        (results_dir / f"{result.exp_id}.txt").write_text(text + "\n")
+        print()
+        print(text)
+        assert result.all_passed, (
+            f"{result.exp_id} failed checks: "
+            + "; ".join(c.description for c in result.failed_checks())
+        )
+        return result
+
+    return _record

@@ -1,0 +1,12 @@
+"""§4.1.3 ablation — gradual blocksize ramp on the largest inner product.
+
+The paper credits ramping the first streamed chunks (b/4 -> b) with
+85 -> 87 TFLOPS; this bench toggles the ramp and measures the gain.
+"""
+
+from repro.bench.studies import exp_gradual_blocksize
+
+
+def test_ablation_gradual_blocksize(benchmark, record_experiment):
+    result = benchmark(exp_gradual_blocksize)
+    record_experiment(result)

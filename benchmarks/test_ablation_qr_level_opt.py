@@ -1,0 +1,13 @@
+"""§4.2 ablation — QR-level optimizations on and off.
+
+Cross-phase overlap, R12 device reuse and the staging buffer together are
+worth ~15% end-to-end in the paper; this bench runs both factorizations
+with the optimizations enabled and with phase barriers + no reuse.
+"""
+
+from repro.bench.studies import exp_qr_level_opt
+
+
+def test_ablation_qr_level_opt(benchmark, record_experiment):
+    result = benchmark(exp_qr_level_opt)
+    record_experiment(result)

@@ -1,0 +1,10 @@
+"""Communication analysis — the §1 lower-bound framing and pinned-memory
+ablation: measured OOC traffic vs Ω(#flops/√M) [3], and the cost of
+falling back to pageable host memory."""
+
+from repro.bench.studies import exp_communication_analysis
+
+
+def test_communication_analysis(benchmark, record_experiment):
+    result = benchmark(exp_communication_analysis)
+    record_experiment(result)

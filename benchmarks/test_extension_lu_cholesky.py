@@ -1,0 +1,13 @@
+"""§6 extension — out-of-core LU and Cholesky, blocking vs recursive.
+
+The paper's future work, implemented: panel/TRSM/trailing-update drivers
+for both factorizations on the same OOC engines. Measures the
+recursive-vs-blocking speedup at the paper's two memory corners.
+"""
+
+from repro.bench.studies import exp_lu_cholesky_extension
+
+
+def test_extension_lu_cholesky(benchmark, record_experiment):
+    result = benchmark(exp_lu_cholesky_extension)
+    record_experiment(result)

@@ -1,0 +1,17 @@
+"""Figures 12-15 — full out-of-core QR timelines.
+
+Regenerates the four end-to-end QR timelines: blocking/recursive at
+b = 16384 on 32 GB (Figs 12-13) and at b = 8192 under the paper's 16 GB
+memory cap (Figs 14-15), where blocking collapses and recursive barely
+changes.
+"""
+
+import pytest
+
+from repro.bench.experiments import exp_qr_timeline
+
+
+@pytest.mark.parametrize("fig", [12, 13, 14, 15])
+def test_qr_timeline(benchmark, record_experiment, fig):
+    result = benchmark(exp_qr_timeline, fig)
+    record_experiment(result)

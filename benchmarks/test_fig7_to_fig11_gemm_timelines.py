@@ -1,0 +1,17 @@
+"""Figures 7-11 — OOC GEMM pipeline timelines.
+
+Regenerates the five NVVP-style GEMM timelines as ASCII Gantt charts:
+Fig 7/8 inner products (blocking/recursive), Fig 9/10 outer products,
+Fig 11 the blocking outer product at QR blocksize 8192 where tile traffic
+can no longer hide (paper: 347/170/326 ms per tile).
+"""
+
+import pytest
+
+from repro.bench.experiments import exp_gemm_timeline
+
+
+@pytest.mark.parametrize("fig", [7, 8, 9, 10, 11])
+def test_gemm_timeline(benchmark, record_experiment, fig):
+    result = benchmark(exp_gemm_timeline, fig)
+    record_experiment(result)

@@ -1,0 +1,12 @@
+"""§5.3 headline — recursive vs blocking OOC QR end to end.
+
+~1.25x at 32 GB / b=16384 and ~2x at 16 GB / b=8192 on 131072^2, with the
+recursive variant holding ~45% of TensorCore peak.
+"""
+
+from repro.bench.experiments import exp_headline
+
+
+def test_headline_speedup(benchmark, record_experiment):
+    result = benchmark(exp_headline)
+    record_experiment(result)

@@ -1,0 +1,13 @@
+"""§3.2 validation — analytic data-movement formulas vs measured counters.
+
+Sweeps k = n/b and checks that (a) the engines never move more than the
+no-reuse closed forms predict and (b) the blocking/recursive gap grows
+with k (linear vs logarithmic traffic).
+"""
+
+from repro.bench.studies import exp_movement_validation
+
+
+def test_model_validation(benchmark, record_experiment):
+    result = benchmark(exp_movement_validation)
+    record_experiment(result)

@@ -1,0 +1,10 @@
+"""Multi-GPU TSQR panels — splitting the Table-4 serial panel bottleneck
+across devices: near-linear for skinny panels, reduction-tree-bound at the
+paper's b = 8192."""
+
+from repro.bench.studies import exp_multi_gpu_panel
+
+
+def test_multi_gpu_panel(benchmark, record_experiment):
+    result = benchmark(exp_multi_gpu_panel)
+    record_experiment(result)

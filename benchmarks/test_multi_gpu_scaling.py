@@ -1,0 +1,9 @@
+"""Multi-GPU OOC GEMM scaling — the §2.2 cuBLASXt/BLASX problem space:
+column-split scaling with independent vs shared host links."""
+
+from repro.bench.studies import exp_multi_gpu_scaling
+
+
+def test_multi_gpu_scaling(benchmark, record_experiment):
+    result = benchmark(exp_multi_gpu_scaling)
+    record_experiment(result)

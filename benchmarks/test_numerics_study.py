@@ -1,0 +1,10 @@
+"""Numerical-accuracy study — CGS/MGS/CGS2 hierarchy and TensorCore input
+formats through the full OOC pipeline (the [24] foundations the paper
+builds on)."""
+
+from repro.bench.numerics import exp_numerics_study
+
+
+def test_numerics_study(benchmark, record_experiment):
+    result = benchmark(exp_numerics_study)
+    record_experiment(result)

@@ -1,0 +1,13 @@
+"""§3.3 validation — the overlap crossover.
+
+Sweeps the output dimension of the k-split inner product across the
+analytic threshold (4 R_g/R_m words ~ 30-38k) and verifies the pipeline
+flips from transfer-bound to compute-bound around it.
+"""
+
+from repro.bench.studies import exp_overlap_crossover
+
+
+def test_overlap_crossover(benchmark, record_experiment):
+    result = benchmark(exp_overlap_crossover)
+    record_experiment(result)

@@ -1,0 +1,10 @@
+"""Precision/speed frontier — plain fp16, precision-split ([16]/[24]), and
+CUDA-core fp32 through the full OOC QR: accuracy measured numerically,
+time simulated at scale."""
+
+from repro.bench.numerics import exp_precision_tradeoff
+
+
+def test_precision_tradeoff(benchmark, record_experiment):
+    result = benchmark(exp_precision_tradeoff)
+    record_experiment(result)

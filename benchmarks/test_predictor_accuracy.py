@@ -1,0 +1,12 @@
+"""Cross-validation — analytic lower-bound predictor vs event simulator.
+
+Not a paper artifact: keeps the two independent performance models of this
+reproduction honest against each other.
+"""
+
+from repro.bench.studies import exp_prediction_accuracy
+
+
+def test_predictor_accuracy(benchmark, record_experiment):
+    result = benchmark(exp_prediction_accuracy)
+    record_experiment(result)

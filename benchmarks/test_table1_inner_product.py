@@ -1,0 +1,15 @@
+"""Table 1 — inner-product behaviours (recursive vs blocking OOC GEMM).
+
+Regenerates the paper's Table 1: per-block H2D/GEMM/D2H times, in-core
+rates, synchronous and asynchronous totals for
+
+* recursive: C = AᵀB at 65536 x 131072 x 65536, blocksize 16384,
+* blocking:  C = QᵀB at 16384 x 131072 x 114688, blocksize 16384.
+"""
+
+from repro.bench.experiments import exp_table1
+
+
+def test_table1_inner_product(benchmark, record_experiment):
+    result = benchmark(exp_table1)
+    record_experiment(result)

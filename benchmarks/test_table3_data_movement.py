@@ -1,0 +1,13 @@
+"""Table 3 — end-to-end QR data movement at blocksize 16384.
+
+Regenerates the paper's Table 3: total H2D and D2H transfer time of the
+full 131072^2 factorization for both algorithms (paper: recursive
+37.9 s / 19.3 s vs blocking 47.2 s / 22.3 s).
+"""
+
+from repro.bench.experiments import exp_table3
+
+
+def test_table3_data_movement(benchmark, record_experiment):
+    result = benchmark(exp_table3)
+    record_experiment(result)

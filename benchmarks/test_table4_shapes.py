@@ -1,0 +1,13 @@
+"""Table 4 — GEMMs-vs-panel time split across matrix shapes, b = 8192.
+
+Regenerates the paper's Table 4 for 65536 x 65536 and 262144 x 65536:
+GEMM time differs ~2x between methods while panel time is identical
+(paper: 10.5/18.9 s and 38.5/77.0 s GEMMs, 2.7 s / 9.0 s panel).
+"""
+
+from repro.bench.experiments import exp_table4
+
+
+def test_table4_shapes(benchmark, record_experiment):
+    result = benchmark(exp_table4)
+    record_experiment(result)

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Two-level out-of-core: disk -> host -> (simulated) device.
+
+The paper's OOC hierarchy is host RAM -> GPU memory; this example pushes it
+one level further by backing the host matrix with a ``numpy.memmap``, so
+the operand never needs to fit in RAM either — the same pattern the 1990s
+SOLAR library (§2.1) used for disk-resident matrices.
+
+Run:  python examples/disk_out_of_core.py
+"""
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.config import SystemConfig
+from repro.execution.numeric import NumericExecutor
+from repro.host.tiled import HostMatrix
+from repro.hw.specs import GpuSpec
+from repro.qr.cgs import factorization_error
+from repro.qr.options import QrOptions
+from repro.qr.recursive import ooc_recursive_qr
+
+m, n = 16384, 1024          # 64 MB on disk
+device_memory = 48 << 20    # 48 MiB simulated device
+
+toy_gpu = GpuSpec(
+    name="toy",
+    mem_bytes=device_memory,
+    tc_peak_flops=10e12,
+    cuda_peak_flops=1e12,
+    h2d_bytes_per_s=10e9,
+    d2h_bytes_per_s=11e9,
+    d2d_bytes_per_s=200e9,
+)
+config = SystemConfig(gpu=toy_gpu)
+
+with tempfile.TemporaryDirectory() as tmp:
+    path = Path(tmp) / "A.dat"
+    print(f"writing {m}x{n} fp32 matrix ({m * n * 4 / 1e6:.0f} MB) to {path.name}")
+    mm = np.memmap(path, dtype=np.float32, mode="w+", shape=(m, n))
+    rng = np.random.default_rng(3)
+    for row0 in range(0, m, 4096):          # fill in slabs, RAM-friendly
+        mm[row0 : row0 + 4096] = rng.standard_normal((4096, n)).astype(np.float32)
+    mm.flush()
+
+    # keep a checksum instead of a full copy (the factorization is in place)
+    sample_rows = rng.choice(m, size=256, replace=False)
+    a_sample = np.array(mm[np.sort(sample_rows)])
+
+    host_a = HostMatrix.from_array(mm, name="A")
+    host_r = HostMatrix.zeros(n, n, name="R")
+    ex = NumericExecutor(config)
+
+    print(f"factorizing out of core (device = {device_memory >> 20} MiB)...")
+    info = ooc_recursive_qr(ex, host_a, host_r, QrOptions(blocksize=256))
+    mm.flush()
+
+    err = factorization_error(
+        a_sample, np.array(mm[np.sort(sample_rows)]), host_r.data
+    )
+    print(f"  panels: {info.n_panels}, inner products: {info.n_inner}, "
+          f"outer products: {info.n_outer}")
+    print(f"  sampled residual |A - QR|/|A| : {err:.2e}")
+    print(f"  H2D {ex.stats.h2d_bytes / 1e6:.0f} MB, "
+          f"D2H {ex.stats.d2h_bytes / 1e6:.0f} MB, "
+          f"{ex.stats.n_gemms} device GEMMs")
+    assert err < 1e-2
+    print(f"OK: disk-resident matrix factorized through a "
+          f"{device_memory >> 20} MiB device")

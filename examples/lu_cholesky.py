@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""The §6 extensions in action: out-of-core LU and Cholesky.
+
+The paper's conclusion predicts the recursive treatment transfers to LU
+and Cholesky because their trailing updates are "of outer product form".
+This repository built both (see repro/factor/); this example factorizes
+real matrices out of core, verifies against numpy/scipy, and reruns the
+§5.2 memory-pressure experiment for all three factorizations side by side.
+
+Run:  python examples/lu_cholesky.py
+"""
+
+import numpy as np
+import scipy.linalg
+
+from repro.config import PAPER_SYSTEM, PAPER_SYSTEM_16GB
+from repro.factor import diagonally_dominant, lu_unpack, ooc_cholesky, ooc_lu, spd_matrix
+from repro.qr import ooc_qr
+from repro.util.tables import render_table
+
+# -- numeric: factorize out of core, check against references ---------------
+
+device = 2 << 20  # 2 MiB simulated device
+
+a = diagonally_dominant(512, 384, seed=1)           # stable without pivoting
+lu = ooc_lu(a, method="recursive", blocksize=64, device_memory=device)
+L, U = lu_unpack(lu.packed)
+print(f"OOC LU        512x384: |A - LU|/|A| = "
+      f"{np.abs(L @ U - a).max() / np.abs(a).max():.2e} "
+      f"({lu.info.n_panels} panels, {lu.info.n_trsm} TRSMs, "
+      f"{lu.movement.h2d_bytes / 1e6:.0f} MB in)")
+
+s = spd_matrix(384, seed=2)
+ch = ooc_cholesky(s, method="recursive", blocksize=64, device_memory=device)
+Lc = ch.lower()
+ref = np.linalg.cholesky(s.astype(np.float64))
+print(f"OOC Cholesky  384x384: |A - LLt|/|A| = "
+      f"{np.abs(Lc @ Lc.T - s).max() / np.abs(s).max():.2e}, "
+      f"max |L - numpy| = {np.abs(Lc - ref).max():.2e}")
+
+# solve an SPD system through the OOC factor
+x_true = np.linspace(-1, 1, 384).astype(np.float32)
+b = s @ x_true
+y = scipy.linalg.solve_triangular(Lc.astype(np.float64), b, lower=True)
+x = scipy.linalg.solve_triangular(Lc.T.astype(np.float64), y, lower=False)
+print(f"SPD solve via OOC Cholesky: |x - x_true|_inf = {np.abs(x - x_true).max():.2e}")
+
+# -- simulated: the §5.2 memory-pressure experiment, all factorizations -----
+
+print("\nrecursive-vs-blocking speedup at paper scale (131072^2, simulated):")
+rows = []
+for label, cfg, bs in (("32 GB, b=16384", PAPER_SYSTEM, 16384),
+                       ("16 GB, b=8192", PAPER_SYSTEM_16GB, 8192)):
+    row = [label]
+    for kind, fn in (("QR", ooc_qr), ("LU", ooc_lu), ("Cholesky", ooc_cholesky)):
+        rec = fn((131072, 131072), method="recursive", mode="sim",
+                 config=cfg, blocksize=bs)
+        blk = fn((131072, 131072), method="blocking", mode="sim",
+                 config=cfg, blocksize=bs)
+        row.append(f"{blk.makespan / rec.makespan:.2f}x")
+    rows.append(row)
+print(render_table(["configuration", "QR", "LU", "Cholesky"], rows))
+print("recursion helps every factorization once memory gets tight —")
+print("the paper's §6 conjecture, measured.")

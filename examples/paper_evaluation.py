@@ -1,0 +1,20 @@
+#!/usr/bin/env python3
+"""Regenerate the paper's full evaluation section (§5) in one run.
+
+Every table (1-4), every figure (7-15), the §5.3 headline, the §4
+ablations, the §6 extensions and projections — each printed as a
+paper-vs-measured report with PASS/FAIL shape checks and ASCII timelines.
+
+This is a thin wrapper over ``python -m repro experiments`` so the
+experiment registry lives in exactly one place (repro/cli.py).
+
+Run:  python examples/paper_evaluation.py            # everything (~2 min)
+      python examples/paper_evaluation.py T1 F13 S8  # selected experiments
+"""
+
+import sys
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main(["experiments", *sys.argv[1:]]))

@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Quickstart: out-of-core QR in five lines, numerically and simulated.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.bench.workloads import random_tall
+from repro.qr import ooc_qr
+from repro.qr.cgs import factorization_error, orthogonality_error
+
+# ---------------------------------------------------------------------------
+# 1. Numeric mode: really factorize a matrix that does NOT fit on the
+#    (here: deliberately tiny, 2 MiB) device. The library tiles it, streams
+#    it through simulated device memory, and computes with TensorCore
+#    numerics emulation (fp16 inputs, fp32 accumulation).
+# ---------------------------------------------------------------------------
+a = random_tall(2048, 512, seed=7)          # 4 MB of fp32 — 2x device memory
+result = ooc_qr(a, method="recursive", blocksize=128, device_memory=2 << 20)
+
+print("numeric out-of-core QR (2048 x 512, 2 MiB device memory)")
+print(f"  residual  |A - QR|/|A| : {factorization_error(a, result.q, result.r):.2e}")
+print(f"  orthogonality |QtQ - I|: {orthogonality_error(result.q):.2e}")
+print(f"  R upper triangular     : {np.allclose(np.triu(result.r), result.r)}")
+print(f"  PCIe traffic           : {result.movement.h2d_bytes / 1e6:.1f} MB in, "
+      f"{result.movement.d2h_bytes / 1e6:.1f} MB out")
+print(f"  panels / GEMM calls    : {result.info.n_panels} / {result.stats.n_gemms}")
+
+# ---------------------------------------------------------------------------
+# 2. Simulated mode: the paper's headline experiment — a 131072^2 matrix
+#    (68 GB, far beyond any GPU) on the V100 testbed, in milliseconds of
+#    wall time. Pass a shape instead of data.
+# ---------------------------------------------------------------------------
+print("\nsimulated paper-scale QR (131072 x 131072 on V100-32GB)")
+runs = {}
+for method in ("recursive", "blocking"):
+    sim = ooc_qr((131072, 131072), method=method, mode="sim", blocksize=16384)
+    runs[method] = sim
+    print(f"  {method:10s}: {sim.makespan:6.1f} s simulated, "
+          f"{sim.achieved_tflops:5.1f} TFLOPS, "
+          f"{sim.movement.h2d_bytes / 1e9:6.1f} GB moved in")
+
+print(f"  recursion speedup: "
+      f"{runs['blocking'].makespan / runs['recursive'].makespan:.2f}x  "
+      "(paper: ~1.25x at 32 GB)")

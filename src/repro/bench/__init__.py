@@ -1,0 +1,68 @@
+"""Benchmark/experiment harness: regenerates every table and figure of the
+paper's evaluation section plus the ablations and §6 projections."""
+
+from repro.bench.experiments import (
+    PAPER,
+    exp_gemm_timeline,
+    exp_headline,
+    exp_qr_timeline,
+    exp_table1,
+    exp_table2,
+    exp_table3,
+    exp_table4,
+    run_core_experiments,
+)
+from repro.bench.numerics import exp_numerics_study, exp_precision_tradeoff
+from repro.bench.report import Check, ExperimentResult, Row
+from repro.bench.studies import (
+    exp_blocksize_sensitivity,
+    exp_communication_analysis,
+    exp_future_hardware,
+    exp_lu_cholesky_extension,
+    exp_gradual_blocksize,
+    exp_movement_validation,
+    exp_multi_gpu_panel,
+    exp_multi_gpu_scaling,
+    exp_overlap_crossover,
+    exp_prediction_accuracy,
+    exp_qr_level_opt,
+    run_studies,
+)
+
+__all__ = [
+    "Check",
+    "ExperimentResult",
+    "PAPER",
+    "Row",
+    "exp_blocksize_sensitivity",
+    "exp_communication_analysis",
+    "exp_future_hardware",
+    "exp_lu_cholesky_extension",
+    "exp_gemm_timeline",
+    "exp_gradual_blocksize",
+    "exp_headline",
+    "exp_movement_validation",
+    "exp_multi_gpu_panel",
+    "exp_multi_gpu_scaling",
+    "exp_numerics_study",
+    "exp_precision_tradeoff",
+    "exp_overlap_crossover",
+    "exp_prediction_accuracy",
+    "exp_qr_level_opt",
+    "exp_qr_timeline",
+    "exp_table1",
+    "exp_table2",
+    "exp_table3",
+    "exp_table4",
+    "run_core_experiments",
+    "run_studies",
+]
+
+
+def run_all() -> list[ExperimentResult]:
+    """Every experiment: tables, figures, ablations, projections, studies."""
+    return (
+        run_core_experiments()
+        + run_studies()
+        + [exp_numerics_study(), exp_precision_tradeoff()]
+    )

@@ -1,0 +1,117 @@
+"""Paper-vs-measured reporting structures.
+
+Every experiment in :mod:`repro.bench.experiments` returns an
+:class:`ExperimentResult`: labelled rows pairing the paper's published
+number with our measured one, optional rendered artifacts (ASCII
+timelines), and pass/fail shape checks (who wins, by roughly what factor).
+EXPERIMENTS.md and the pytest benchmarks both render from these.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.util.tables import render_table
+
+
+@dataclass(frozen=True)
+class Row:
+    """One line of a paper-vs-measured table."""
+
+    label: str
+    paper: str
+    measured: str
+    note: str = ""
+
+
+@dataclass(frozen=True)
+class Check:
+    """One qualitative reproduction criterion ("shape" assertion)."""
+
+    description: str
+    passed: bool
+
+
+@dataclass
+class ExperimentResult:
+    """Everything one experiment produced."""
+
+    exp_id: str
+    title: str
+    rows: list[Row] = field(default_factory=list)
+    checks: list[Check] = field(default_factory=list)
+    artifacts: dict[str, str] = field(default_factory=dict)
+
+    def add_row(self, label: str, paper, measured, note: str = "") -> None:
+        self.rows.append(Row(label, str(paper), str(measured), note))
+
+    def add_check(self, description: str, passed: bool) -> None:
+        self.checks.append(Check(description, bool(passed)))
+
+    @property
+    def all_passed(self) -> bool:
+        return all(c.passed for c in self.checks)
+
+    def failed_checks(self) -> list[Check]:
+        return [c for c in self.checks if not c.passed]
+
+    def render(self, *, include_artifacts: bool = True) -> str:
+        """Human-readable report block."""
+        parts = [f"== {self.exp_id}: {self.title} =="]
+        if self.rows:
+            parts.append(
+                render_table(
+                    ["quantity", "paper", "measured", "note"],
+                    [(r.label, r.paper, r.measured, r.note) for r in self.rows],
+                    align=["l", "r", "r", "l"],
+                )
+            )
+        for check in self.checks:
+            mark = "PASS" if check.passed else "FAIL"
+            parts.append(f"  [{mark}] {check.description}")
+        if include_artifacts:
+            for name, text in self.artifacts.items():
+                parts.append(f"-- {name} --\n{text}")
+        return "\n".join(parts)
+
+    def render_markdown(self) -> str:
+        """Markdown block for EXPERIMENTS.md."""
+        parts = [f"### {self.exp_id} — {self.title}", ""]
+        if self.rows:
+            parts.append("| quantity | paper | measured | note |")
+            parts.append("|---|---:|---:|---|")
+            for r in self.rows:
+                parts.append(f"| {r.label} | {r.paper} | {r.measured} | {r.note} |")
+            parts.append("")
+        for check in self.checks:
+            mark = "x" if check.passed else " "
+            parts.append(f"- [{mark}] {check.description}")
+        for name, text in self.artifacts.items():
+            parts.append("")
+            parts.append(f"<details><summary>{name}</summary>")
+            parts.append("")
+            parts.append("```text")
+            parts.append(text)
+            parts.append("```")
+            parts.append("</details>")
+        parts.append("")
+        return "\n".join(parts)
+
+
+def fmt_s(seconds: float) -> str:
+    """Seconds with sensible precision for report rows."""
+    if seconds >= 100:
+        return f"{seconds:.0f} s"
+    if seconds >= 1:
+        return f"{seconds:.1f} s"
+    return f"{seconds * 1e3:.0f} ms"
+
+
+def fmt_tf(flops_per_s: float) -> str:
+    """Rate in TFLOPS with one decimal, e.g. ``99.9 TFLOPS``."""
+    return f"{flops_per_s / 1e12:.1f} TFLOPS"
+
+
+def fmt_ratio(x: float) -> str:
+    """Speedup ratio, e.g. ``1.25x``."""
+    return f"{x:.2f}x"

@@ -1,0 +1,94 @@
+"""Workload generators: test matrices with controlled properties.
+
+Numeric-mode experiments need matrices whose conditioning is known (CGS
+orthogonality loss scales with kappa^2), and simulated-mode experiments
+need the paper's problem shapes. Everything is seeded through
+:func:`repro.util.rng.default_rng` for reproducibility.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.util.rng import default_rng
+from repro.util.validation import positive_int
+
+
+def random_tall(m: int, n: int, *, seed: int | None = None) -> np.ndarray:
+    """A well-conditioned random tall matrix (i.i.d. Gaussian), fp32."""
+    m, n = positive_int(m, "m"), positive_int(n, "n")
+    if m < n:
+        raise ValidationError(f"need m >= n, got {m}x{n}")
+    rng = default_rng(seed)
+    return rng.standard_normal((m, n)).astype(np.float32)
+
+
+def conditioned(
+    m: int, n: int, kappa: float, *, seed: int | None = None
+) -> np.ndarray:
+    """A tall matrix with 2-norm condition number ~*kappa*.
+
+    Built as U diag(s) Vᵀ with geometrically graded singular values — the
+    standard stress test for Gram-Schmidt orthogonality loss.
+    """
+    m, n = positive_int(m, "m"), positive_int(n, "n")
+    if m < n:
+        raise ValidationError(f"need m >= n, got {m}x{n}")
+    if kappa < 1:
+        raise ValidationError(f"kappa must be >= 1, got {kappa}")
+    rng = default_rng(seed)
+    u, _ = np.linalg.qr(rng.standard_normal((m, n)))
+    v, _ = np.linalg.qr(rng.standard_normal((n, n)))
+    s = np.geomspace(1.0, 1.0 / kappa, n)
+    return (u * s) @ v.T.astype(np.float64).astype(np.float32)
+
+
+def graded_columns(
+    m: int, n: int, *, decay: float = 0.5, seed: int | None = None
+) -> np.ndarray:
+    """Random matrix whose column norms decay geometrically by *decay* —
+    exercises the scaling robustness of the panel factorization."""
+    a = random_tall(m, n, seed=seed)
+    scales = (decay ** np.arange(n)).astype(np.float32)
+    return a * scales
+
+
+def near_dependent(
+    m: int, n: int, *, eps: float = 1e-4, seed: int | None = None
+) -> np.ndarray:
+    """Each column is the previous one plus eps-sized noise — nearly
+    rank-one, the adversarial case for classic Gram-Schmidt."""
+    m, n = positive_int(m, "m"), positive_int(n, "n")
+    rng = default_rng(seed)
+    base = rng.standard_normal(m).astype(np.float32)
+    cols = [base]
+    for _ in range(n - 1):
+        cols.append(cols[-1] + eps * rng.standard_normal(m).astype(np.float32))
+    return np.stack(cols, axis=1)
+
+
+def least_squares_problem(
+    m: int, n: int, *, noise: float = 1e-3, seed: int | None = None
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """An overdetermined LS problem (A, b, x_true) with b = A x_true + noise."""
+    a = random_tall(m, n, seed=seed)
+    rng = default_rng(None if seed is None else seed + 1)
+    x_true = rng.standard_normal(n).astype(np.float32)
+    b = a @ x_true + noise * rng.standard_normal(m).astype(np.float32)
+    return a, b, x_true
+
+
+# -- the paper's evaluation shapes -------------------------------------------------
+
+#: §5.2 main problem.
+PAPER_MAIN_SHAPE = (131072, 131072)
+#: Table 4 extra shapes.
+PAPER_SQUARE_SHAPE = (65536, 65536)
+PAPER_TALL_SHAPE = (262144, 65536)
+#: Table 1 inner-product GEMMs (m x k x n in the paper's ordering).
+PAPER_INNER_RECURSIVE = dict(K=131072, M=65536, N=65536, blocksize=16384)
+PAPER_INNER_BLOCKING = dict(K=131072, M=16384, N=114688, blocksize=16384)
+#: Table 2 outer-product GEMMs.
+PAPER_OUTER_RECURSIVE = dict(M=131072, K=65536, N=65536, blocksize=8192)
+PAPER_OUTER_BLOCKING = dict(M=131072, K=16384, N=114688, blocksize=16384)

@@ -1,0 +1,243 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``experiments``   run the paper's evaluation (all, or selected ids)
+``qr``            simulated (or numeric) OOC QR with a timeline
+``lu``/``chol``   the §6 extension factorizations, simulated
+``gpus``          list built-in GPU specs and their §3.3 thresholds
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.config import SystemConfig
+from repro.hw.specs import KNOWN_GPUS, V100_32GB, get_gpu
+from repro.qr.options import QrOptions
+from repro.util.tables import render_table
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("-m", "--rows", type=int, default=131072)
+    parser.add_argument("-n", "--cols", type=int, default=131072)
+    parser.add_argument("-b", "--blocksize", type=int, default=16384)
+    parser.add_argument(
+        "--method", choices=["recursive", "blocking", "both"], default="both"
+    )
+    parser.add_argument(
+        "--gpu", default=V100_32GB.name, help="GPU spec name (see `gpus`)"
+    )
+    parser.add_argument(
+        "--memory-gib", type=float, default=None,
+        help="cap device memory (the paper's §5.2 experiment)",
+    )
+    parser.add_argument("--timeline", action="store_true", help="print the Gantt chart")
+    parser.add_argument("--sync", action="store_true", help="disable pipelining")
+    parser.add_argument(
+        "--no-opts", action="store_true", help="disable the §4.2 optimizations"
+    )
+
+
+def _config(args) -> SystemConfig:
+    gpu = get_gpu(args.gpu)
+    if args.memory_gib is not None:
+        gpu = gpu.with_memory(int(args.memory_gib * (1 << 30)), suffix="capped")
+    return SystemConfig(gpu=gpu)
+
+
+def _options(args) -> QrOptions:
+    opts = QrOptions(blocksize=args.blocksize, pipelined=not args.sync)
+    if args.no_opts:
+        opts = opts.all_optimizations_off()
+    return opts
+
+
+def _run_factorization(args, kind: str) -> int:
+    from repro.factor.api import ooc_cholesky, ooc_lu
+    from repro.qr.api import ooc_qr
+    from repro.sim.timeline import render_summary, render_timeline
+
+    runners = {"qr": ooc_qr, "lu": ooc_lu, "chol": ooc_cholesky}
+    run = runners[kind]
+    config = _config(args)
+    options = _options(args)
+    methods = ["recursive", "blocking"] if args.method == "both" else [args.method]
+    shape = (args.rows, args.cols)
+    if kind == "chol" and args.rows != args.cols:
+        print("cholesky requires a square matrix", file=sys.stderr)
+        return 2
+
+    times = {}
+    for method in methods:
+        result = run(shape, method=method, mode="sim", config=config, options=options)
+        times[method] = result.makespan
+        print(
+            f"{kind} {method:10s} {shape[0]}x{shape[1]} b={options.blocksize} "
+            f"on {config.gpu.name}: {result.makespan:8.1f} s simulated, "
+            f"{result.achieved_tflops:6.1f} TFLOPS, "
+            f"H2D {result.movement.h2d_bytes / 1e9:7.1f} GB, "
+            f"D2H {result.movement.d2h_bytes / 1e9:7.1f} GB"
+        )
+        if args.timeline:
+            print(render_timeline(result.trace, width=100,
+                                  title=f"{kind} {method}"))
+            print(render_summary(result.trace))
+    if len(times) == 2:
+        print(f"speedup (blocking / recursive): "
+              f"{times['blocking'] / times['recursive']:.2f}x")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Recursive out-of-core TensorCore QR (ICPP'21) reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_exp = sub.add_parser("experiments", help="run the paper's evaluation")
+    p_exp.add_argument("ids", nargs="*", help="experiment ids (default: all)")
+    p_exp.add_argument("--no-artifacts", action="store_true",
+                       help="omit timelines from the output")
+
+    for kind, help_text in (
+        ("qr", "simulated out-of-core QR factorization"),
+        ("lu", "simulated out-of-core LU (unpivoted, §6 extension)"),
+        ("chol", "simulated out-of-core Cholesky (§6 extension)"),
+    ):
+        p = sub.add_parser(kind, help=help_text)
+        _add_common(p)
+
+    p_gemm = sub.add_parser(
+        "gemm", help="simulated out-of-core GEMM (cuBLASXt-style)"
+    )
+    p_gemm.add_argument("-M", type=int, default=65536)
+    p_gemm.add_argument("-N", type=int, default=65536)
+    p_gemm.add_argument("-K", type=int, default=131072)
+    p_gemm.add_argument("-b", "--blocksize", type=int, default=16384)
+    p_gemm.add_argument("--kind", choices=["inner", "outer"], default="inner")
+    p_gemm.add_argument("--gpu", default=V100_32GB.name)
+    p_gemm.add_argument("--memory-gib", type=float, default=None)
+    p_gemm.add_argument("--timeline", action="store_true")
+    p_gemm.add_argument("--sync", action="store_true")
+
+    sub.add_parser("gpus", help="list built-in GPU specs")
+
+    args = parser.parse_args(argv)
+
+    if args.command == "gpus":
+        from repro.models.overlap import machine_balance, overlap_threshold
+
+        rows = [
+            [
+                spec.name,
+                f"{spec.mem_bytes >> 30} GiB",
+                f"{spec.tc_peak_flops / 1e12:.0f} TF",
+                f"{spec.h2d_bytes_per_s / 1e9:.1f} GB/s",
+                f"{overlap_threshold(spec):,.0f}",
+            ]
+            for spec in KNOWN_GPUS.values()
+        ]
+        print(render_table(
+            ["name", "memory", "TC peak", "H2D", "overlap m*"], rows
+        ))
+        return 0
+
+    if args.command == "experiments":
+        from repro.bench import run_all
+        from repro.bench.experiments import (
+            exp_gemm_timeline,
+            exp_headline,
+            exp_qr_timeline,
+            exp_table1,
+            exp_table2,
+            exp_table3,
+            exp_table4,
+        )
+        from repro.bench.numerics import exp_numerics_study, exp_precision_tradeoff
+        from repro.bench.studies import (
+            exp_blocksize_sensitivity,
+            exp_communication_analysis,
+            exp_future_hardware,
+            exp_gradual_blocksize,
+            exp_lu_cholesky_extension,
+            exp_movement_validation,
+            exp_multi_gpu_panel,
+            exp_multi_gpu_scaling,
+            exp_overlap_crossover,
+            exp_prediction_accuracy,
+            exp_qr_level_opt,
+        )
+
+        registry = {
+            "T1": exp_table1, "T2": exp_table2, "T3": exp_table3,
+            "T4": exp_table4, "S1": exp_headline,
+            "S2": exp_gradual_blocksize, "S3": exp_qr_level_opt,
+            "S4": exp_movement_validation, "S5": exp_overlap_crossover,
+            "S6": exp_future_hardware, "S7": exp_prediction_accuracy,
+            "S8": exp_lu_cholesky_extension, "S9": exp_numerics_study,
+            "S10": exp_communication_analysis,
+            "S11": exp_blocksize_sensitivity,
+            "S12": exp_precision_tradeoff,
+            "S13": exp_multi_gpu_scaling,
+            "S14": exp_multi_gpu_panel,
+            **{f"F{f}": (lambda f=f: exp_gemm_timeline(f)) for f in range(7, 12)},
+            **{f"F{f}": (lambda f=f: exp_qr_timeline(f)) for f in range(12, 16)},
+        }
+        if args.ids:
+            unknown = [i for i in args.ids if i.upper() not in registry]
+            if unknown:
+                print(f"unknown ids {unknown}; available: {', '.join(registry)}",
+                      file=sys.stderr)
+                return 2
+            results = [registry[i.upper()]() for i in args.ids]
+        else:
+            results = run_all()
+        failures = 0
+        for res in results:
+            print(res.render(include_artifacts=not args.no_artifacts))
+            print()
+            failures += 0 if res.all_passed else 1
+        print(f"{len(results)} experiments, {failures} failed shape checks")
+        return 1 if failures else 0
+
+    if args.command == "gemm":
+        return _run_gemm(args)
+
+    return _run_factorization(args, args.command)
+
+
+def _run_gemm(args) -> int:
+    from repro.ooc.api import ooc_gemm
+    from repro.sim.timeline import render_summary, render_timeline
+
+    config = _config(args)
+    if args.kind == "inner":
+        result = ooc_gemm(
+            (args.K, args.M), (args.K, args.N), trans_a=True, mode="sim",
+            config=config, blocksize=args.blocksize, pipelined=not args.sync,
+        )
+    else:
+        result = ooc_gemm(
+            (args.M, args.K), (args.K, args.N), alpha=-1.0, beta=1.0,
+            c=(args.M, args.N), mode="sim", config=config,
+            blocksize=args.blocksize, pipelined=not args.sync,
+        )
+    print(
+        f"gemm {args.kind} {args.M}x{args.N}x{args.K} b={args.blocksize} "
+        f"({result.strategy}) on {config.gpu.name}: "
+        f"{result.makespan:7.2f} s simulated, "
+        f"{result.achieved_tflops:6.1f} TFLOPS, "
+        f"H2D {result.movement.h2d_bytes / 1e9:6.1f} GB"
+    )
+    if args.timeline:
+        print(render_timeline(result.trace, width=100, title=f"gemm {args.kind}"))
+        print(render_summary(result.trace))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,94 @@
+"""Exception hierarchy for the repro library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with one ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigError(ReproError):
+    """Invalid or inconsistent configuration (GPU spec, system config)."""
+
+
+class ShapeError(ReproError, ValueError):
+    """Matrix/tile shapes are inconsistent for the requested operation."""
+
+
+class OutOfDeviceMemoryError(ReproError):
+    """A device allocation exceeded the simulated device-memory capacity."""
+
+    def __init__(self, requested: int, free: int, capacity: int, what: str = ""):
+        self.requested = int(requested)
+        self.free = int(free)
+        self.capacity = int(capacity)
+        self.what = what
+        msg = (
+            f"out of device memory allocating {requested} bytes"
+            f"{' for ' + what if what else ''}: "
+            f"{free} free of {capacity} total"
+        )
+        super().__init__(msg)
+
+
+class OutOfHostMemoryError(ReproError):
+    """A run's host working set exceeds the configured host capacity.
+
+    The paper hits this wall itself: "limited by our main memory capacity,
+    we only tested the matrices with sizes 65536x65536 and 262144x65536"
+    (§5.2, 128 GB host).
+    """
+
+    def __init__(self, required: int, capacity: int, what: str = ""):
+        self.required = int(required)
+        self.capacity = int(capacity)
+        self.what = what
+        super().__init__(
+            f"host working set of {required} bytes"
+            f"{' for ' + what if what else ''} exceeds host capacity "
+            f"{capacity}"
+        )
+
+
+class AllocationError(ReproError):
+    """Misuse of the device allocator (double free, unknown handle, ...)."""
+
+
+class StreamError(ReproError):
+    """Misuse of streams or events (waiting on an unrecorded event, ...)."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator reached an invalid state."""
+
+
+class DeadlockError(SimulationError):
+    """Cross-stream event dependencies formed a cycle; no op can make progress.
+
+    Real CUDA programs can also hard-hang this way (e.g. a stream waiting on
+    an event that is only recorded behind the waiting op in another engine
+    queue); the simulator detects it and reports the stuck ops.
+    """
+
+    def __init__(self, stuck_ops):
+        self.stuck_ops = list(stuck_ops)
+        names = ", ".join(op.name for op in self.stuck_ops[:8])
+        more = "" if len(self.stuck_ops) <= 8 else f" (+{len(self.stuck_ops) - 8} more)"
+        super().__init__(f"simulation deadlock; stuck ops: {names}{more}")
+
+
+class PlanError(ReproError):
+    """An out-of-core tiling plan could not be constructed (e.g. a working
+    set that can never fit in device memory)."""
+
+
+class ExecutionError(ReproError):
+    """An executor was driven through an invalid sequence of operations."""
+
+
+class ValidationError(ReproError, ValueError):
+    """Invalid argument value (non-positive dimension, bad enum string...)."""

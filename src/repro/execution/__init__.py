@@ -1,0 +1,18 @@
+"""Executor layer: one device-programming interface, three backends
+(numeric, simulated, hybrid)."""
+
+from repro.execution.base import DeviceBuffer, DeviceView, Executor, RunStats, as_view
+from repro.execution.hybrid import HybridExecutor
+from repro.execution.numeric import NumericExecutor
+from repro.execution.sim import SimExecutor
+
+__all__ = [
+    "DeviceBuffer",
+    "DeviceView",
+    "Executor",
+    "HybridExecutor",
+    "NumericExecutor",
+    "RunStats",
+    "SimExecutor",
+    "as_view",
+]

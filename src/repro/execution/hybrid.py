@@ -1,0 +1,223 @@
+"""Hybrid executor: numeric results *and* a simulated timeline in one run.
+
+Every call is forwarded to an inner :class:`NumericExecutor` (which owns
+the data) and an inner :class:`SimExecutor` (which owns time). Buffers are
+paired: the hybrid hands out the numeric executor's buffers and keeps a
+shadow buffer per allocation on the simulated side; views are re-created
+with identical coordinates. The two inner executors see byte-identical op
+streams, so any divergence between counters is a bug (asserted in
+``finish``).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.config import SystemConfig
+from repro.errors import ExecutionError
+from repro.execution.base import DeviceBuffer, DeviceView, Executor, as_view
+from repro.execution.numeric import NumericExecutor
+from repro.execution.sim import SimExecutor
+from repro.host.tiled import HostMatrix, HostRegion
+from repro.sim.trace import Trace
+
+
+class _HybridStream:
+    """Pairs a (dummy) numeric stream with a simulator stream."""
+
+    def __init__(self, numeric: Any, sim: Any, name: str):
+        self.numeric = numeric
+        self.sim = sim
+        self.name = name
+
+
+class _HybridEvent:
+    def __init__(self, numeric: Any, sim: Any):
+        self.numeric = numeric
+        self.sim = sim
+
+
+class HybridExecutor(Executor):
+    """Run numerically and through the simulator simultaneously."""
+
+    def __init__(self, config: SystemConfig):
+        super().__init__(config)
+        self.numeric = NumericExecutor(config)
+        self.simulated = SimExecutor(config)
+        self.allocator = self.numeric.allocator
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _shadow(self, view: DeviceView) -> DeviceView:
+        """The simulated-side view matching a numeric-side view."""
+        shadow_buf = view.buffer.payload.get("sim_shadow")
+        if shadow_buf is None:
+            raise ExecutionError(
+                f"buffer {view.buffer.name!r} was not allocated by this "
+                "hybrid executor"
+            )
+        return shadow_buf.view(view.row0, view.row1, view.col0, view.col1)
+
+    @staticmethod
+    def _shape_region(src: HostRegion) -> HostRegion:
+        """A shape-only twin of a host region for the simulated side (the
+        simulator must never touch real data)."""
+        twin = HostMatrix.shape_only(
+            src.matrix.rows,
+            src.matrix.cols,
+            element_bytes=src.matrix.element_bytes,
+            name=src.matrix.name,
+        )
+        return HostRegion(twin, src.row0, src.row1, src.col0, src.col1)
+
+    # -- memory -------------------------------------------------------------------
+
+    def alloc(self, rows: int, cols: int, name: str = "buf") -> DeviceBuffer:
+        buf = self.numeric.alloc(rows, cols, name)
+        buf.payload["sim_shadow"] = self.simulated.alloc(rows, cols, name)
+        return buf
+
+    def free(self, buf: DeviceBuffer) -> None:
+        self.simulated.free(buf.payload["sim_shadow"])
+        self.numeric.free(buf)
+
+    # -- streams --------------------------------------------------------------------
+
+    def stream(self, name: str) -> _HybridStream:
+        return _HybridStream(self.numeric.stream(name), self.simulated.stream(name), name)
+
+    def record_event(self, stream: _HybridStream) -> _HybridEvent:
+        return _HybridEvent(
+            self.numeric.record_event(stream.numeric),
+            self.simulated.record_event(stream.sim),
+        )
+
+    def wait_event(self, stream: _HybridStream, event: _HybridEvent) -> None:
+        self.numeric.wait_event(stream.numeric, event.numeric)
+        self.simulated.wait_event(stream.sim, event.sim)
+
+    def synchronize(self) -> None:
+        self.numeric.synchronize()
+        self.simulated.synchronize()
+
+    # -- data movement ----------------------------------------------------------------
+
+    def h2d(self, dst: DeviceBuffer | DeviceView, src: HostRegion, stream: _HybridStream) -> None:
+        dst = as_view(dst)
+        self.numeric.h2d(dst, src, stream.numeric)
+        self.simulated.h2d(self._shadow(dst), self._shape_region(src), stream.sim)
+
+    def d2h(self, dst: HostRegion, src: DeviceBuffer | DeviceView, stream: _HybridStream) -> None:
+        src = as_view(src)
+        self.numeric.d2h(dst, src, stream.numeric)
+        self.simulated.d2h(self._shape_region(dst), self._shadow(src), stream.sim)
+
+    def d2d(
+        self,
+        dst: DeviceBuffer | DeviceView,
+        src: DeviceBuffer | DeviceView,
+        stream: _HybridStream,
+    ) -> None:
+        dst, src = as_view(dst), as_view(src)
+        self.numeric.d2d(dst, src, stream.numeric)
+        self.simulated.d2d(self._shadow(dst), self._shadow(src), stream.sim)
+
+    # -- compute --------------------------------------------------------------------------
+
+    def gemm(
+        self,
+        c: DeviceBuffer | DeviceView,
+        a: DeviceBuffer | DeviceView,
+        b: DeviceBuffer | DeviceView,
+        stream: _HybridStream,
+        *,
+        alpha: float = 1.0,
+        beta: float = 0.0,
+        trans_a: bool = False,
+        trans_b: bool = False,
+        tag: str = "gemm",
+    ) -> None:
+        c, a, b = as_view(c), as_view(a), as_view(b)
+        kwargs = dict(
+            alpha=alpha, beta=beta, trans_a=trans_a, trans_b=trans_b, tag=tag
+        )
+        self.numeric.gemm(c, a, b, stream.numeric, **kwargs)
+        self.simulated.gemm(
+            self._shadow(c), self._shadow(a), self._shadow(b), stream.sim, **kwargs
+        )
+
+    def panel_qr(
+        self,
+        panel: DeviceBuffer | DeviceView,
+        r_out: DeviceBuffer | DeviceView,
+        stream: _HybridStream,
+        *,
+        tag: str = "panel",
+    ) -> None:
+        panel, r_out = as_view(panel), as_view(r_out)
+        self.numeric.panel_qr(panel, r_out, stream.numeric, tag=tag)
+        self.simulated.panel_qr(
+            self._shadow(panel), self._shadow(r_out), stream.sim, tag=tag
+        )
+
+    # -- §6 extension ops (LU / Cholesky) -------------------------------------
+
+    def trsm(
+        self,
+        a_tri: DeviceBuffer | DeviceView,
+        b: DeviceBuffer | DeviceView,
+        stream: _HybridStream,
+        *,
+        lower: bool = True,
+        unit_diag: bool = False,
+        trans_a: bool = False,
+        tag: str = "trsm",
+    ) -> None:
+        a_tri, b = as_view(a_tri), as_view(b)
+        kwargs = dict(lower=lower, unit_diag=unit_diag, trans_a=trans_a, tag=tag)
+        self.numeric.trsm(a_tri, b, stream.numeric, **kwargs)
+        self.simulated.trsm(self._shadow(a_tri), self._shadow(b), stream.sim, **kwargs)
+
+    def panel_lu(
+        self,
+        panel: DeviceBuffer | DeviceView,
+        u_out: DeviceBuffer | DeviceView,
+        stream: _HybridStream,
+        *,
+        tag: str = "panel-lu",
+    ) -> None:
+        panel, u_out = as_view(panel), as_view(u_out)
+        self.numeric.panel_lu(panel, u_out, stream.numeric, tag=tag)
+        self.simulated.panel_lu(
+            self._shadow(panel), self._shadow(u_out), stream.sim, tag=tag
+        )
+
+    def panel_cholesky(
+        self,
+        panel: DeviceBuffer | DeviceView,
+        stream: _HybridStream,
+        *,
+        tag: str = "panel-chol",
+    ) -> None:
+        panel = as_view(panel)
+        self.numeric.panel_cholesky(panel, stream.numeric, tag=tag)
+        self.simulated.panel_cholesky(self._shadow(panel), stream.sim, tag=tag)
+
+    # -- results --------------------------------------------------------------------------
+
+    def finish(self) -> Trace:
+        """Drain both sides, cross-check counters, return the trace."""
+        trace = self.simulated.finish()
+        ns, ss = self.numeric.stats, self.simulated.stats
+        mismatches = [
+            name
+            for name in ("h2d_bytes", "d2h_bytes", "d2d_bytes", "gemm_flops", "n_gemms", "n_panels")
+            if getattr(ns, name) != getattr(ss, name)
+        ]
+        if mismatches:
+            raise ExecutionError(
+                f"hybrid executors diverged on: {', '.join(mismatches)}"
+            )
+        self.stats = ns
+        self.stats.makespan = ss.makespan
+        return trace

@@ -1,0 +1,286 @@
+"""Numeric executor: really computes, with TensorCore numerics emulation.
+
+Work executes eagerly in issue order (a legal serialization of any correct
+stream program), so numeric results are exact regardless of how the calling
+pipeline arranged its streams — stream correctness itself is validated by
+the simulator's causality checks and by the hybrid executor's cross-checks.
+
+Device buffers are numpy fp32 arrays, still accounted against the simulated
+device capacity through :class:`~repro.sim.memory.DeviceAllocator`, so
+numeric runs exercise the same out-of-memory paths as simulated ones (with
+a scaled-down :class:`~repro.hw.specs.GpuSpec` for tests).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.config import SystemConfig
+from repro.errors import ExecutionError
+from repro.execution.base import DeviceBuffer, DeviceView, Executor, as_view
+from repro.host.tiled import HostRegion
+from repro.hw.gemm import Precision
+from repro.sim.memory import DeviceAllocator
+from repro.tc.gemm import tc_gemm
+from repro.util.units import gemm_flops
+
+
+class _NullStream:
+    """Streams are ordering hints only for the numeric executor."""
+
+    def __init__(self, name: str):
+        self.name = name
+
+
+class _NullEvent:
+    pass
+
+
+class NumericExecutor(Executor):
+    """Eager numpy-backed executor (see module docstring)."""
+
+    def __init__(self, config: SystemConfig):
+        super().__init__(config)
+        self.allocator = DeviceAllocator(config.usable_device_bytes)
+        self._input_format = config.precision.input_format
+
+    # -- memory -----------------------------------------------------------------
+
+    def alloc(self, rows: int, cols: int, name: str = "buf") -> DeviceBuffer:
+        buf = DeviceBuffer(name=name, rows=rows, cols=cols)
+        nbytes = rows * cols * self.config.element_bytes
+        allocation = self.allocator.alloc(nbytes, name=name)
+        # Device data lives in fp32 regardless of element_bytes: storage
+        # sizing models the paper's fp32 matrices, math runs in fp32 with
+        # fp16 rounding applied inside GEMMs.
+        buf.payload["data"] = np.zeros((rows, cols), dtype=np.float32)
+        buf.payload["allocation"] = allocation
+        return buf
+
+    def free(self, buf: DeviceBuffer) -> None:
+        if buf.freed:
+            raise ExecutionError(f"double free of device buffer {buf.name!r}")
+        self.allocator.free(buf.payload["allocation"])
+        buf.payload.pop("data", None)
+        buf.freed = True
+
+    # -- streams -----------------------------------------------------------------
+
+    def stream(self, name: str) -> Any:
+        return _NullStream(name)
+
+    def record_event(self, stream: Any) -> Any:
+        return _NullEvent()
+
+    def wait_event(self, stream: Any, event: Any) -> None:
+        pass
+
+    def synchronize(self) -> None:
+        pass
+
+    # -- views -------------------------------------------------------------------
+
+    @staticmethod
+    def _data(view: DeviceView) -> np.ndarray:
+        buf = view.buffer
+        if buf.freed:
+            raise ExecutionError(f"use of freed device buffer {buf.name!r}")
+        data = buf.payload.get("data")
+        if data is None:
+            raise ExecutionError(
+                f"device buffer {buf.name!r} has no numeric payload "
+                "(allocated by a different executor?)"
+            )
+        return data[view.row0 : view.row1, view.col0 : view.col1]
+
+    # -- data movement ------------------------------------------------------------
+
+    def h2d(self, dst: DeviceBuffer | DeviceView, src: HostRegion, stream: Any) -> None:
+        dst = as_view(dst)
+        self._check_copy_shapes(dst.shape, src.shape)
+        np.copyto(self._data(dst), src.array)
+        self.stats.h2d_bytes += src.nbytes
+
+    def d2h(self, dst: HostRegion, src: DeviceBuffer | DeviceView, stream: Any) -> None:
+        src = as_view(src)
+        self._check_copy_shapes(dst.shape, src.shape)
+        np.copyto(dst.array, self._data(src))
+        self.stats.d2h_bytes += dst.nbytes
+
+    def d2d(
+        self, dst: DeviceBuffer | DeviceView, src: DeviceBuffer | DeviceView, stream: Any
+    ) -> None:
+        dst, src = as_view(dst), as_view(src)
+        self._check_copy_shapes(dst.shape, src.shape)
+        np.copyto(self._data(dst), self._data(src))
+        self.stats.d2d_bytes += (
+            dst.rows * dst.cols * self.config.element_bytes
+        )
+
+    # -- compute --------------------------------------------------------------------
+
+    def gemm(
+        self,
+        c: DeviceBuffer | DeviceView,
+        a: DeviceBuffer | DeviceView,
+        b: DeviceBuffer | DeviceView,
+        stream: Any,
+        *,
+        alpha: float = 1.0,
+        beta: float = 0.0,
+        trans_a: bool = False,
+        trans_b: bool = False,
+        tag: str = "gemm",
+    ) -> None:
+        c, a, b = as_view(c), as_view(a), as_view(b)
+        m, n, k = self._gemm_dims(c, a, b, trans_a, trans_b)
+        c_data = self._data(c)
+        tc_gemm(
+            self._data(a),
+            self._data(b),
+            alpha=alpha,
+            beta=beta,
+            c=c_data if beta != 0.0 else None,
+            trans_a=trans_a,
+            trans_b=trans_b,
+            input_format=self._input_format,
+            out=c_data,
+        )
+        self.stats.gemm_flops += gemm_flops(m, n, k)
+        self.stats.n_gemms += 1
+
+    def panel_qr(
+        self,
+        panel: DeviceBuffer | DeviceView,
+        r_out: DeviceBuffer | DeviceView,
+        stream: Any,
+        *,
+        tag: str = "panel",
+    ) -> None:
+        panel, r_out = as_view(panel), as_view(r_out)
+        if r_out.shape != (panel.cols, panel.cols):
+            raise ExecutionError(
+                f"panel_qr: R is {r_out.shape}, expected "
+                f"{(panel.cols, panel.cols)}"
+            )
+        a_data = self._data(panel)
+        q, r = self._factorize_panel(a_data)
+        np.copyto(a_data, q)
+        np.copyto(self._data(r_out), r)
+        self.stats.panel_flops += self.config.panel.flops(panel.rows, panel.cols)
+        self.stats.n_panels += 1
+
+    def _factorize_panel(self, a_data: np.ndarray):
+        """Dispatch on ``config.panel_algorithm``; imports are lazy because
+        repro.qr also hosts the OOC drivers that import this module."""
+        algo = self.config.panel_algorithm
+        if algo == "tsqr":
+            from repro.qr.tsqr import tsqr
+
+            q, r = tsqr(a_data, dtype=np.float32)
+            return q.astype(np.float32), r.astype(np.float32)
+        if algo == "householder":
+            from repro.qr.householder import householder_qr
+
+            q, r = householder_qr(a_data, dtype=np.float32)
+            return q.astype(np.float32), r.astype(np.float32)
+        from repro.qr.incore import incore_recursive_qr
+
+        return incore_recursive_qr(a_data, input_format=self._input_format)
+
+    # -- §6 extension ops (LU / Cholesky) -------------------------------------
+
+    def trsm(
+        self,
+        a_tri: DeviceBuffer | DeviceView,
+        b: DeviceBuffer | DeviceView,
+        stream: Any,
+        *,
+        lower: bool = True,
+        unit_diag: bool = False,
+        trans_a: bool = False,
+        tag: str = "trsm",
+    ) -> None:
+        import scipy.linalg
+
+        a_tri, b = as_view(a_tri), as_view(b)
+        if a_tri.rows != a_tri.cols:
+            raise ExecutionError(
+                f"trsm: triangle must be square, got {a_tri.shape}"
+            )
+        if b.rows != a_tri.rows:
+            raise ExecutionError(
+                f"trsm: B has {b.rows} rows, triangle is {a_tri.rows}"
+            )
+        b_data = self._data(b)
+        solved = scipy.linalg.solve_triangular(
+            self._data(a_tri),
+            b_data,
+            lower=lower,
+            unit_diagonal=unit_diag,
+            trans="T" if trans_a else "N",
+            check_finite=False,
+        )
+        np.copyto(b_data, solved.astype(np.float32, copy=False))
+        self.stats.gemm_flops += a_tri.rows * a_tri.rows * b.cols
+        self.stats.n_gemms += 1
+
+    def panel_lu(
+        self,
+        panel: DeviceBuffer | DeviceView,
+        u_out: DeviceBuffer | DeviceView,
+        stream: Any,
+        *,
+        tag: str = "panel-lu",
+    ) -> None:
+        from repro.factor.incore import incore_lu_nopivot
+
+        panel, u_out = as_view(panel), as_view(u_out)
+        if u_out.shape != (panel.cols, panel.cols):
+            raise ExecutionError(
+                f"panel_lu: U is {u_out.shape}, expected "
+                f"{(panel.cols, panel.cols)}"
+            )
+        a_data = self._data(panel)
+        packed = incore_lu_nopivot(a_data, input_format=self._input_format)
+        np.copyto(a_data, packed)
+        np.copyto(self._data(u_out), np.triu(packed[: panel.cols]))
+        # LU panel work is m b^2 — half of QR's 2 m b^2
+        self.stats.panel_flops += self.config.panel.flops(panel.rows, panel.cols) // 2
+        self.stats.n_panels += 1
+
+    def panel_cholesky(
+        self,
+        panel: DeviceBuffer | DeviceView,
+        stream: Any,
+        *,
+        tag: str = "panel-chol",
+    ) -> None:
+        import scipy.linalg
+
+        from repro.errors import ValidationError
+
+        panel = as_view(panel)
+        b = panel.cols
+        if panel.rows < b:
+            raise ExecutionError(
+                f"panel_cholesky: panel {panel.shape} shorter than its width"
+            )
+        data = self._data(panel)
+        try:
+            chol = np.linalg.cholesky(data[:b].astype(np.float64))
+        except np.linalg.LinAlgError as exc:
+            raise ValidationError(
+                "panel_cholesky: diagonal block not positive definite"
+            ) from exc
+        data[:b] = np.triu(np.zeros((b, b), dtype=np.float32)) + np.tril(
+            chol.astype(np.float32)
+        )
+        if panel.rows > b:
+            data[b:] = scipy.linalg.solve_triangular(
+                chol, data[b:].astype(np.float64).T, lower=True, check_finite=False
+            ).T.astype(np.float32)
+        self.stats.panel_flops += b * b * b // 3 + (panel.rows - b) * b * b
+        self.stats.n_panels += 1

@@ -1,0 +1,30 @@
+"""§6 extension factorizations: out-of-core unpivoted LU and Cholesky,
+blocking and recursive, plus their in-core references."""
+
+from repro.factor.api import FactorResult, ooc_cholesky, ooc_lu
+from repro.factor.cholesky import ooc_blocking_cholesky, ooc_recursive_cholesky
+from repro.factor.common import FactorRunInfo
+from repro.factor.incore import (
+    diagonally_dominant,
+    incore_cholesky,
+    incore_lu_nopivot,
+    lu_unpack,
+    spd_matrix,
+)
+from repro.factor.lu import ooc_blocking_lu, ooc_recursive_lu
+
+__all__ = [
+    "FactorResult",
+    "FactorRunInfo",
+    "diagonally_dominant",
+    "incore_cholesky",
+    "incore_lu_nopivot",
+    "lu_unpack",
+    "ooc_blocking_cholesky",
+    "ooc_blocking_lu",
+    "ooc_cholesky",
+    "ooc_lu",
+    "ooc_recursive_cholesky",
+    "ooc_recursive_lu",
+    "spd_matrix",
+]

@@ -1,0 +1,171 @@
+"""Public entry points for the §6 extension factorizations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.config import PAPER_SYSTEM, SystemConfig
+from repro.errors import ValidationError
+from repro.execution.base import RunStats
+from repro.execution.numeric import NumericExecutor
+from repro.execution.sim import SimExecutor
+from repro.factor.cholesky import ooc_blocking_cholesky, ooc_recursive_cholesky
+from repro.factor.common import FactorRunInfo
+from repro.factor.lu import ooc_blocking_lu, ooc_recursive_lu
+from repro.host.tiled import HostMatrix
+from repro.ooc.accounting import MovementReport, track
+from repro.qr.api import _as_host_matrix
+from repro.qr.options import QrOptions
+from repro.sim.trace import Trace
+from repro.util.validation import one_of
+
+
+@dataclass
+class FactorResult:
+    """Result of an OOC LU or Cholesky run."""
+
+    kind: str                       # "lu" | "cholesky"
+    method: str
+    mode: str
+    packed: np.ndarray | None       # LU: packed L\\U; Cholesky: L in lower
+    info: FactorRunInfo
+    stats: RunStats
+    movement: MovementReport
+    trace: Trace | None
+    config: SystemConfig
+    options: QrOptions
+
+    @property
+    def makespan(self) -> float:
+        return self.trace.makespan if self.trace is not None else 0.0
+
+    @property
+    def achieved_tflops(self) -> float:
+        span = self.makespan
+        return self.stats.total_flops / span / 1e12 if span > 0 else 0.0
+
+    def lower(self) -> np.ndarray:
+        """L with unit diagonal (LU) or the Cholesky factor."""
+        if self.packed is None:
+            raise ValidationError("simulated runs carry no factors")
+        if self.kind == "lu":
+            from repro.factor.incore import lu_unpack
+
+            return lu_unpack(self.packed)[0]
+        return np.tril(self.packed)
+
+    def upper(self) -> np.ndarray:
+        """U (LU only)."""
+        if self.kind != "lu":
+            raise ValidationError("upper() is only defined for LU results")
+        if self.packed is None:
+            raise ValidationError("simulated runs carry no factors")
+        from repro.factor.incore import lu_unpack
+
+        return lu_unpack(self.packed)[1]
+
+
+def _run(
+    kind: str,
+    drivers,
+    a,
+    *,
+    method: str,
+    mode: str | None,
+    config: SystemConfig | None,
+    options: QrOptions | None,
+    blocksize: int | None,
+    device_memory: int | None,
+) -> FactorResult:
+    method = one_of(method, ("recursive", "blocking"), "method")
+    config = config or PAPER_SYSTEM
+    if device_memory is not None:
+        config = config.with_gpu(
+            config.gpu.with_memory(device_memory, suffix="capped")
+        )
+    host_a, shape_only = _as_host_matrix(a, config.element_bytes)
+    if mode is None:
+        mode = "sim" if shape_only else "numeric"
+    mode = one_of(mode, ("numeric", "sim"), "mode")
+    if shape_only and mode != "sim":
+        raise ValidationError("shape inputs only support mode='sim'")
+
+    options = options or QrOptions()
+    if blocksize is not None:
+        options = replace(options, blocksize=blocksize)
+    config.check_host_capacity(
+        host_a.rows * host_a.cols, what=f"OOC {kind} (A, factored in place)"
+    )
+
+    ex = NumericExecutor(config) if mode == "numeric" else SimExecutor(config)
+    with track(ex) as moved:
+        run_info = drivers[method](ex, host_a, options)
+    trace = ex.finish() if mode == "sim" else None
+    ex.allocator.check_balanced()
+    return FactorResult(
+        kind=kind,
+        method=method,
+        mode=mode,
+        packed=host_a.data if host_a.backed else None,
+        info=run_info,
+        stats=ex.stats,
+        movement=moved.report,
+        trace=trace,
+        config=config,
+        options=options,
+    )
+
+
+def ooc_lu(
+    a,
+    *,
+    method: str = "recursive",
+    mode: str | None = None,
+    config: SystemConfig | None = None,
+    options: QrOptions | None = None,
+    blocksize: int | None = None,
+    device_memory: int | None = None,
+) -> FactorResult:
+    """Out-of-core unpivoted LU: ``A = L U`` packed in place.
+
+    Same calling convention as :func:`repro.qr.api.ooc_qr`; the input must
+    be stable without pivoting (e.g. diagonally dominant).
+    """
+    return _run(
+        "lu",
+        {"recursive": ooc_recursive_lu, "blocking": ooc_blocking_lu},
+        a,
+        method=method,
+        mode=mode,
+        config=config,
+        options=options,
+        blocksize=blocksize,
+        device_memory=device_memory,
+    )
+
+
+def ooc_cholesky(
+    a,
+    *,
+    method: str = "recursive",
+    mode: str | None = None,
+    config: SystemConfig | None = None,
+    options: QrOptions | None = None,
+    blocksize: int | None = None,
+    device_memory: int | None = None,
+) -> FactorResult:
+    """Out-of-core Cholesky: lower factor L of a symmetric positive
+    definite matrix, written into the lower triangle in place."""
+    return _run(
+        "cholesky",
+        {"recursive": ooc_recursive_cholesky, "blocking": ooc_blocking_cholesky},
+        a,
+        method=method,
+        mode=mode,
+        config=config,
+        options=options,
+        blocksize=blocksize,
+        device_memory=device_memory,
+    )

@@ -1,0 +1,46 @@
+"""Shared pieces of the §6 extension factorizations (LU, Cholesky)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ShapeError, ValidationError
+from repro.host.tiled import HostMatrix
+from repro.qr.options import QrOptions
+
+
+@dataclass
+class FactorRunInfo:
+    """Counters reported by the OOC LU/Cholesky drivers."""
+
+    method: str
+    n_panels: int = 0
+    n_trsm: int = 0
+    n_outer: int = 0
+    outer_flops: int = 0
+    trsm_flops: int = 0
+    notes: list[str] = field(default_factory=list)
+
+
+def check_lu_inputs(a: HostMatrix, options: QrOptions) -> tuple[int, int]:
+    """Validate the input of an OOC LU run; returns (m, n)."""
+    m, n = a.shape
+    if m < n:
+        raise ShapeError(f"OOC LU requires a tall matrix (m >= n), got {m}x{n}")
+    if options.blocksize > m:
+        raise ValidationError(
+            f"blocksize {options.blocksize} exceeds the row count {m}"
+        )
+    return m, n
+
+
+def check_cholesky_inputs(a: HostMatrix, options: QrOptions) -> int:
+    """Validate the input of an OOC Cholesky run; returns n."""
+    m, n = a.shape
+    if m != n:
+        raise ShapeError(f"Cholesky requires a square matrix, got {m}x{n}")
+    if options.blocksize > n:
+        raise ValidationError(
+            f"blocksize {options.blocksize} exceeds the matrix order {n}"
+        )
+    return n

@@ -1,0 +1,6 @@
+"""Host-side (out-of-core) storage: tiled matrices, regions, pinned pool."""
+
+from repro.host.pinned import PinnedPool
+from repro.host.tiled import HostMatrix, HostRegion, tile_ranges
+
+__all__ = ["HostMatrix", "HostRegion", "PinnedPool", "tile_ranges"]

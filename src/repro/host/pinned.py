@@ -1,0 +1,77 @@
+"""Pinned host-buffer pool.
+
+Real CUDA OOC codes stage transfers through page-locked (pinned) host
+buffers: pinned transfers run ~2x faster than pageable ones (the paper
+quotes ~12 GB/s pinned vs the 13 GB/s PCIe peak). We model the *pool*
+explicitly so that numeric-mode runs reuse staging storage instead of
+allocating per tile, and so the pinned-vs-pageable ablation has a real
+code path to toggle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import AllocationError
+from repro.util.validation import positive_int
+
+
+@dataclass
+class PinnedPool:
+    """A reuse pool of host staging buffers keyed by byte size.
+
+    ``acquire`` returns the smallest free buffer that fits (or allocates a
+    new one); ``release`` returns it for reuse. Tracks high-water marks so
+    tests can assert staging memory stays bounded.
+    """
+
+    #: Largest total bytes the pool may hold; 0 means unlimited.
+    capacity: int = 0
+    _free: dict[int, list[np.ndarray]] = field(default_factory=dict)
+    _live: int = 0
+    total_bytes: int = 0
+    peak_live: int = 0
+    n_hits: int = 0
+    n_misses: int = 0
+
+    def acquire(self, nbytes: int) -> np.ndarray:
+        """Get a staging buffer of at least *nbytes* (uint8-typed)."""
+        nbytes = positive_int(nbytes, "nbytes")
+        bucket = self._free.get(self._round(nbytes))
+        if bucket:
+            buf = bucket.pop()
+            self.n_hits += 1
+        else:
+            size = self._round(nbytes)
+            if self.capacity and self.total_bytes + size > self.capacity:
+                raise AllocationError(
+                    f"pinned pool capacity {self.capacity} exceeded "
+                    f"(holding {self.total_bytes}, requested {size})"
+                )
+            buf = np.empty(size, dtype=np.uint8)
+            self.total_bytes += size
+            self.n_misses += 1
+        self._live += 1
+        self.peak_live = max(self.peak_live, self._live)
+        return buf
+
+    def release(self, buf: np.ndarray) -> None:
+        """Return a buffer to the pool."""
+        if self._live <= 0:
+            raise AllocationError("release without matching acquire")
+        self._live -= 1
+        self._free.setdefault(buf.nbytes, []).append(buf)
+
+    @property
+    def live(self) -> int:
+        """Buffers currently checked out."""
+        return self._live
+
+    @staticmethod
+    def _round(nbytes: int) -> int:
+        """Round sizes to 1 MiB granularity so near-equal tiles share
+        buffers."""
+        granule = 1 << 20
+        return ((nbytes + granule - 1) // granule) * granule

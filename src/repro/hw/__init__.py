@@ -1,0 +1,32 @@
+"""Hardware performance models: GPU specs, PCIe transfers, GEMM and panel
+cost models calibrated against the paper's V100 measurements."""
+
+from repro.hw.gemm import GemmModel, Precision
+from repro.hw.panel import PanelModel
+from repro.hw.specs import (
+    A100_40GB,
+    KNOWN_GPUS,
+    RTX2080TI,
+    RTX3090,
+    V100_16GB,
+    V100_32GB,
+    GpuSpec,
+    get_gpu,
+)
+from repro.hw.transfer import Direction, TransferModel
+
+__all__ = [
+    "A100_40GB",
+    "Direction",
+    "GemmModel",
+    "GpuSpec",
+    "KNOWN_GPUS",
+    "PanelModel",
+    "Precision",
+    "RTX2080TI",
+    "RTX3090",
+    "TransferModel",
+    "V100_16GB",
+    "V100_32GB",
+    "get_gpu",
+]

@@ -1,0 +1,135 @@
+"""TensorCore GEMM execution-time model with shape-dependent efficiency.
+
+The paper's central empirical observation (§5.1, Tables 1-2) is that
+TensorCore GEMM throughput depends strongly on shape, not just size:
+
+* a 16384^3 cube runs at ~98.8 TFLOPS,
+* a fat 8192 x 65536 x 65536 outer-product block runs at ~107.6 TFLOPS,
+* but the blocking algorithm's reduction-heavy 16384 x 16384 x 131072
+  inner-product block runs at only ~52.6 TFLOPS ("tall and skinny GEMMs
+  are very hard to run at peak speed on TensorCore", quoting [24]).
+
+We model the effective rate as
+
+    R(m, n, k) = R_peak * e_size(m, n, k) * e_aspect(m, n, k)
+
+with
+
+    e_size   = g / (g + g0),        g = (m n k)^(1/3)   (tile/tail overheads
+                                    vanish as the problem grows; g0 = 1536)
+    e_aspect = 1 / (1 + c * max(0, k / max(m, n) - 1))  (deep reductions over
+                                    a small output tile under-utilise the SMs;
+                                    c = 0.16)
+
+calibrated to reproduce the three measurements above within ~5%:
+
+    (16384, 16384, 16384)  -> 102.4 TFLOPS model vs 98.8 paper
+    ( 8192, 65536, 65536)  -> 107.0 TFLOPS model vs 107.6 paper
+    (16384, 16384, 131072) ->  50.5 TFLOPS model vs 52.6 paper
+
+CUDA-core SGEMM uses the same functional form with the fp32 peak and a
+gentler aspect penalty (CUDA-core GEMMs tolerate deep k better because the
+reduction is not funnelled through the small TensorCore MMA tiles).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.hw.specs import GpuSpec
+from repro.util.units import gemm_flops
+from repro.util.validation import check_gemm_shapes
+
+
+class Precision(str, Enum):
+    """GEMM execution engine / precision mode."""
+
+    TC_FP16 = "tc-fp16"             # TensorCore: fp16 inputs, fp32 accumulate
+    TC_FP16_SPLIT3 = "tc-fp16x3"    # precision-split: 3 TC GEMMs, ~fp32 accuracy
+    FP32 = "fp32"                   # CUDA-core SGEMM
+
+    @property
+    def work_factor(self) -> int:
+        """TensorCore GEMM invocations per logical GEMM."""
+        return 3 if self is Precision.TC_FP16_SPLIT3 else 1
+
+    @property
+    def input_format(self) -> str:
+        """The :func:`repro.tc.gemm.tc_gemm` input-format string."""
+        if self is Precision.TC_FP16:
+            return "fp16"
+        if self is Precision.TC_FP16_SPLIT3:
+            return "fp16x3"
+        return "fp32"
+
+
+#: Size at which shape-independent efficiency reaches 50% (geometric mean).
+SIZE_HALF_POINT = 1536.0
+#: Aspect-ratio penalty slope for TensorCore GEMMs.
+TC_ASPECT_PENALTY = 0.16
+#: Aspect-ratio penalty slope for CUDA-core GEMMs.
+CUDA_ASPECT_PENALTY = 0.04
+
+
+@dataclass(frozen=True)
+class GemmModel:
+    """Execution-time model for in-core GEMMs on one :class:`GpuSpec`."""
+
+    spec: GpuSpec
+
+    def peak(self, precision: Precision = Precision.TC_FP16) -> float:
+        """Peak rate (flops/s) of the engine selected by *precision*."""
+        if precision == Precision.FP32:
+            return self.spec.cuda_peak_flops
+        return self.spec.tc_peak_flops
+
+    @staticmethod
+    def size_efficiency(m: int, n: int, k: int) -> float:
+        """Shape-independent efficiency from problem size (0, 1)."""
+        geo = (float(m) * float(n) * float(k)) ** (1.0 / 3.0)
+        return geo / (geo + SIZE_HALF_POINT)
+
+    @staticmethod
+    def aspect_efficiency(
+        m: int, n: int, k: int, precision: Precision = Precision.TC_FP16
+    ) -> float:
+        """Reduction-aspect efficiency in (0, 1]: penalises k >> max(m, n)."""
+        c = (
+            CUDA_ASPECT_PENALTY
+            if precision == Precision.FP32
+            else TC_ASPECT_PENALTY
+        )
+        aspect = k / max(m, n)
+        return 1.0 / (1.0 + c * max(0.0, aspect - 1.0))
+
+    def efficiency(
+        self, m: int, n: int, k: int, precision: Precision = Precision.TC_FP16
+    ) -> float:
+        """Combined efficiency factor in (0, 1)."""
+        m, n, k = check_gemm_shapes(m, n, k)
+        return self.size_efficiency(m, n, k) * self.aspect_efficiency(
+            m, n, k, precision
+        )
+
+    def rate(
+        self, m: int, n: int, k: int, precision: Precision = Precision.TC_FP16
+    ) -> float:
+        """Effective *logical* rate (flops/s) for ``C(m,n) += A(m,k) B(k,n)``
+        — a precision-split GEMM delivers 1/work_factor of the hardware
+        rate per logical flop."""
+        return (
+            self.peak(precision)
+            * self.efficiency(m, n, k, precision)
+            / precision.work_factor
+        )
+
+    def time(
+        self, m: int, n: int, k: int, precision: Precision = Precision.TC_FP16
+    ) -> float:
+        """Execution time in seconds, including kernel-launch latency."""
+        m, n, k = check_gemm_shapes(m, n, k)
+        return (
+            precision.work_factor * self.spec.kernel_launch_s
+            + gemm_flops(m, n, k) / self.rate(m, n, k, precision)
+        )

@@ -1,0 +1,134 @@
+"""GPU hardware specifications used by the performance models.
+
+The paper's testbed is an NVIDIA V100 PCIe 32 GB; its §5.2 "small memory"
+experiment caps the same card at 16 GB, and §6 projects to A100 and RTX
+30-series. Each is captured here as a :class:`GpuSpec`.
+
+Rates are calibrated against the paper's own measurements:
+
+* PCIe pinned H2D ~11.8 GB/s (Table 1: 8.59 GB block in 728/693 ms),
+  D2H ~13.2 GB/s (Table 2: 1.07 GB block out in 81 ms).
+* TensorCore GEMM peak 112 TFLOPS fp16 on V100, with shape-dependent
+  efficiency modelled in :mod:`repro.hw.gemm`.
+* CUDA-core SGEMM ~14 TFLOPS (paper §1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.errors import ConfigError
+from repro.util.units import gb, gib, tflops
+
+
+@dataclass(frozen=True)
+class GpuSpec:
+    """Static description of one GPU + host link.
+
+    All rates are SI (bytes/s, flops/s); capacities in bytes.
+    """
+
+    name: str
+    mem_bytes: int
+    tc_peak_flops: float          # TensorCore (fp16 in / fp32 acc) peak
+    cuda_peak_flops: float        # fp32 CUDA-core SGEMM peak
+    h2d_bytes_per_s: float        # pinned host-to-device bandwidth
+    d2h_bytes_per_s: float        # pinned device-to-host bandwidth
+    d2d_bytes_per_s: float        # on-device copy bandwidth
+    pcie_latency_s: float = 10e-6  # per-transfer fixed latency
+    pageable_factor: float = 0.5   # pageable transfers run at this fraction
+    kernel_launch_s: float = 15e-6  # per-kernel fixed launch latency
+
+    def __post_init__(self) -> None:
+        if self.mem_bytes <= 0:
+            raise ConfigError(f"{self.name}: mem_bytes must be positive")
+        for attr in (
+            "tc_peak_flops",
+            "cuda_peak_flops",
+            "h2d_bytes_per_s",
+            "d2h_bytes_per_s",
+            "d2d_bytes_per_s",
+        ):
+            if getattr(self, attr) <= 0:
+                raise ConfigError(f"{self.name}: {attr} must be positive")
+        if not (0 < self.pageable_factor <= 1):
+            raise ConfigError(f"{self.name}: pageable_factor must be in (0, 1]")
+        if self.pcie_latency_s < 0 or self.kernel_launch_s < 0:
+            raise ConfigError(f"{self.name}: latencies must be non-negative")
+
+    @property
+    def compute_to_bandwidth_ratio(self) -> float:
+        """R_g / R_m in the paper's notation (flops per byte moved H2D);
+        drives the overlap crossovers of §3.3."""
+        return self.tc_peak_flops / self.h2d_bytes_per_s
+
+    def with_memory(self, mem_bytes: int, suffix: str | None = None) -> "GpuSpec":
+        """The same card with a different (e.g. capped) memory capacity,
+        as in the paper's §5.2 16 GB experiment on a 32 GB V100."""
+        if mem_bytes <= 0:
+            raise ConfigError("mem_bytes must be positive")
+        name = self.name if suffix is None else f"{self.name}-{suffix}"
+        return replace(self, name=name, mem_bytes=int(mem_bytes))
+
+
+# -- Paper testbed ----------------------------------------------------------
+
+V100_32GB = GpuSpec(
+    name="V100-PCIe-32GB",
+    mem_bytes=gib(32),
+    tc_peak_flops=tflops(112.0),
+    cuda_peak_flops=tflops(14.0),
+    h2d_bytes_per_s=gb(11.8),
+    d2h_bytes_per_s=gb(13.2),
+    d2d_bytes_per_s=gb(750.0),
+)
+
+#: §5.2: "We simulate the factorization by limiting the memory usage to be
+#: less than 16GB on V100"
+V100_16GB = V100_32GB.with_memory(gib(16), suffix="capped16")
+
+# -- §6 future-work projections ---------------------------------------------
+
+A100_40GB = GpuSpec(
+    name="A100-PCIe-40GB",
+    mem_bytes=gib(40),
+    tc_peak_flops=tflops(312.0),
+    cuda_peak_flops=tflops(19.5),
+    h2d_bytes_per_s=gb(22.0),   # PCIe gen4
+    d2h_bytes_per_s=gb(24.0),
+    d2d_bytes_per_s=gb(1555.0),
+)
+
+RTX3090 = GpuSpec(
+    name="RTX3090-24GB",
+    mem_bytes=gib(24),
+    tc_peak_flops=tflops(71.0),
+    cuda_peak_flops=tflops(35.6),
+    h2d_bytes_per_s=gb(22.0),
+    d2h_bytes_per_s=gb(24.0),
+    d2d_bytes_per_s=gb(936.0),
+)
+
+RTX2080TI = GpuSpec(
+    name="RTX2080Ti-11GB",
+    mem_bytes=gib(11),
+    tc_peak_flops=tflops(53.8),
+    cuda_peak_flops=tflops(13.4),
+    h2d_bytes_per_s=gb(11.8),
+    d2h_bytes_per_s=gb(13.2),
+    d2d_bytes_per_s=gb(616.0),
+)
+
+KNOWN_GPUS: dict[str, GpuSpec] = {
+    spec.name: spec
+    for spec in (V100_32GB, V100_16GB, A100_40GB, RTX3090, RTX2080TI)
+}
+
+
+def get_gpu(name: str) -> GpuSpec:
+    """Look up a built-in :class:`GpuSpec` by name."""
+    try:
+        return KNOWN_GPUS[name]
+    except KeyError:
+        known = ", ".join(sorted(KNOWN_GPUS))
+        raise ConfigError(f"unknown GPU {name!r}; known: {known}") from None

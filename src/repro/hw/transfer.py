@@ -1,0 +1,52 @@
+"""PCIe transfer-time model.
+
+Transfers are modelled as ``latency + bytes / bandwidth`` with separate H2D
+and D2H bandwidths (the paper's measurements differ slightly by direction)
+and a pageable-memory derating factor. D2D copies (the staging-buffer trick
+of §4.1.2) use on-device bandwidth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.errors import ValidationError
+from repro.hw.specs import GpuSpec
+
+
+class Direction(str, Enum):
+    """Transfer direction over the PCIe link (or on-device for D2D)."""
+
+    H2D = "h2d"
+    D2H = "d2h"
+    D2D = "d2d"
+
+
+@dataclass(frozen=True)
+class TransferModel:
+    """Time model for copies between host and device memory."""
+
+    spec: GpuSpec
+    pinned: bool = True
+
+    def bandwidth(self, direction: Direction) -> float:
+        """Effective bandwidth in bytes/s for *direction*."""
+        if direction == Direction.H2D:
+            bw = self.spec.h2d_bytes_per_s
+        elif direction == Direction.D2H:
+            bw = self.spec.d2h_bytes_per_s
+        elif direction == Direction.D2D:
+            return self.spec.d2d_bytes_per_s
+        else:  # pragma: no cover - Enum exhausts the cases
+            raise ValidationError(f"unknown direction {direction!r}")
+        return bw if self.pinned else bw * self.spec.pageable_factor
+
+    def time(self, nbytes: int, direction: Direction) -> float:
+        """Seconds to move *nbytes* in *direction* (zero bytes → zero time)."""
+        if nbytes < 0:
+            raise ValidationError(f"nbytes must be non-negative, got {nbytes}")
+        if nbytes == 0:
+            return 0.0
+        latency = 0.0 if direction == Direction.D2D else self.spec.pcie_latency_s
+        return latency + nbytes / self.bandwidth(direction)

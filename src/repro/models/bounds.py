@@ -1,0 +1,48 @@
+"""Communication lower bound (Ballard-Demmel-Holtz-Schwartz).
+
+The paper's introduction frames everything with the result that any
+matrix-multiplication-like computation must move
+
+    Omega( #flops / sqrt(M) )
+
+words between fast memory of size M words and slow memory [3]. This module
+evaluates that bound so measured OOC traffic can be placed against it.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.config import SystemConfig
+from repro.util.validation import positive_float, positive_int
+
+
+def communication_lower_bound_words(flops: float, fast_memory_words: int) -> float:
+    """Ω(#flops / sqrt(M)) in words (constant factor 1)."""
+    flops = positive_float(flops, "flops")
+    fast_memory_words = positive_int(fast_memory_words, "fast_memory_words")
+    return flops / math.sqrt(fast_memory_words)
+
+
+def qr_flops_total(m: int, n: int) -> float:
+    """Flops of a full QR factorization, ``2 m n^2 - 2 n^3 / 3``."""
+    m, n = positive_int(m, "m"), positive_int(n, "n")
+    return 2.0 * m * n * n - 2.0 * n**3 / 3.0
+
+
+def qr_lower_bound_bytes(config: SystemConfig, m: int, n: int) -> float:
+    """The [3] lower bound for one OOC QR on *config*'s device, in bytes."""
+    words = communication_lower_bound_words(
+        qr_flops_total(m, n),
+        config.usable_device_bytes // config.element_bytes,
+    )
+    return words * config.element_bytes
+
+
+def movement_optimality_ratio(
+    config: SystemConfig, m: int, n: int, measured_bytes: int
+) -> float:
+    """Measured traffic over the lower bound (1.0 = communication-optimal;
+    the constant hidden in Omega means a small ratio, not exactly 1, is
+    the practical optimum)."""
+    return measured_bytes / qr_lower_bound_bytes(config, m, n)

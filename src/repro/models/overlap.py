@@ -1,0 +1,140 @@
+"""Overlap-ratio analysis of §3.3: when can PCIe traffic hide under GEMMs?
+
+For an OOC GEMM streaming tiles through the PCIe link at R_m bytes/s while
+TensorCore computes at R_g flops/s, the transfer of a tile hides under the
+computation it feeds iff the tile's arithmetic intensity beats R_g / R_m.
+The paper works this out for each tiling:
+
+* recursive inner product (Fig 3):  hidden iff  m > 4 R_g / R_m
+  (with 4-byte words; ~30,000 on the V100 — "usually the case for
+  problems that require out-of-core computation");
+* blocking inner product (Fig 4):   hidden iff  m > 2 R_g / R_m  (~15,000)
+  — but m *is the panel width b*, pinned small by device memory;
+* recursive outer product (Fig 5):  hidden iff  n > 4 R_g / R_m;
+* blocking outer product (Fig 6):   hidden iff  k > 2 R_g / R_m
+  — and k is again the panel width.
+
+These inequalities are evaluated here symbolically (so tests can check the
+30k / 15k crossovers) and the generic :func:`overlap_threshold` exposes the
+machine balance point for any GPU spec.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.specs import GpuSpec
+from repro.util.validation import positive_int
+
+
+def machine_balance(spec: GpuSpec, element_bytes: int = 4) -> float:
+    """R_g / R_m in flops per *element* moved H2D (the paper's unit)."""
+    return spec.tc_peak_flops * element_bytes / spec.h2d_bytes_per_s
+
+
+def overlap_threshold(
+    spec: GpuSpec, *, streams_both_operands: bool = True, element_bytes: int = 4
+) -> float:
+    """The minimum "large dimension" for transfers to hide under compute.
+
+    ``streams_both_operands=True`` is the recursive case (two tiles move
+    per chunk → the paper's ``m > 4 R_g / R_m`` with 4-byte words);
+    ``False`` is the blocking case (one tile moves → ``m > 2 R_g / R_m``).
+    """
+    n_tiles = 2 if streams_both_operands else 1
+    return _threshold(spec, n_tiles, element_bytes)
+
+
+@dataclass(frozen=True)
+class OverlapCase:
+    """One §3.3 tiling analyzed on one GPU."""
+
+    name: str
+    #: the dimension that must exceed the threshold, and its value
+    dimension: str
+    value: int
+    threshold: float
+
+    @property
+    def overlapped(self) -> bool:
+        """Whether transfers hide under compute for this case."""
+        return self.value > self.threshold
+
+
+def _threshold(spec: GpuSpec, n_tiles: int, element_bytes: int) -> float:
+    # Moving n_tiles tiles of d*L elements costs
+    #   n_tiles * d * L * element_bytes / R_m  seconds
+    # while the 2 * d * L * D flops of the chunk GEMM cost 2 d L D / R_g,
+    # so transfers hide iff the large dimension D exceeds
+    #   n_tiles * element_bytes * R_g / (2 R_m).
+    # With 4-byte words this is the paper's 4 R_g / R_m (two tiles) and
+    # 2 R_g / R_m (one tile).
+    return n_tiles * element_bytes * spec.tc_peak_flops / (
+        2.0 * spec.h2d_bytes_per_s
+    )
+
+
+def recursive_inner_overlap(
+    spec: GpuSpec, m: int, element_bytes: int = 4
+) -> OverlapCase:
+    """Fig 3: chunk moves 4(m+n)k' bytes for 2 m n k' flops (m = n);
+    hidden iff m > 4 R_g / R_m (paper's inequality)."""
+    return OverlapCase(
+        name="recursive-inner",
+        dimension="m",
+        value=positive_int(m, "m"),
+        threshold=_threshold(spec, 2, element_bytes),
+    )
+
+
+def blocking_inner_overlap(
+    spec: GpuSpec, m: int, element_bytes: int = 4
+) -> OverlapCase:
+    """Fig 4: only B blocks move; hidden iff m > 2 R_g / R_m — but in
+    blocking QR, m is the panel width."""
+    return OverlapCase(
+        name="blocking-inner",
+        dimension="m",
+        value=positive_int(m, "m"),
+        threshold=_threshold(spec, 1, element_bytes),
+    )
+
+
+def recursive_outer_overlap(
+    spec: GpuSpec, n: int, element_bytes: int = 4
+) -> OverlapCase:
+    """Fig 5: A and C row-blocks move; hidden iff n > 4 R_g / R_m."""
+    return OverlapCase(
+        name="recursive-outer",
+        dimension="n",
+        value=positive_int(n, "n"),
+        threshold=_threshold(spec, 2, element_bytes),
+    )
+
+
+def blocking_outer_overlap(
+    spec: GpuSpec, k: int, element_bytes: int = 4
+) -> OverlapCase:
+    """Fig 6: C tiles move (in and out); hidden iff k > 2 R_g / R_m —
+    and k is the panel width again."""
+    return OverlapCase(
+        name="blocking-outer",
+        dimension="k",
+        value=positive_int(k, "k"),
+        threshold=_threshold(spec, 1, element_bytes),
+    )
+
+
+def all_cases(
+    spec: GpuSpec, *, qr_blocksize: int, matrix_n: int, element_bytes: int = 4
+) -> list[OverlapCase]:
+    """The four §3.3 cases for one QR configuration: the recursive cases
+    use the top-level GEMM dimension (n/2), the blocking ones the panel
+    width."""
+    half = max(1, matrix_n // 2)
+    return [
+        recursive_inner_overlap(spec, half, element_bytes),
+        blocking_inner_overlap(spec, qr_blocksize, element_bytes),
+        recursive_outer_overlap(spec, half, element_bytes),
+        blocking_outer_overlap(spec, qr_blocksize, element_bytes),
+    ]

@@ -1,0 +1,229 @@
+"""Coarse analytic end-to-end predictor (roofline-style).
+
+Independent of the event simulator: walks the phase structure of each OOC
+QR variant and charges, per phase, ``max(compute_time, transfer_time)``
+(perfect overlap within a phase) — plus the panel factorizations, which
+overlap nothing in either algorithm. It deliberately ignores pipeline
+warm-up/drain and buffer-recycling stalls, so it is a *lower bound* the
+simulator should stay within ~25% of (tested), and it is cheap enough to
+sweep across hardware specs for the §6 projections (A100, RTX 30-series).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import SystemConfig
+from repro.hw.transfer import Direction
+from repro.util.validation import check_divisible, positive_int
+
+
+@dataclass(frozen=True)
+class PhaseEstimate:
+    """Predicted cost of one phase (one GEMM or one panel batch)."""
+
+    name: str
+    compute_s: float
+    h2d_s: float
+    d2h_s: float
+
+    @property
+    def span_s(self) -> float:
+        """Phase time under perfect intra-phase overlap."""
+        return max(self.compute_s, self.h2d_s, self.d2h_s)
+
+
+@dataclass(frozen=True)
+class QrPrediction:
+    """Analytic prediction for one OOC QR configuration."""
+
+    method: str
+    m: int
+    n: int
+    b: int
+    phases: tuple[PhaseEstimate, ...]
+
+    @property
+    def total_s(self) -> float:
+        return sum(p.span_s for p in self.phases)
+
+    @property
+    def compute_s(self) -> float:
+        return sum(p.compute_s for p in self.phases)
+
+    @property
+    def transfer_s(self) -> float:
+        return sum(p.h2d_s + p.d2h_s for p in self.phases)
+
+    def achieved_tflops(self, total_flops: float) -> float:
+        return total_flops / self.total_s / 1e12 if self.total_s else 0.0
+
+
+def _gemm_time(config: SystemConfig, m: int, n: int, k: int, chunk: int) -> float:
+    """Compute time of an OOC GEMM executed as ceil(k / chunk) chunks."""
+    gm = config.gemm
+    chunk = min(chunk, k)
+    n_chunks, rem = divmod(k, chunk)
+    t = n_chunks * gm.time(m, n, chunk, config.precision)
+    if rem:
+        t += gm.time(m, n, rem, config.precision)
+    return t
+
+
+def _move(config: SystemConfig, elements: float, direction: Direction) -> float:
+    return config.transfer.time(int(elements * config.element_bytes), direction)
+
+
+def predict_recursive(
+    config: SystemConfig, m: int, n: int, b: int
+) -> QrPrediction:
+    """Predict the recursive OOC QR (§3.1.3) phase by phase.
+
+    Recursion levels are aggregated: level j (j = 0 is the widest split)
+    has 2^j inner+outer updates of half-width n / 2^(j+1); leaves are the
+    k = n/b panel factorizations.
+    """
+    m, n, b = positive_int(m, "m"), positive_int(n, "n"), positive_int(b, "b")
+    check_divisible(n, b, "n")
+    k = n // b
+    phases: list[PhaseEstimate] = []
+
+    panel = config.panel
+    phases.append(
+        PhaseEstimate(
+            name="panels",
+            compute_s=k * panel.time(m, b),
+            h2d_s=_move(config, m * n, Direction.H2D),
+            d2h_s=_move(config, m * n + n * b, Direction.D2H),
+        )
+    )
+
+    width = n // 2
+    level = 0
+    while width >= b:
+        count = n // (2 * width)  # updates at this level
+        # inner: C(width, width) = AᵀB with K = m, streamed in m-chunks
+        inner_compute = count * _gemm_time(config, width, width, m, b)
+        inner_h2d = count * _move(config, 2 * m * width, Direction.H2D)
+        inner_d2h = count * _move(config, width * width, Direction.D2H)
+        # outer: C(m, width) -= A(m, width) B(width, width), row-streamed
+        outer_compute = count * _gemm_time(config, m, width, width, max(1, b // 2))
+        outer_h2d = count * _move(config, 2 * m * width, Direction.H2D)
+        outer_d2h = count * _move(config, m * width, Direction.D2H)
+        phases.append(
+            PhaseEstimate(
+                name=f"level-{level}-inner",
+                compute_s=inner_compute,
+                h2d_s=inner_h2d,
+                d2h_s=inner_d2h,
+            )
+        )
+        phases.append(
+            PhaseEstimate(
+                name=f"level-{level}-outer",
+                compute_s=outer_compute,
+                h2d_s=outer_h2d,
+                d2h_s=outer_d2h,
+            )
+        )
+        width //= 2
+        level += 1
+
+    return QrPrediction("recursive", m, n, b, tuple(phases))
+
+
+def predict_blocking(
+    config: SystemConfig, m: int, n: int, b: int
+) -> QrPrediction:
+    """Predict the blocking OOC QR (§3.1.2) iteration by iteration."""
+    m, n, b = positive_int(m, "m"), positive_int(n, "n"), positive_int(b, "b")
+    check_divisible(n, b, "n")
+    k = n // b
+    phases: list[PhaseEstimate] = []
+
+    panel = config.panel
+    phases.append(
+        PhaseEstimate(
+            name="panels",
+            compute_s=k * panel.time(m, b),
+            h2d_s=_move(config, m * n, Direction.H2D),
+            d2h_s=_move(config, m * n + n * b, Direction.D2H),
+        )
+    )
+
+    for i in range(1, k):
+        rest = n - i * b
+        # inner: C(b, rest) = Q1ᵀ A_rest, B streamed in b-wide blocks;
+        # chunk GEMM is (b, b, m) — the reduction-shaped slow case
+        inner_compute = _gemm_time_cols(config, b, rest, m, b)
+        inner_h2d = _move(config, m * rest, Direction.H2D)
+        inner_d2h = _move(config, b * rest, Direction.D2H)
+        # outer: C(m, rest) -= Q1 R12, C tiles streamed (b x b)
+        outer_compute = _gemm_time_tiles(config, m, rest, b, b)
+        outer_h2d = _move(config, m * rest, Direction.H2D)
+        outer_d2h = _move(config, m * rest, Direction.D2H)
+        phases.append(
+            PhaseEstimate(
+                name=f"iter-{i}-inner", compute_s=inner_compute,
+                h2d_s=inner_h2d, d2h_s=inner_d2h,
+            )
+        )
+        phases.append(
+            PhaseEstimate(
+                name=f"iter-{i}-outer", compute_s=outer_compute,
+                h2d_s=outer_h2d, d2h_s=outer_d2h,
+            )
+        )
+
+    return QrPrediction("blocking", m, n, b, tuple(phases))
+
+
+def _gemm_time_cols(
+    config: SystemConfig, m: int, n: int, k: int, chunk: int
+) -> float:
+    """GEMM executed as column blocks: ceil(n / chunk) calls of (m, chunk, k)."""
+    gm = config.gemm
+    chunk = min(chunk, n)
+    n_chunks, rem = divmod(n, chunk)
+    t = n_chunks * gm.time(m, chunk, k, config.precision)
+    if rem:
+        t += gm.time(m, rem, k, config.precision)
+    return t
+
+
+def _gemm_time_tiles(
+    config: SystemConfig, m: int, n: int, k: int, tile: int
+) -> float:
+    """GEMM executed as (tile x tile x k) output tiles."""
+    gm = config.gemm
+    t1, t2 = min(tile, m), min(tile, n)
+    full = gm.time(t1, t2, k, config.precision)
+    rows, rrem = divmod(m, t1)
+    cols, crem = divmod(n, t2)
+    t = rows * cols * full
+    if rrem:
+        t += cols * gm.time(rrem, t2, k, config.precision)
+    if crem:
+        t += rows * gm.time(t1, crem, k, config.precision)
+    if rrem and crem:
+        t += gm.time(rrem, crem, k, config.precision)
+    return t
+
+
+def predict(
+    config: SystemConfig, m: int, n: int, b: int, method: str
+) -> QrPrediction:
+    """Dispatch on *method* ("recursive" or "blocking")."""
+    if method == "recursive":
+        return predict_recursive(config, m, n, b)
+    if method == "blocking":
+        return predict_blocking(config, m, n, b)
+    raise ValueError(f"unknown method {method!r}")
+
+
+def predicted_speedup(config: SystemConfig, m: int, n: int, b: int) -> float:
+    """Predicted blocking / recursive time ratio (> 1: recursion wins)."""
+    return (
+        predict_blocking(config, m, n, b).total_s
+        / predict_recursive(config, m, n, b).total_s
+    )

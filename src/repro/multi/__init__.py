@@ -1,0 +1,17 @@
+"""Multi-GPU out-of-core GEMM simulation (§2.2 cuBLASXt/BLASX territory)."""
+
+from repro.multi.gemm import MultiGpuResult, multi_gpu_gemm, scaling_sweep
+from repro.multi.panel import (
+    MultiGpuPanelResult,
+    multi_gpu_panel_qr,
+    panel_scaling_sweep,
+)
+
+__all__ = [
+    "MultiGpuPanelResult",
+    "MultiGpuResult",
+    "multi_gpu_gemm",
+    "multi_gpu_panel_qr",
+    "panel_scaling_sweep",
+    "scaling_sweep",
+]

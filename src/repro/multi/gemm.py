@@ -1,0 +1,149 @@
+"""Multi-GPU out-of-core GEMM (the §2.2 cuBLASXt / BLASX territory).
+
+The paper's related work targets multi-GPU OOC BLAS3: tile the output
+across devices, stream operand tiles to each. This module simulates that
+for the two GEMM types of the QR pipeline:
+
+* the output C is split into **column panels**, one set per GPU;
+* each GPU runs the single-device engine (k-split inner or row-streaming
+  outer) independently on its panels — embarrassingly parallel in compute;
+* the host side is NOT free: with `shared_link=True`, all GPUs share the
+  host's total PCIe/memory bandwidth (the realistic PCIe-switch / host-DRAM
+  bottleneck BLASX optimizes around), modelled by derating each device's
+  link by the number of active GPUs.
+
+The result is the classic scaling story: compute-bound OOC GEMMs scale
+nearly linearly until the aggregate transfer demand saturates the host,
+after which extra GPUs only add traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.config import SystemConfig
+from repro.errors import ValidationError
+from repro.execution.sim import SimExecutor
+from repro.host.tiled import HostMatrix
+from repro.ooc.inner import run_ksplit_inner
+from repro.ooc.outer import run_rowstream_outer
+from repro.ooc.plan import plan_ksplit_inner, plan_rowstream_outer, split_even
+from repro.util.validation import one_of, positive_int
+
+
+@dataclass(frozen=True)
+class MultiGpuResult:
+    """Outcome of one simulated multi-GPU OOC GEMM."""
+
+    n_gpus: int
+    makespan: float               # max over devices
+    per_gpu_makespans: tuple[float, ...]
+    total_h2d_bytes: int
+    total_flops: int
+    shared_link: bool
+
+    @property
+    def achieved_flops_rate(self) -> float:
+        return self.total_flops / self.makespan if self.makespan else 0.0
+
+    def speedup_over(self, single: "MultiGpuResult") -> float:
+        """Wall-clock speedup vs a single-GPU run of the same problem."""
+        return single.makespan / self.makespan if self.makespan else 0.0
+
+    def efficiency_over(self, single: "MultiGpuResult") -> float:
+        """Parallel efficiency in [0, 1]: speedup / n_gpus."""
+        return self.speedup_over(single) / self.n_gpus
+
+
+def _derated(config: SystemConfig, n_gpus: int, shared_link: bool) -> SystemConfig:
+    if not shared_link or n_gpus == 1:
+        return config
+    gpu = replace(
+        config.gpu,
+        name=f"{config.gpu.name}-shared{n_gpus}",
+        h2d_bytes_per_s=config.gpu.h2d_bytes_per_s / n_gpus,
+        d2h_bytes_per_s=config.gpu.d2h_bytes_per_s / n_gpus,
+    )
+    return config.with_gpu(gpu)
+
+
+def multi_gpu_gemm(
+    config: SystemConfig,
+    *,
+    kind: str,
+    M: int,
+    N: int,
+    K: int,
+    blocksize: int,
+    n_gpus: int,
+    shared_link: bool = True,
+) -> MultiGpuResult:
+    """Simulate one OOC GEMM split across *n_gpus* devices.
+
+    ``kind="inner"`` runs ``C(M,N) = AᵀB`` (k-split engine) and
+    ``kind="outer"`` runs ``C(M,N) -= A B`` (row-streaming engine, B
+    broadcast to every device). The output's N dimension is split evenly
+    across GPUs.
+    """
+    kind = one_of(kind, ("inner", "outer"), "kind")
+    n_gpus = positive_int(n_gpus, "n_gpus")
+    if n_gpus > N:
+        raise ValidationError(f"cannot split N={N} across {n_gpus} GPUs")
+    dev_config = _derated(config, n_gpus, shared_link)
+
+    makespans = []
+    total_h2d = 0
+    total_flops = 0
+    for col0, width in split_even(N, n_gpus):
+        ex = SimExecutor(dev_config)
+        budget = ex.allocator.free_bytes // dev_config.element_bytes
+        if kind == "inner":
+            a = HostMatrix.shape_only(K, M, name="A")
+            b = HostMatrix.shape_only(K, width, name=f"B{col0}")
+            c = HostMatrix.shape_only(M, width, name=f"C{col0}")
+            plan = plan_ksplit_inner(K, M, width, blocksize, budget)
+            run_ksplit_inner(ex, a.full(), b.full(), c.full(), plan)
+        else:
+            # B's slice for this device must be resident (broadcast cost is
+            # part of the streamed traffic when it does not fit)
+            a = HostMatrix.shape_only(M, K, name="A")
+            c = HostMatrix.shape_only(M, width, name=f"C{col0}")
+            b_host = HostMatrix.shape_only(K, width, name=f"B{col0}")
+            plan = plan_rowstream_outer(
+                M, K, width, blocksize, budget, b_resident=False
+            )
+            run_rowstream_outer(ex, c.full(), a.full(), b_host.full(), plan)
+        trace = ex.finish()
+        makespans.append(trace.makespan)
+        total_h2d += ex.stats.h2d_bytes
+        total_flops += ex.stats.gemm_flops
+
+    return MultiGpuResult(
+        n_gpus=n_gpus,
+        makespan=max(makespans),
+        per_gpu_makespans=tuple(makespans),
+        total_h2d_bytes=total_h2d,
+        total_flops=total_flops,
+        shared_link=shared_link,
+    )
+
+
+def scaling_sweep(
+    config: SystemConfig,
+    *,
+    kind: str,
+    M: int,
+    N: int,
+    K: int,
+    blocksize: int,
+    gpu_counts: tuple[int, ...] = (1, 2, 4, 8),
+    shared_link: bool = True,
+) -> dict[int, MultiGpuResult]:
+    """Run the same GEMM on each GPU count; returns {n_gpus: result}."""
+    return {
+        g: multi_gpu_gemm(
+            config, kind=kind, M=M, N=N, K=K, blocksize=blocksize,
+            n_gpus=g, shared_link=shared_link,
+        )
+        for g in gpu_counts
+    }

@@ -1,0 +1,128 @@
+"""Multi-GPU panel factorization via TSQR.
+
+Table 4 shows the panel factorizations are identical (and serial) in both
+OOC algorithms — the Amdahl floor neither recursion nor blocking touches.
+TSQR decomposes a tall panel across devices naturally:
+
+    1. scatter: GPU g receives an (m / G)-by-b row slab;
+    2. local QR: each GPU factors its slab independently (perfect split);
+    3. tree reduce: the G small R factors (b-by-b) reduce pairwise —
+       log2(G) stacked (2b)-by-b QRs, tiny next to step 2;
+    4. broadcast + update: each GPU multiplies its local Q by its b-by-b
+       tree factor and writes the slab back.
+
+Steps 1/2/4 are per-device pipelines simulated with the single-GPU
+machinery; step 3 runs on one device with R factors bounced through the
+host (the realistic no-NVLink PCIe path). ``shared_link=True`` derates
+every device's PCIe by the device count, as in :mod:`repro.multi.gemm`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.config import SystemConfig
+from repro.errors import ValidationError
+from repro.execution.sim import SimExecutor
+from repro.host.tiled import HostMatrix
+from repro.multi.gemm import _derated
+from repro.util.validation import positive_int
+
+
+@dataclass(frozen=True)
+class MultiGpuPanelResult:
+    """Outcome of one simulated multi-GPU TSQR panel factorization."""
+
+    n_gpus: int
+    makespan: float
+    local_phase: float      # scatter + local QR + writeback (max over GPUs)
+    tree_phase: float       # log2(G) reduction rounds
+    shared_link: bool
+
+    def speedup_over(self, single: "MultiGpuPanelResult") -> float:
+        return single.makespan / self.makespan if self.makespan else 0.0
+
+
+def _slab_phase(config: SystemConfig, rows: int, b: int) -> float:
+    """One device's pipeline: load slab, factor, apply tree factor, store."""
+    ex = SimExecutor(config)
+    host = HostMatrix.shape_only(rows, b, name="slab")
+    slab = ex.alloc(rows, b, "slab")
+    r_tile = ex.alloc(b, b, "R")
+    tree = ex.alloc(b, b, "tree")
+    s = ex.stream("s")
+    ex.h2d(slab, host.full(), s)
+    ex.panel_qr(slab, r_tile, s)
+    ex.d2h(HostMatrix.shape_only(b, b, name="Rout").full(), r_tile, s)
+    # tree factor arrives, local Q is updated and written back
+    ex.h2d(tree, HostMatrix.shape_only(b, b, name="Tin").full(), s)
+    ex.gemm(slab, slab.full(), tree.full(), s, tag="tsqr-update")
+    ex.d2h(host.full(), slab, s)
+    trace = ex.finish()
+    for buf in (slab, r_tile, tree):
+        ex.free(buf)
+    return trace.makespan
+
+
+def _tree_phase(config: SystemConfig, b: int, n_gpus: int) -> float:
+    """log2(G) rounds of stacked (2b x b) QRs on one device, R factors
+    bounced through host PCIe between rounds."""
+    if n_gpus == 1:
+        return 0.0
+    ex = SimExecutor(config)
+    stacked_host = HostMatrix.shape_only(2 * b, b, name="Rpair")
+    stacked = ex.alloc(2 * b, b, "Rpair")
+    r_out = ex.alloc(b, b, "Rred")
+    s = ex.stream("s")
+    for _ in range(math.ceil(math.log2(n_gpus))):
+        ex.h2d(stacked, stacked_host.full(), s)
+        ex.panel_qr(stacked, r_out, s)
+        ex.d2h(HostMatrix.shape_only(b, b, name="out").full(), r_out, s)
+    trace = ex.finish()
+    ex.free(stacked)
+    ex.free(r_out)
+    return trace.makespan
+
+
+def multi_gpu_panel_qr(
+    config: SystemConfig,
+    *,
+    m: int,
+    b: int,
+    n_gpus: int,
+    shared_link: bool = True,
+) -> MultiGpuPanelResult:
+    """Simulate one m-by-b panel factorization across *n_gpus* devices."""
+    m, b = positive_int(m, "m"), positive_int(b, "b")
+    n_gpus = positive_int(n_gpus, "n_gpus")
+    if m // n_gpus < b:
+        raise ValidationError(
+            f"slabs of {m // n_gpus} rows are shorter than the panel width {b}"
+        )
+    dev_config = _derated(config, n_gpus, shared_link)
+    rows = -(-m // n_gpus)
+    local = _slab_phase(dev_config, rows, b)
+    tree = _tree_phase(dev_config, b, n_gpus)
+    return MultiGpuPanelResult(
+        n_gpus=n_gpus,
+        makespan=local + tree,
+        local_phase=local,
+        tree_phase=tree,
+        shared_link=shared_link,
+    )
+
+
+def panel_scaling_sweep(
+    config: SystemConfig,
+    *,
+    m: int,
+    b: int,
+    gpu_counts: tuple[int, ...] = (1, 2, 4, 8),
+    shared_link: bool = True,
+) -> dict[int, MultiGpuPanelResult]:
+    """The same panel on each GPU count; returns {n_gpus: result}."""
+    return {
+        g: multi_gpu_panel_qr(config, m=m, b=b, n_gpus=g, shared_link=shared_link)
+        for g in gpu_counts
+    }

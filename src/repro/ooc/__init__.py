@@ -1,0 +1,43 @@
+"""Out-of-core GEMM engines: tiling plans, pipelines, accounting."""
+
+from repro.ooc.accounting import MovementReport, track
+from repro.ooc.api import GemmResult, ooc_gemm
+from repro.ooc.gradual import gradual_schedule, uniform_schedule
+from repro.ooc.inner import InnerProductResult, run_ksplit_inner, run_panel_inner
+from repro.ooc.outer import run_rowstream_outer, run_tile_outer
+from repro.ooc.plan import (
+    KSplitInnerPlan,
+    PanelInnerPlan,
+    RowStreamOuterPlan,
+    TileOuterPlan,
+    plan_ksplit_inner,
+    plan_panel_inner,
+    plan_rowstream_outer,
+    plan_tile_outer,
+    split_even,
+)
+from repro.ooc.streams import StreamBundle
+
+__all__ = [
+    "GemmResult",
+    "InnerProductResult",
+    "KSplitInnerPlan",
+    "MovementReport",
+    "PanelInnerPlan",
+    "RowStreamOuterPlan",
+    "StreamBundle",
+    "TileOuterPlan",
+    "gradual_schedule",
+    "ooc_gemm",
+    "plan_ksplit_inner",
+    "plan_panel_inner",
+    "plan_rowstream_outer",
+    "plan_tile_outer",
+    "run_ksplit_inner",
+    "run_panel_inner",
+    "run_rowstream_outer",
+    "run_tile_outer",
+    "split_even",
+    "track",
+    "uniform_schedule",
+]

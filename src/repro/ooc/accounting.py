@@ -1,0 +1,99 @@
+"""Data-movement and overlap accounting for OOC runs.
+
+The paper's §3.2 argues algorithms by *words moved* and §3.3 by *overlap
+ratio*; this module measures both on live executors so the analytic models
+(:mod:`repro.models.movement`) can be validated against what the engines
+actually did (Table 3, §5.2).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.execution.base import Executor, RunStats
+from repro.util.units import fmt_bytes, fmt_rate, fmt_time
+
+
+@dataclass(frozen=True)
+class MovementReport:
+    """Byte/flop deltas of one measured region of execution."""
+
+    h2d_bytes: int
+    d2h_bytes: int
+    d2d_bytes: int
+    gemm_flops: int
+    panel_flops: int
+    n_gemms: int
+    n_panels: int
+
+    @property
+    def total_bytes(self) -> int:
+        """PCIe traffic in both directions."""
+        return self.h2d_bytes + self.d2h_bytes
+
+    @property
+    def total_flops(self) -> int:
+        return self.gemm_flops + self.panel_flops
+
+    def arithmetic_intensity(self) -> float:
+        """Flops per PCIe byte — the quantity §3.3's crossovers bound."""
+        return self.total_flops / self.total_bytes if self.total_bytes else float("inf")
+
+    def describe(self) -> str:
+        """Multi-line human-readable summary."""
+        return "\n".join(
+            [
+                f"  H2D      : {fmt_bytes(self.h2d_bytes)}",
+                f"  D2H      : {fmt_bytes(self.d2h_bytes)}",
+                f"  D2D      : {fmt_bytes(self.d2d_bytes)}",
+                f"  GEMM     : {self.n_gemms} calls, {self.gemm_flops:.3e} flops",
+                f"  panels   : {self.n_panels} calls, {self.panel_flops:.3e} flops",
+                f"  intensity: {self.arithmetic_intensity():.1f} flops/byte",
+            ]
+        )
+
+
+class _Tracker:
+    """Mutable holder filled in when the ``track`` context exits."""
+
+    def __init__(self) -> None:
+        self.report: MovementReport | None = None
+
+    def __getattr__(self, item):
+        report = object.__getattribute__(self, "report")
+        if report is None:
+            raise AttributeError(
+                "movement report not available until the track() block exits"
+            )
+        return getattr(report, item)
+
+
+def _snapshot(stats: RunStats) -> tuple[int, ...]:
+    return (
+        stats.h2d_bytes,
+        stats.d2h_bytes,
+        stats.d2d_bytes,
+        stats.gemm_flops,
+        stats.panel_flops,
+        stats.n_gemms,
+        stats.n_panels,
+    )
+
+
+@contextmanager
+def track(executor: Executor) -> Iterator[_Tracker]:
+    """Measure the executor-stat deltas produced inside the ``with`` block::
+
+        with track(ex) as moved:
+            run_inner_product(ex, ...)
+        assert moved.h2d_bytes == plan.h2d_elements() * 4
+    """
+    before = _snapshot(executor.stats)
+    tracker = _Tracker()
+    try:
+        yield tracker
+    finally:
+        after = _snapshot(executor.stats)
+        tracker.report = MovementReport(*(a - b for a, b in zip(after, before)))

@@ -1,0 +1,69 @@
+"""Chunk schedules for streamed GEMM dimensions, incl. §4.1.3's trick.
+
+The paper observes that the *first* move-in of a pipeline can never be
+overlapped — so it should be small — while steady-state chunks should be
+large for GEMM efficiency. Its remedy: "start with a relatively small
+blocksize and gradually increase it to the max blocksize", which raised the
+big inner product from ~85 to ~87 TFLOPS. :func:`gradual_schedule` builds
+exactly that ramp (geometric doubling from ``blocksize / ramp`` up to
+``blocksize``); :func:`uniform_schedule` is the plain fixed-size split.
+"""
+
+from __future__ import annotations
+
+from repro.util.validation import positive_int
+
+#: First chunk of a gradual ramp is ``blocksize / DEFAULT_RAMP``.
+DEFAULT_RAMP = 4
+
+
+def uniform_schedule(extent: int, blocksize: int) -> list[tuple[int, int]]:
+    """Fixed-size chunks ``(offset, size)`` covering ``[0, extent)``.
+
+    The final chunk absorbs the remainder when *blocksize* does not divide
+    *extent*.
+    """
+    extent = positive_int(extent, "extent")
+    blocksize = positive_int(blocksize, "blocksize")
+    return [
+        (lo, min(blocksize, extent - lo)) for lo in range(0, extent, blocksize)
+    ]
+
+
+def gradual_schedule(
+    extent: int, blocksize: int, *, ramp: int = DEFAULT_RAMP
+) -> list[tuple[int, int]]:
+    """Geometrically ramped chunks: b/ramp, then doubling up to b, then b.
+
+    Example: ``extent=131072, blocksize=16384, ramp=4`` gives chunk sizes
+    ``[4096, 8192, 16384, 16384, ...]`` — the first (never-overlapped)
+    move-in shrinks 4x while steady state keeps full-size GEMMs.
+
+    Falls back to :func:`uniform_schedule` when the extent is too small for
+    a ramp to make sense (a single full chunk covers it).
+    """
+    extent = positive_int(extent, "extent")
+    blocksize = min(positive_int(blocksize, "blocksize"), extent)
+    ramp = positive_int(ramp, "ramp")
+    if ramp == 1 or blocksize < 2 * ramp or extent <= blocksize:
+        return uniform_schedule(extent, blocksize)
+
+    sizes: list[int] = []
+    size = max(1, blocksize // ramp)
+    covered = 0
+    while size < blocksize and covered + size < extent:
+        sizes.append(size)
+        covered += size
+        size *= 2
+    while covered + blocksize <= extent:
+        sizes.append(blocksize)
+        covered += blocksize
+    if covered < extent:
+        sizes.append(extent - covered)
+
+    schedule: list[tuple[int, int]] = []
+    offset = 0
+    for s in sizes:
+        schedule.append((offset, s))
+        offset += s
+    return schedule

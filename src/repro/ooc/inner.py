@@ -1,0 +1,269 @@
+"""Out-of-core inner-product engines: ``C = AᵀB`` (§3.3.1, §4.1.1).
+
+Two strategies, one per algorithm family:
+
+* :func:`run_ksplit_inner` — the recursive QR's strategy (paper Fig 3):
+  C stays resident on the device while the *reduction* dimension of A and B
+  streams through double buffers; each host element is read exactly once
+  (per C panel). GEMM chunks are ``M x N x b`` — output-dominated shapes
+  that run near TensorCore peak.
+* :func:`run_panel_inner` — the blocking QR's strategy (paper Fig 4):
+  the panel Q is already device-resident; B streams in column blocks and C
+  blocks stream out. GEMM chunks are ``b_qr x b x m`` — reduction-dominated
+  shapes that TensorCore executes far below peak (Table 1's 52.6 vs 99.9
+  TFLOPS), which is the heart of the paper's argument.
+
+Both engines issue work in a sequentially-correct program order (so the
+numeric executor computes exact results) and wire CUDA-style events so the
+simulated executor reproduces the move-in / compute / move-out pipelines of
+Figures 7 and 8, including buffer-recycling stalls.
+
+Set ``pipelined=False`` to synchronize after every chunk — the
+"Synchronous" rows of Table 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import PlanError, ShapeError
+from repro.execution.base import DeviceBuffer, DeviceView, Executor, as_view
+from repro.host.tiled import HostRegion
+from repro.ooc.plan import KSplitInnerPlan, PanelInnerPlan
+from repro.ooc.scope import DeviceScope
+from repro.ooc.streams import StreamBundle
+
+
+@dataclass
+class InnerProductResult:
+    """What an inner-product engine hands back to its caller."""
+
+    #: C left resident on the device (caller owns and must free), or None.
+    c_device: DeviceBuffer | None
+    n_chunks: int
+    strategy: str
+
+
+def run_ksplit_inner(
+    ex: Executor,
+    a: HostRegion,
+    b: HostRegion,
+    c_out: HostRegion | None,
+    plan: KSplitInnerPlan,
+    *,
+    streams: StreamBundle | None = None,
+    keep_on_device: bool = False,
+    pipelined: bool = True,
+    after: object | None = None,
+    tag: str = "inner",
+) -> InnerProductResult:
+    """Execute a Fig-3 (recursive-strategy) inner product ``C = AᵀB``.
+
+    Parameters
+    ----------
+    a, b
+        Host operands of shape (K, M) and (K, N).
+    c_out
+        Host destination (M, N); may be ``None`` only when
+        ``keep_on_device`` is set.
+    plan
+        Tiling from :func:`repro.ooc.plan.plan_ksplit_inner`.
+    keep_on_device
+        Leave C resident and return its buffer (QR-level reuse, §4.2);
+        requires a single-panel plan.
+    after
+        Optional event the engine's host reads must wait for (e.g. the
+        writeback of Q columns this product consumes).
+    """
+    if a.shape != (plan.K, plan.M):
+        raise ShapeError(f"A is {a.shape}, plan expects {(plan.K, plan.M)}")
+    if b.shape != (plan.K, plan.N):
+        raise ShapeError(f"B is {b.shape}, plan expects {(plan.K, plan.N)}")
+    if c_out is not None and c_out.shape != (plan.M, plan.N):
+        raise ShapeError(
+            f"C is {c_out.shape}, plan expects {(plan.M, plan.N)}"
+        )
+    if keep_on_device and plan.n_panels != 1:
+        raise PlanError(
+            "keep_on_device requires a single-panel inner-product plan "
+            f"(got {plan.n_panels} panels)"
+        )
+    if c_out is None and not keep_on_device:
+        raise PlanError("inner product must either write c_out or keep C on device")
+
+    s = streams or StreamBundle.create(ex, tag)
+    if after is not None:
+        ex.wait_event(s.h2d, after)
+    nb = plan.n_buffers
+    max_chunk = plan.max_chunk
+    wp = plan.max_panel_width
+
+    scope = DeviceScope(ex)
+    with scope:
+        buf_a = [scope.alloc(max_chunk, plan.M, f"{tag}-Achunk{i}") for i in range(nb)]
+        buf_b = [scope.alloc(max_chunk, wp, f"{tag}-Bchunk{i}") for i in range(nb)]
+        c_dev = scope.alloc(plan.M, wp, f"{tag}-C")
+        return _ksplit_body(
+            ex, a, b, c_out, plan, s, scope, buf_a, buf_b, c_dev,
+            keep_on_device, pipelined, tag,
+        )
+
+
+def _ksplit_body(
+    ex, a, b, c_out, plan, s, scope, buf_a, buf_b, c_dev,
+    keep_on_device, pipelined, tag,
+):
+    nb = plan.n_buffers
+    n_chunks = 0
+    slot_busy: list[object | None] = [None] * nb  # last gemm using each slot
+    c_flushed: object | None = None  # d2h event of the previous panel's C
+    for col0, width in plan.panels:
+        last_gemm: object | None = None
+        c_view = c_dev.view(0, plan.M, 0, width)
+        for t, (k0, kh) in enumerate(plan.chunks):
+            slot = t % nb
+            # recycle: the slot's previous occupant must have been consumed
+            if slot_busy[slot] is not None:
+                ex.wait_event(s.h2d, slot_busy[slot])
+            ex.h2d(
+                buf_a[slot].view(0, kh, 0, plan.M),
+                a.sub(k0, k0 + kh, 0, plan.M),
+                s.h2d,
+            )
+            ex.h2d(
+                buf_b[slot].view(0, kh, 0, width),
+                b.sub(k0, k0 + kh, col0, col0 + width),
+                s.h2d,
+            )
+            loaded = ex.record_event(s.h2d)
+            ex.wait_event(s.compute, loaded)
+            if t == 0 and c_flushed is not None:
+                # the previous panel's C must have left the device before
+                # this panel's first (beta=0) GEMM overwrites the buffer
+                ex.wait_event(s.compute, c_flushed)
+            ex.gemm(
+                c_view,
+                buf_a[slot].view(0, kh, 0, plan.M),
+                buf_b[slot].view(0, kh, 0, width),
+                s.compute,
+                trans_a=True,
+                beta=0.0 if t == 0 else 1.0,
+                tag=tag,
+            )
+            last_gemm = slot_busy[slot] = ex.record_event(s.compute)
+            n_chunks += 1
+            if not pipelined:
+                ex.synchronize()
+        if c_out is not None:
+            ex.wait_event(s.d2h, last_gemm)
+            ex.d2h(c_out.sub(0, plan.M, col0, col0 + width), c_view, s.d2h)
+            c_flushed = ex.record_event(s.d2h)
+            if not pipelined:
+                ex.synchronize()
+
+    if keep_on_device:
+        return InnerProductResult(scope.release(c_dev), n_chunks, "ksplit")
+    return InnerProductResult(None, n_chunks, "ksplit")
+
+
+def run_panel_inner(
+    ex: Executor,
+    a_panel_dev: "DeviceBuffer | DeviceView",
+    b: HostRegion,
+    c_out: HostRegion | None,
+    plan: PanelInnerPlan,
+    *,
+    streams: StreamBundle | None = None,
+    pipelined: bool = True,
+    after: object | None = None,
+    tag: str = "inner-blk",
+) -> InnerProductResult:
+    """Execute a Fig-4 (blocking-strategy) inner product ``C = QᵀB``.
+
+    *a_panel_dev* is the device-resident K-by-M panel (buffer or view — the
+    freshly factorized Q); B streams in column blocks of the plan's
+    blocksize. When the plan has ``keep_c`` the full C additionally stays
+    resident and its buffer is returned (blocking QR reuses it as the outer
+    product's B).
+    """
+    a_panel_dev = as_view(a_panel_dev)
+    if a_panel_dev.shape != (plan.K, plan.M):
+        raise ShapeError(
+            f"panel is {a_panel_dev.shape}, plan expects {(plan.K, plan.M)}"
+        )
+    if b.shape != (plan.K, plan.N):
+        raise ShapeError(f"B is {b.shape}, plan expects {(plan.K, plan.N)}")
+    if c_out is not None and c_out.shape != (plan.M, plan.N):
+        raise ShapeError(f"C is {c_out.shape}, plan expects {(plan.M, plan.N)}")
+    if c_out is None and not plan.keep_c:
+        raise PlanError("panel inner product must write c_out or keep C resident")
+
+    s = streams or StreamBundle.create(ex, tag)
+    if after is not None:
+        ex.wait_event(s.h2d, after)
+    nb = plan.n_buffers
+    bmax = plan.max_block
+
+    scope = DeviceScope(ex)
+    with scope:
+        buf_b = [scope.alloc(plan.K, bmax, f"{tag}-Bblk{i}") for i in range(nb)]
+        if plan.keep_c:
+            c_dev = scope.alloc(plan.M, plan.N, f"{tag}-C")
+            c_blocks = None
+        else:
+            c_dev = None
+            c_blocks = [
+                scope.alloc(plan.M, bmax, f"{tag}-Cblk{i}") for i in range(nb)
+            ]
+        return _panel_inner_body(
+            ex, a_panel_dev, b, c_out, plan, s, scope, buf_b, c_dev,
+            c_blocks, pipelined, tag,
+        )
+
+
+def _panel_inner_body(
+    ex, a_panel_dev, b, c_out, plan, s, scope, buf_b, c_dev, c_blocks,
+    pipelined, tag,
+):
+    nb = plan.n_buffers
+    consumed: dict[int, object] = {}  # slot recycle events (gemm or d2h)
+    for j, (col0, width) in enumerate(plan.blocks):
+        slot = j % nb
+        if j >= nb:
+            ex.wait_event(s.h2d, consumed[j - nb])
+        ex.h2d(
+            buf_b[slot].view(0, plan.K, 0, width),
+            b.sub(0, plan.K, col0, col0 + width),
+            s.h2d,
+        )
+        loaded = ex.record_event(s.h2d)
+        ex.wait_event(s.compute, loaded)
+        if plan.keep_c:
+            c_view = c_dev.view(0, plan.M, col0, col0 + width)
+        else:
+            c_view = c_blocks[slot].view(0, plan.M, 0, width)
+        ex.gemm(
+            c_view,
+            a_panel_dev,
+            buf_b[slot].view(0, plan.K, 0, width),
+            s.compute,
+            trans_a=True,
+            beta=0.0,
+            tag=tag,
+        )
+        done = ex.record_event(s.compute)
+        if c_out is not None:
+            ex.wait_event(s.d2h, done)
+            ex.d2h(c_out.sub(0, plan.M, col0, col0 + width), c_view, s.d2h)
+            # a streamed C block is free once its move-out finished
+            if not plan.keep_c:
+                done = ex.record_event(s.d2h)
+        consumed[j] = done
+        if not pipelined:
+            ex.synchronize()
+
+    if plan.keep_c:
+        return InnerProductResult(
+            scope.release(c_dev), len(plan.blocks), "panel-resident"
+        )
+    return InnerProductResult(None, len(plan.blocks), "panel-resident")

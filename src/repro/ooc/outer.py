@@ -1,0 +1,306 @@
+"""Out-of-core outer-product engines: ``C -= A B`` (§3.3.2, §4.1.2).
+
+Two strategies, one per algorithm family:
+
+* :func:`run_rowstream_outer` — the recursive QR's strategy (paper Fig 5):
+  B (= R12, possibly still resident from the inner product) stays on the
+  device; row blocks of A (= Q1) and C (= A2) stream through double
+  buffers. Each GEMM is ``b x N x K`` with huge N — compute-bound shapes.
+* :func:`run_tile_outer` — the blocking QR's strategy (paper Fig 6): the
+  tall-skinny A (= Q1) and flat B (= R12) are both resident; only C tiles
+  move. Each GEMM is ``b1 x b2 x b_qr`` — fine at b_qr = 16384, but
+  memory-bound once small GPU memory forces a small b_qr (Fig 11).
+
+Both support the §4.1.2 staging-buffer optimization: the updated C block is
+copied device-to-device into a spare buffer so its PCIe move-out no longer
+blocks the next move-in (Fig 10); disable with ``staging=False`` plans to
+reproduce the unoptimized behaviour.
+"""
+
+from __future__ import annotations
+
+from repro.errors import PlanError, ShapeError
+from repro.execution.base import DeviceBuffer, DeviceView, Executor, as_view
+from repro.host.tiled import HostRegion
+from repro.ooc.plan import RowStreamOuterPlan, TileOuterPlan
+from repro.ooc.scope import DeviceScope
+from repro.ooc.streams import StreamBundle
+
+
+def run_rowstream_outer(
+    ex: Executor,
+    c: HostRegion,
+    a: HostRegion,
+    b_source: DeviceBuffer | DeviceView | HostRegion,
+    plan: RowStreamOuterPlan,
+    *,
+    streams: StreamBundle | None = None,
+    pipelined: bool = True,
+    after: object | None = None,
+    b_transposed: bool = False,
+    tag: str = "outer",
+) -> None:
+    """Execute a Fig-5 (recursive-strategy) trailing update ``C -= A op(B)``.
+
+    Parameters
+    ----------
+    c
+        Host region (M, N), updated in place.
+    a
+        Host region (M, K) — the already-orthogonalized Q1 (or LU's L21).
+    b_source
+        Either a device buffer/view (K, N) left over from the inner product
+        (requires a ``b_resident`` plan) or the host region to stream.
+    b_transposed
+        Interpret B as stored transposed — host shape (N, K), multiplied as
+        ``C -= A Bᵀ``. This is the SYRK-shaped update of Cholesky's trailing
+        matrix (``A22 -= L21 L21ᵀ``), where the resident operand is the same
+        host panel as A. Only supported for host-streamed B.
+    """
+    if c.shape != (plan.M, plan.N):
+        raise ShapeError(f"C is {c.shape}, plan expects {(plan.M, plan.N)}")
+    if a.shape != (plan.M, plan.K):
+        raise ShapeError(f"A is {a.shape}, plan expects {(plan.M, plan.K)}")
+    b_is_device = isinstance(b_source, (DeviceBuffer, DeviceView))
+    if b_is_device != plan.b_resident:
+        raise PlanError(
+            "b_source residency does not match the plan "
+            f"(plan.b_resident={plan.b_resident})"
+        )
+    if b_transposed and b_is_device:
+        raise PlanError("b_transposed requires a host-streamed B operand")
+    expected_b = (plan.N, plan.K) if b_transposed else (plan.K, plan.N)
+    if b_source.shape != expected_b:
+        raise ShapeError(
+            f"B is {b_source.shape}, plan expects {expected_b}"
+        )
+
+    s = streams or StreamBundle.create(ex, tag)
+    if after is not None:
+        ex.wait_event(s.h2d, after)
+    nb = plan.n_buffers
+    bmax = plan.max_block
+    wp = plan.max_panel_width
+
+    with DeviceScope(ex) as scope:
+        buf_a = [scope.alloc(bmax, plan.K, f"{tag}-Ablk{i}") for i in range(nb)]
+        buf_c = [scope.alloc(bmax, wp, f"{tag}-Cblk{i}") for i in range(nb)]
+        stage = scope.alloc(bmax, wp, f"{tag}-stage") if plan.staging else None
+        if plan.b_resident:
+            b_panel = None
+        elif b_transposed:
+            b_panel = scope.alloc(wp, plan.K, f"{tag}-Bpanel")
+        else:
+            b_panel = scope.alloc(plan.K, wp, f"{tag}-Bpanel")
+        _rowstream_body(
+            ex, c, a, b_source, plan, s, buf_a, buf_c, stage, b_panel,
+            pipelined, b_transposed, tag,
+        )
+
+
+def _rowstream_body(
+    ex, c, a, b_source, plan, s, buf_a, buf_c, stage, b_panel,
+    pipelined, b_transposed, tag,
+):
+    nb = plan.n_buffers
+    slot_busy: list[object | None] = [None] * nb
+    stage_free: object | None = None
+    b_ready: object | None = None
+    for col0, width in plan.panels:
+        if not plan.b_resident:
+            # all pending GEMMs read the old panel; numeric issue order is
+            # already safe, the event keeps simulated timing honest
+            if slot_busy[(len(plan.blocks) - 1) % nb] is not None:
+                for evt in slot_busy:
+                    if evt is not None:
+                        ex.wait_event(s.h2d, evt)
+            if b_transposed:
+                b_view = b_panel.view(0, width, 0, plan.K)
+                ex.h2d(b_view, b_source.sub(col0, col0 + width, 0, plan.K), s.h2d)
+            else:
+                b_view = b_panel.view(0, plan.K, 0, width)
+                ex.h2d(b_view, b_source.sub(0, plan.K, col0, col0 + width), s.h2d)
+            b_ready = ex.record_event(s.h2d)
+        else:
+            b_view = as_view(b_source)
+
+        for i, (row0, height) in enumerate(plan.blocks):
+            slot = i % nb
+            if slot_busy[slot] is not None:
+                ex.wait_event(s.h2d, slot_busy[slot])
+            ex.h2d(
+                buf_a[slot].view(0, height, 0, plan.K),
+                a.sub(row0, row0 + height, 0, plan.K),
+                s.h2d,
+            )
+            ex.h2d(
+                buf_c[slot].view(0, height, 0, width),
+                c.sub(row0, row0 + height, col0, col0 + width),
+                s.h2d,
+            )
+            loaded = ex.record_event(s.h2d)
+            ex.wait_event(s.compute, loaded)
+            if b_ready is not None:
+                ex.wait_event(s.compute, b_ready)
+                b_ready = None
+            c_view = buf_c[slot].view(0, height, 0, width)
+            ex.gemm(
+                c_view,
+                buf_a[slot].view(0, height, 0, plan.K),
+                b_view,
+                s.compute,
+                alpha=-1.0,
+                beta=1.0,
+                trans_b=b_transposed,
+                tag=tag,
+            )
+            if stage is not None:
+                # §4.1.2: stage the block on-device so the PCIe move-out no
+                # longer pins the C buffer
+                if stage_free is not None:
+                    ex.wait_event(s.compute, stage_free)
+                stage_view = stage.view(0, height, 0, width)
+                ex.d2d(stage_view, c_view, s.compute)
+                staged = ex.record_event(s.compute)
+                slot_busy[slot] = staged
+                ex.wait_event(s.d2h, staged)
+                ex.d2h(
+                    c.sub(row0, row0 + height, col0, col0 + width),
+                    stage_view,
+                    s.d2h,
+                )
+                stage_free = ex.record_event(s.d2h)
+            else:
+                done = ex.record_event(s.compute)
+                ex.wait_event(s.d2h, done)
+                ex.d2h(
+                    c.sub(row0, row0 + height, col0, col0 + width),
+                    c_view,
+                    s.d2h,
+                )
+                # without staging, the C buffer is pinned until move-out ends
+                slot_busy[slot] = ex.record_event(s.d2h)
+            if not pipelined:
+                ex.synchronize()
+
+
+def run_tile_outer(
+    ex: Executor,
+    c: HostRegion,
+    a_dev: DeviceBuffer | DeviceView,
+    b_dev: DeviceBuffer | DeviceView,
+    plan: TileOuterPlan,
+    *,
+    streams: StreamBundle | None = None,
+    pipelined: bool = True,
+    after: object | None = None,
+    b_transposed: bool = False,
+    tag: str = "outer-blk",
+) -> None:
+    """Execute a Fig-6 (blocking-strategy) trailing update ``C -= A op(B)``.
+
+    *a_dev* (M, K) and *b_dev* (K, N) are device-resident (the blocking
+    QR's panel Q and R12); C tiles of the host region stream in and out.
+    With ``b_transposed``, *b_dev* is stored as (N, K) and multiplied
+    transposed — blocking Cholesky's SYRK update reuses the resident panel
+    as both A and Bᵀ.
+    """
+    a_dev, b_dev = as_view(a_dev), as_view(b_dev)
+    if c.shape != (plan.M, plan.N):
+        raise ShapeError(f"C is {c.shape}, plan expects {(plan.M, plan.N)}")
+    if a_dev.shape != (plan.M, plan.K):
+        raise ShapeError(f"A is {a_dev.shape}, plan expects {(plan.M, plan.K)}")
+    expected_b = (plan.N, plan.K) if b_transposed else (plan.K, plan.N)
+    if b_dev.shape != expected_b:
+        raise ShapeError(f"B is {b_dev.shape}, plan expects {expected_b}")
+
+    s = streams or StreamBundle.create(ex, tag)
+    if after is not None:
+        ex.wait_event(s.h2d, after)
+    nb = plan.n_buffers
+    with DeviceScope(ex) as scope:
+        tiles = [scope.alloc(plan.b1, plan.b2, f"{tag}-tile{i}") for i in range(nb)]
+        stage = (
+            scope.alloc(plan.b1, plan.b2, f"{tag}-stage") if plan.staging else None
+        )
+        _tile_outer_body(
+            ex, c, a_dev, b_dev, plan, s, tiles, stage, pipelined,
+            b_transposed, tag,
+        )
+
+
+def _tile_outer_body(
+    ex, c, a_dev, b_dev, plan, s, tiles, stage, pipelined, b_transposed, tag
+):
+    nb = plan.n_buffers
+    slot_busy: list[object | None] = [None] * nb
+    stage_free: object | None = None
+    t = 0
+    for row0, height in plan.row_blocks:
+        for col0, width in plan.col_blocks:
+            slot = t % nb
+            if slot_busy[slot] is not None:
+                ex.wait_event(s.h2d, slot_busy[slot])
+            tile_view = tiles[slot].view(0, height, 0, width)
+            ex.h2d(
+                tile_view,
+                c.sub(row0, row0 + height, col0, col0 + width),
+                s.h2d,
+            )
+            loaded = ex.record_event(s.h2d)
+            ex.wait_event(s.compute, loaded)
+            ex.gemm(
+                tile_view,
+                a_dev.buffer.view(
+                    a_dev.row0 + row0,
+                    a_dev.row0 + row0 + height,
+                    a_dev.col0,
+                    a_dev.col1,
+                ),
+                (
+                    b_dev.buffer.view(
+                        b_dev.row0 + col0,
+                        b_dev.row0 + col0 + width,
+                        b_dev.col0,
+                        b_dev.col1,
+                    )
+                    if b_transposed
+                    else b_dev.buffer.view(
+                        b_dev.row0,
+                        b_dev.row1,
+                        b_dev.col0 + col0,
+                        b_dev.col0 + col0 + width,
+                    )
+                ),
+                s.compute,
+                alpha=-1.0,
+                beta=1.0,
+                trans_b=b_transposed,
+                tag=tag,
+            )
+            if stage is not None:
+                if stage_free is not None:
+                    ex.wait_event(s.compute, stage_free)
+                stage_view = stage.view(0, height, 0, width)
+                ex.d2d(stage_view, tile_view, s.compute)
+                staged = ex.record_event(s.compute)
+                slot_busy[slot] = staged
+                ex.wait_event(s.d2h, staged)
+                ex.d2h(
+                    c.sub(row0, row0 + height, col0, col0 + width),
+                    stage_view,
+                    s.d2h,
+                )
+                stage_free = ex.record_event(s.d2h)
+            else:
+                done = ex.record_event(s.compute)
+                ex.wait_event(s.d2h, done)
+                ex.d2h(
+                    c.sub(row0, row0 + height, col0, col0 + width),
+                    tile_view,
+                    s.d2h,
+                )
+                slot_busy[slot] = ex.record_event(s.d2h)
+            t += 1
+            if not pipelined:
+                ex.synchronize()

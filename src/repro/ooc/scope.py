@@ -1,0 +1,77 @@
+"""Exception-safe device-buffer scopes.
+
+Engines and drivers allocate several device buffers and run long op
+streams between alloc and free; an error mid-stream (out-of-memory while
+planning a later phase, a shape bug, an injected fault) must not leak the
+allocations — the allocator's leak detector treats every leftover as a
+bug. :class:`DeviceScope` is a context manager that tracks engine-owned
+buffers and frees whatever is still tracked on exit, success or failure:
+
+    with DeviceScope(ex) as scope:
+        bufs = [scope.alloc(r, c, name) for ...]
+        c_dev = scope.alloc(...)
+        ... issue ops ...
+        if keep_on_device:
+            return scope.release(c_dev)    # ownership leaves the scope
+        # everything still tracked is freed on exit
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ExecutionError
+from repro.execution.base import DeviceBuffer, Executor
+
+
+@dataclass
+class DeviceScope:
+    """Tracks device buffers and guarantees they are freed on scope exit."""
+
+    ex: Executor
+    _live: list[DeviceBuffer] = field(default_factory=list)
+
+    def alloc(self, rows: int, cols: int, name: str = "buf") -> DeviceBuffer:
+        """Allocate a buffer owned by this scope."""
+        buf = self.ex.alloc(rows, cols, name)
+        self._live.append(buf)
+        return buf
+
+    def adopt(self, buf: DeviceBuffer | None) -> DeviceBuffer | None:
+        """Take ownership of an externally allocated buffer (e.g. one an
+        engine returned); ``None`` passes through."""
+        if buf is not None:
+            self._live.append(buf)
+        return buf
+
+    def free(self, buf: DeviceBuffer) -> None:
+        """Free a tracked buffer now (mid-scope)."""
+        self._untrack(buf)
+        self.ex.free(buf)
+
+    def release(self, buf: DeviceBuffer) -> DeviceBuffer:
+        """Transfer ownership out of the scope (the caller must free it)."""
+        self._untrack(buf)
+        return buf
+
+    def _untrack(self, buf: DeviceBuffer) -> None:
+        try:
+            self._live.remove(buf)
+        except ValueError:
+            raise ExecutionError(
+                f"buffer {buf.name!r} is not owned by this scope"
+            ) from None
+
+    def __enter__(self) -> "DeviceScope":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        # free in reverse allocation order; surface free() errors only when
+        # they would not mask an in-flight exception
+        for buf in reversed(self._live):
+            try:
+                self.ex.free(buf)
+            except Exception:
+                if exc_type is None:
+                    raise
+        self._live.clear()

@@ -1,0 +1,34 @@
+"""Stream bundle shared by the OOC engines.
+
+One stream per hardware engine — move-in, compute, move-out — is the
+paper's §4.1.1 arrangement ("we need at least three streams to make these
+three assignments run in parallel"). QR drivers create one bundle and pass
+it to every engine call so that *cross-phase* overlap (§4.2: panel
+move-outs hiding under GEMM move-ins, etc.) falls out of the event graph
+instead of being special-cased.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.execution.base import Executor
+
+
+@dataclass
+class StreamBundle:
+    """The three pipeline streams used by all OOC engines."""
+
+    h2d: Any
+    compute: Any
+    d2h: Any
+
+    @classmethod
+    def create(cls, ex: Executor, prefix: str = "ooc") -> "StreamBundle":
+        """Make a fresh bundle on *ex*."""
+        return cls(
+            h2d=ex.stream(f"{prefix}-h2d"),
+            compute=ex.stream(f"{prefix}-compute"),
+            d2h=ex.stream(f"{prefix}-d2h"),
+        )

@@ -1,0 +1,34 @@
+"""QR factorizations: in-core references (CGS/MGS/CGS2, blocked, recursive)
+and the out-of-core drivers that are the paper's subject."""
+
+from repro.qr.api import QrResult, ooc_qr
+from repro.qr.blocking import QrRunInfo, ooc_blocking_qr
+from repro.qr.cgs import (
+    cgs2_qr,
+    cgs_qr,
+    factorization_error,
+    mgs_qr,
+    orthogonality_error,
+)
+from repro.qr.householder import blocked_householder_qr, householder_qr
+from repro.qr.incore import incore_blocked_qr, incore_recursive_qr
+from repro.qr.options import QrOptions
+from repro.qr.recursive import ooc_recursive_qr
+
+__all__ = [
+    "QrOptions",
+    "QrResult",
+    "QrRunInfo",
+    "cgs2_qr",
+    "cgs_qr",
+    "blocked_householder_qr",
+    "factorization_error",
+    "householder_qr",
+    "incore_blocked_qr",
+    "incore_recursive_qr",
+    "mgs_qr",
+    "ooc_blocking_qr",
+    "ooc_qr",
+    "ooc_recursive_qr",
+    "orthogonality_error",
+]

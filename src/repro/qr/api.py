@@ -1,0 +1,197 @@
+"""Public entry point: out-of-core QR factorization.
+
+:func:`ooc_qr` is what a downstream user calls::
+
+    import numpy as np
+    from repro.qr import ooc_qr
+
+    a = np.random.default_rng(0).standard_normal((4096, 1024), ).astype(np.float32)
+    result = ooc_qr(a, method="recursive", device_memory=64 << 20)
+    q, r = result.q, result.r               # a was factorized out of core
+
+At paper scale, pass a *shape* instead of data and get a simulated
+performance run::
+
+    result = ooc_qr((131072, 131072), method="recursive", mode="sim")
+    print(result.makespan, result.achieved_tflops)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import PAPER_SYSTEM, SystemConfig
+from repro.errors import ValidationError
+from repro.execution.base import RunStats
+from repro.execution.hybrid import HybridExecutor
+from repro.execution.numeric import NumericExecutor
+from repro.execution.sim import SimExecutor
+from repro.host.tiled import HostMatrix
+from repro.ooc.accounting import MovementReport, track
+from repro.qr.blocking import QrRunInfo, ooc_blocking_qr
+from repro.qr.options import QrOptions
+from repro.qr.recursive import ooc_recursive_qr
+from repro.sim.trace import Trace
+from repro.util.validation import one_of
+
+METHODS = ("recursive", "blocking")
+MODES = ("numeric", "sim", "hybrid")
+
+
+@dataclass
+class QrResult:
+    """Everything one OOC QR run produced."""
+
+    method: str
+    mode: str
+    q: np.ndarray | None
+    r: np.ndarray | None
+    info: QrRunInfo
+    stats: RunStats
+    movement: MovementReport
+    trace: Trace | None
+    config: SystemConfig
+    options: QrOptions
+
+    @property
+    def makespan(self) -> float:
+        """Simulated end-to-end seconds (0.0 for pure numeric runs)."""
+        return self.trace.makespan if self.trace is not None else 0.0
+
+    @property
+    def achieved_tflops(self) -> float:
+        """End-to-end TFLOPS over the simulated makespan."""
+        span = self.makespan
+        return self.stats.total_flops / span / 1e12 if span > 0 else 0.0
+
+    def phase_times(self) -> dict[str, float]:
+        """Compute time per phase (panel / inner / outer), simulated runs."""
+        return self.trace.compute_time_by_tag() if self.trace is not None else {}
+
+
+def _as_host_matrix(a, element_bytes: int) -> tuple[HostMatrix, bool]:
+    """Normalize the ``a`` argument; returns (matrix, is_shape_only)."""
+    if isinstance(a, HostMatrix):
+        return a, not a.backed
+    if isinstance(a, np.ndarray):
+        # ndarray inputs are factorized by value: always copy so the
+        # caller's array survives the in-place A <- Q overwrite
+        return (
+            HostMatrix.from_array(
+                np.array(a, dtype=np.float32, order="C", copy=True), name="A"
+            ),
+            False,
+        )
+    if isinstance(a, tuple) and len(a) == 2:
+        return HostMatrix.shape_only(a[0], a[1], element_bytes, name="A"), True
+    raise ValidationError(
+        "a must be a numpy array, a HostMatrix, or an (m, n) shape tuple; "
+        f"got {type(a).__name__}"
+    )
+
+
+def ooc_qr(
+    a,
+    *,
+    method: str = "recursive",
+    mode: str | None = None,
+    config: SystemConfig | None = None,
+    options: QrOptions | None = None,
+    blocksize: int | None = None,
+    device_memory: int | None = None,
+) -> QrResult:
+    """Out-of-core QR factorization ``A = QR`` (classic Gram-Schmidt).
+
+    Parameters
+    ----------
+    a
+        A tall fp32 matrix (factorized *by value*: the input is copied),
+        a :class:`HostMatrix` (factorized in place), or an ``(m, n)``
+        shape tuple for a data-free simulated run.
+    method
+        ``"recursive"`` (the paper's contribution) or ``"blocking"``
+        (the conventional baseline).
+    mode
+        ``"numeric"`` (real computation), ``"sim"`` (event-simulated
+        timing, no data), or ``"hybrid"`` (both). Defaults to ``"numeric"``
+        for backed inputs and ``"sim"`` for shapes.
+    config
+        System configuration; defaults to the paper's V100-32GB testbed.
+    options
+        :class:`QrOptions`; ``blocksize`` is a convenience override.
+    device_memory
+        Convenience cap on simulated device memory in bytes (the §5.2
+        16 GB experiment, or small values to force OOC behaviour on small
+        numeric problems).
+
+    Returns
+    -------
+    QrResult
+        Q/R arrays (numeric modes), the simulated trace (sim modes),
+        movement accounting and run counters.
+    """
+    method = one_of(method, METHODS, "method")
+    config = config or PAPER_SYSTEM
+    if device_memory is not None:
+        config = config.with_gpu(
+            config.gpu.with_memory(device_memory, suffix="capped")
+        )
+
+    host_a, shape_only = _as_host_matrix(a, config.element_bytes)
+    if mode is None:
+        mode = "sim" if shape_only else "numeric"
+    mode = one_of(mode, MODES, "mode")
+    if shape_only and mode != "sim":
+        raise ValidationError(
+            f"mode={mode!r} needs real data; shape inputs only support 'sim'"
+        )
+
+    if options is None:
+        options = QrOptions()
+    if blocksize is not None:
+        from dataclasses import replace
+
+        options = replace(options, blocksize=blocksize)
+
+    n = host_a.cols
+    # the host must hold A (overwritten by Q) and the n-by-n R
+    config.check_host_capacity(
+        host_a.rows * host_a.cols + n * n, what="OOC QR (A + R)"
+    )
+    if shape_only:
+        host_r = HostMatrix.shape_only(n, n, config.element_bytes, name="R")
+    else:
+        host_r = HostMatrix.zeros(n, n, dtype=np.float32, name="R")
+
+    if mode == "numeric":
+        ex = NumericExecutor(config)
+    elif mode == "sim":
+        ex = SimExecutor(config)
+    else:
+        ex = HybridExecutor(config)
+
+    driver = ooc_recursive_qr if method == "recursive" else ooc_blocking_qr
+    with track(ex) as moved:
+        run_info = driver(ex, host_a, host_r, options)
+
+    trace: Trace | None = None
+    if mode == "sim":
+        trace = ex.finish()
+    elif mode == "hybrid":
+        trace = ex.finish()
+    ex.allocator.check_balanced()
+
+    return QrResult(
+        method=method,
+        mode=mode,
+        q=host_a.data if host_a.backed else None,
+        r=host_r.data if host_r.backed else None,
+        info=run_info,
+        stats=ex.stats,
+        movement=moved.report,
+        trace=trace,
+        config=config,
+        options=options,
+    )

@@ -1,0 +1,81 @@
+"""Options controlling the OOC QR drivers and their optimizations.
+
+Every §4 optimization in the paper is an independent toggle so the
+benchmark harness can ablate them:
+
+* ``pipelined``         — async pipelines vs fully synchronous execution
+  (the Synchronous/Asynchronous rows of Tables 1-2).
+* ``qr_level_overlap``  — §4.2: let panel writebacks, R12 move-outs and the
+  next phase's move-ins overlap (no device barriers between phases).
+* ``reuse_inner_result``— §4.2: keep R12 on the device between the inner
+  and outer product instead of a round trip through host memory.
+* ``staging_buffer``    — §4.1.2: device-side staging copy so C move-outs
+  stop blocking the next move-in.
+* ``gradual_blocksize`` — §4.1.3: ramp the first streamed chunks up from a
+  smaller size so the first (never-overlapped) move-in shrinks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import ValidationError
+from repro.util.validation import positive_int
+
+
+@dataclass(frozen=True)
+class QrOptions:
+    """Tuning knobs for :func:`repro.qr.api.ooc_qr` and the drivers."""
+
+    #: QR panel width b (the paper's "QR blocksize": 16384 or 8192 at scale).
+    blocksize: int = 16384
+    #: Streamed-chunk height of the recursive outer product; defaults to
+    #: blocksize / 2 (the paper pairs QR blocksize 16384 with outer
+    #: blocksize 8192).
+    outer_blocksize: int | None = None
+    #: Tile edge of the blocking outer product; defaults to the blocksize.
+    tile_blocksize: int | None = None
+    #: Double-buffer depth of every streaming pipeline.
+    n_buffers: int = 2
+    pipelined: bool = True
+    qr_level_overlap: bool = True
+    reuse_inner_result: bool = True
+    staging_buffer: bool = True
+    gradual_blocksize: bool = False
+
+    def __post_init__(self) -> None:
+        positive_int(self.blocksize, "blocksize")
+        if self.outer_blocksize is not None:
+            positive_int(self.outer_blocksize, "outer_blocksize")
+        if self.tile_blocksize is not None:
+            positive_int(self.tile_blocksize, "tile_blocksize")
+        if self.n_buffers < 2:
+            raise ValidationError("n_buffers must be at least 2 (double buffering)")
+
+    @property
+    def effective_outer_blocksize(self) -> int:
+        """Row-block height used by the recursive outer product."""
+        return (
+            self.outer_blocksize
+            if self.outer_blocksize is not None
+            else max(1, self.blocksize // 2)
+        )
+
+    @property
+    def effective_tile_blocksize(self) -> int:
+        """Tile edge used by the blocking outer product."""
+        return (
+            self.tile_blocksize
+            if self.tile_blocksize is not None
+            else self.blocksize
+        )
+
+    def all_optimizations_off(self) -> "QrOptions":
+        """The unoptimized baseline used by the §4.2 ablation (~15%)."""
+        return replace(
+            self,
+            qr_level_overlap=False,
+            reuse_inner_result=False,
+            staging_buffer=False,
+            gradual_blocksize=False,
+        )

@@ -1,0 +1,34 @@
+"""Discrete-event CPU-GPU simulator: streams, events, engines, allocator,
+traces and ASCII timelines."""
+
+from repro.sim.export import to_chrome_trace, to_csv, to_json, trace_rows
+from repro.sim.memory import Allocation, DeviceAllocator
+from repro.sim.ops import EngineKind, OpKind, SimOp
+from repro.sim.race import Race, assert_race_free, detect_races
+from repro.sim.simulator import GpuSimulator
+from repro.sim.stream import Event, Stream
+from repro.sim.timeline import Segment, render_summary, render_timeline, segments
+from repro.sim.trace import Trace
+
+__all__ = [
+    "Allocation",
+    "DeviceAllocator",
+    "EngineKind",
+    "Event",
+    "GpuSimulator",
+    "OpKind",
+    "Race",
+    "Segment",
+    "SimOp",
+    "Stream",
+    "Trace",
+    "assert_race_free",
+    "detect_races",
+    "render_summary",
+    "render_timeline",
+    "segments",
+    "to_chrome_trace",
+    "to_csv",
+    "to_json",
+    "trace_rows",
+]

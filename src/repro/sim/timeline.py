@@ -1,0 +1,125 @@
+"""ASCII timeline (Gantt) rendering of simulator traces.
+
+The paper's Figures 7-15 are NVVP-style timelines with one row per engine
+(H2D copies, compute, D2H copies). :func:`render_timeline` reproduces them
+as text so the benchmark harness can regenerate each figure; the raw
+segment lists are also exposed for programmatic checks and plotting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.ops import EngineKind, OpKind, SimOp
+from repro.sim.trace import Trace
+from repro.util.units import fmt_time
+
+#: Glyph used per op kind in the Gantt rows.
+GLYPHS = {
+    OpKind.COPY_H2D: ">",
+    OpKind.COPY_D2H: "<",
+    OpKind.COPY_D2D: "=",
+    OpKind.GEMM: "#",
+    OpKind.PANEL: "P",
+    OpKind.SMALL: ".",
+}
+
+ENGINE_LABELS = {
+    EngineKind.H2D: "H2D copy",
+    EngineKind.COMPUTE: "Compute ",
+    EngineKind.D2H: "D2H copy",
+}
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One bar of a timeline row."""
+
+    name: str
+    kind: OpKind
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+def segments(trace: Trace, engine: EngineKind) -> list[Segment]:
+    """The ordered bars of *engine*'s timeline row."""
+    return [
+        Segment(op.name, op.kind, op.start, op.end)
+        for op in trace.by_engine(engine)
+    ]
+
+
+def render_timeline(
+    trace: Trace,
+    *,
+    width: int = 100,
+    title: str | None = None,
+    t_end: float | None = None,
+) -> str:
+    """Render the three engine rows of *trace* as an ASCII Gantt chart.
+
+    Each column of the chart is one time bucket of ``makespan / width``; a
+    bucket shows the glyph of the op covering most of it, or a space when
+    the engine is idle. A scale line and a per-engine utilisation summary
+    follow the rows.
+    """
+    span = t_end if t_end is not None else trace.makespan
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    if span <= 0 or len(trace) == 0:
+        lines.append("(empty timeline)")
+        return "\n".join(lines)
+
+    dt = span / width
+    for engine in (EngineKind.H2D, EngineKind.COMPUTE, EngineKind.D2H):
+        row = []
+        segs = segments(trace, engine)
+        for col in range(width):
+            lo, hi = col * dt, (col + 1) * dt
+            best_kind, best_cover = None, 0.0
+            for seg in segs:
+                if seg.end <= lo:
+                    continue
+                if seg.start >= hi:
+                    break
+                cover = min(seg.end, hi) - max(seg.start, lo)
+                if cover > best_cover:
+                    best_cover, best_kind = cover, seg.kind
+            row.append(GLYPHS[best_kind] if best_kind is not None else " ")
+        busy = trace.busy_time(engine)
+        util = 100.0 * busy / span
+        lines.append(
+            f"{ENGINE_LABELS[engine]} |{''.join(row)}| {util:5.1f}% busy"
+        )
+    lines.append(
+        f"{'':9}0{'':{max(0, width - len(fmt_time(span)) - 1)}}{fmt_time(span)}"
+    )
+    lines.append(
+        "legend: > h2d   < d2h   # gemm   P panel   = d2d stage   . small"
+    )
+    return "\n".join(lines)
+
+
+def render_summary(trace: Trace, *, title: str | None = None) -> str:
+    """One-paragraph numeric summary of a trace (used under each figure)."""
+    from repro.util.units import fmt_bytes, fmt_rate
+
+    lines = [] if title is None else [title]
+    lines.append(f"  makespan        : {fmt_time(trace.makespan)}")
+    lines.append(f"  compute busy    : {fmt_time(trace.compute_time())}")
+    lines.append(
+        f"  H2D traffic     : {fmt_bytes(trace.h2d_bytes)} "
+        f"({fmt_time(trace.busy_time(EngineKind.H2D))})"
+    )
+    lines.append(
+        f"  D2H traffic     : {fmt_bytes(trace.d2h_bytes)} "
+        f"({fmt_time(trace.busy_time(EngineKind.D2H))})"
+    )
+    lines.append(f"  overlap ratio   : {trace.overlap_ratio():.3f}")
+    lines.append(f"  achieved rate   : {fmt_rate(trace.achieved_flops_rate)}")
+    return "\n".join(lines)

@@ -1,0 +1,10 @@
+"""Mixed-precision solvers on out-of-core factors (the [10-12] recipe)."""
+
+from repro.solve.refine import (
+    RefineResult,
+    lstsq_ooc,
+    solve_lu_ooc,
+    solve_spd_ooc,
+)
+
+__all__ = ["RefineResult", "lstsq_ooc", "solve_lu_ooc", "solve_spd_ooc"]

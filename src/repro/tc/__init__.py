@@ -1,0 +1,22 @@
+"""TensorCore numerics emulation: input-format rounding and TC-GEMM."""
+
+from repro.tc.gemm import tc_gemm
+from repro.tc.split import split_fp16, split_gemm
+from repro.tc.precision import (
+    UNIT_ROUNDOFF,
+    round_bf16,
+    round_fp16,
+    round_tf32,
+    round_to,
+)
+
+__all__ = [
+    "UNIT_ROUNDOFF",
+    "round_bf16",
+    "round_fp16",
+    "round_tf32",
+    "round_to",
+    "split_fp16",
+    "split_gemm",
+    "tc_gemm",
+]

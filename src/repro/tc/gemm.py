@@ -1,0 +1,105 @@
+"""Numerical emulation of TensorCore GEMM (reduced-precision in, fp32 out).
+
+``tc_gemm`` computes ``alpha * op(A) @ op(B) + beta * C`` with the inputs
+rounded through the accelerator's input format and the product accumulated
+in fp32 — the same contract as cublasGemmEx with CUDA_R_16F inputs and
+CUDA_R_32F accumulation that the paper's implementation uses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.tc.precision import round_to
+
+
+def tc_gemm(
+    a: np.ndarray,
+    b: np.ndarray,
+    *,
+    alpha: float = 1.0,
+    beta: float = 0.0,
+    c: np.ndarray | None = None,
+    trans_a: bool = False,
+    trans_b: bool = False,
+    input_format: str = "fp16",
+    out: np.ndarray | None = None,
+) -> np.ndarray:
+    """Emulated TensorCore GEMM.
+
+    Parameters
+    ----------
+    a, b
+        Input operands (any float dtype; rounded through *input_format*).
+    alpha, beta
+        ``result = alpha * op(a) @ op(b) + beta * c``.
+    c
+        Accumulator operand; required when ``beta != 0``.
+    trans_a, trans_b
+        Apply transposition to ``a`` / ``b`` before multiplying.
+    input_format
+        One of ``fp16`` (default, V100 TensorCore), ``bf16``, ``tf32``,
+        ``fp32``, or ``fp16x3`` / ``fp16x4`` (precision-splitting variants
+        that recover near-fp32 accuracy from fp16 hardware — see
+        :mod:`repro.tc.split`).
+    out
+        Optional fp32 output buffer, written in place and returned.
+
+    Returns
+    -------
+    numpy.ndarray
+        fp32 result of shape (m, n).
+    """
+    if input_format in ("fp16x3", "fp16x4"):
+        from repro.tc.split import split_gemm
+
+        return split_gemm(
+            a,
+            b,
+            terms=3 if input_format == "fp16x3" else 4,
+            alpha=alpha,
+            beta=beta,
+            c=c,
+            trans_a=trans_a,
+            trans_b=trans_b,
+            out=out,
+        )
+    a_op = np.asarray(a).T if trans_a else np.asarray(a)
+    b_op = np.asarray(b).T if trans_b else np.asarray(b)
+    if a_op.ndim != 2 or b_op.ndim != 2:
+        raise ShapeError(
+            f"tc_gemm operands must be 2-D, got {a_op.ndim}-D and {b_op.ndim}-D"
+        )
+    if a_op.shape[1] != b_op.shape[0]:
+        raise ShapeError(
+            f"tc_gemm inner dimensions differ: op(A) is {a_op.shape}, "
+            f"op(B) is {b_op.shape}"
+        )
+    m, n = a_op.shape[0], b_op.shape[1]
+
+    a_r = round_to(a_op, input_format)
+    b_r = round_to(b_op, input_format)
+    # fp32 matmul of the rounded inputs = fp16-in / fp32-accumulate MMA.
+    prod = a_r @ b_r
+    if alpha != 1.0:
+        prod *= np.float32(alpha)
+
+    if beta != 0.0:
+        if c is None:
+            raise ShapeError("tc_gemm: beta != 0 requires operand c")
+        c_arr = np.asarray(c, dtype=np.float32)
+        if c_arr.shape != (m, n):
+            raise ShapeError(
+                f"tc_gemm: c has shape {c_arr.shape}, expected {(m, n)}"
+            )
+        prod += np.float32(beta) * c_arr
+
+    if out is not None:
+        if out.shape != (m, n):
+            raise ShapeError(
+                f"tc_gemm: out has shape {out.shape}, expected {(m, n)}"
+            )
+        np.copyto(out, prod.astype(np.float32, copy=False))
+        return out
+    return prod.astype(np.float32, copy=False)

@@ -1,0 +1,77 @@
+"""Floating-point rounding emulation for matrix-accelerator input formats.
+
+TensorCore MMA instructions consume reduced-precision inputs and accumulate
+in fp32. To study the *numerical* behaviour of CGS QR built on TC-GEMMs, we
+round GEMM inputs through the target format in numpy:
+
+* ``fp16``  — IEEE half (what the paper's V100 TensorCore consumes),
+* ``bf16``  — bfloat16 (emulated by truncating the fp32 mantissa to 7 bits),
+* ``tf32``  — Ampere's TensorFloat-32 (10-bit mantissa, fp32 exponent),
+* ``fp32``  — identity (CUDA-core SGEMM).
+
+All functions return fp32 arrays: the rounding models the *input* quantizer
+of the accelerator; accumulation stays in fp32 as on real hardware.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+#: Unit roundoffs of the supported input formats (for error-bound tests).
+UNIT_ROUNDOFF = {
+    "fp16": 2.0**-11,
+    "bf16": 2.0**-8,
+    "tf32": 2.0**-11,
+    "fp32": 2.0**-24,
+    "fp64": 2.0**-53,
+}
+
+
+def round_fp16(a: np.ndarray) -> np.ndarray:
+    """Round *a* through IEEE fp16 and return it as fp32.
+
+    Values beyond the fp16 range overflow to +/-inf exactly as the hardware
+    conversion would — callers that need safety must pre-scale (the paper's
+    in-core QR [24] scales columns for the same reason).
+    """
+    with np.errstate(over="ignore"):
+        return np.asarray(a, dtype=np.float32).astype(np.float16).astype(np.float32)
+
+
+def _truncate_mantissa(a: np.ndarray, keep_bits: int) -> np.ndarray:
+    """Round an fp32 array to *keep_bits* explicit mantissa bits
+    (round-to-nearest-even via the integer representation)."""
+    a32 = np.ascontiguousarray(a, dtype=np.float32)
+    bits = a32.view(np.uint32)
+    drop = 23 - keep_bits
+    # round-half-to-even on the dropped bits
+    lsb = np.uint32(1) << np.uint32(drop)
+    bias = (lsb >> np.uint32(1)) - np.uint32(1)
+    odd = (bits >> np.uint32(drop)) & np.uint32(1)
+    rounded = (bits + bias + odd) & ~np.uint32(lsb - np.uint32(1))
+    return rounded.view(np.float32).copy()
+
+
+def round_bf16(a: np.ndarray) -> np.ndarray:
+    """Round *a* to bfloat16 precision (7 mantissa bits), returned as fp32."""
+    return _truncate_mantissa(a, keep_bits=7)
+
+
+def round_tf32(a: np.ndarray) -> np.ndarray:
+    """Round *a* to TF32 precision (10 mantissa bits), returned as fp32."""
+    return _truncate_mantissa(a, keep_bits=10)
+
+
+def round_to(a: np.ndarray, fmt: str) -> np.ndarray:
+    """Round *a* through input format *fmt* and return fp32."""
+    if fmt == "fp16":
+        return round_fp16(a)
+    if fmt == "bf16":
+        return round_bf16(a)
+    if fmt == "tf32":
+        return round_tf32(a)
+    if fmt == "fp32":
+        return np.asarray(a, dtype=np.float32)
+    raise ValidationError(f"unknown input format {fmt!r}")

@@ -1,0 +1,166 @@
+"""Blocksize/method autotuning via the event simulator.
+
+The paper shows the blocksize decides everything for the blocking
+algorithm (§5.2) and that the best value depends on the GPU's memory and
+compute/bandwidth balance (§6). Since this library can simulate a full
+factorization in milliseconds, the right configuration can simply be
+*searched*: simulate every candidate, pick the fastest, then run the real
+(numeric) factorization with it.
+
+    from repro.tune import tune
+    best = tune((131072, 131072), kind="qr")
+    best.best_method, best.best_blocksize   # e.g. ("recursive", 16384)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.config import PAPER_SYSTEM, SystemConfig
+from repro.errors import OutOfDeviceMemoryError, PlanError, ReproError, ValidationError
+from repro.qr.options import QrOptions
+from repro.util.tables import render_table
+from repro.util.validation import one_of
+
+KINDS = ("qr", "lu", "cholesky")
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One simulated configuration."""
+
+    method: str
+    blocksize: int
+    makespan: float          # seconds; inf = infeasible
+    achieved_tflops: float
+    h2d_bytes: int
+    note: str = ""
+
+    @property
+    def feasible(self) -> bool:
+        return self.makespan != float("inf")
+
+
+@dataclass
+class TuneResult:
+    """Outcome of a tuning sweep."""
+
+    shape: tuple[int, int]
+    kind: str
+    config: SystemConfig
+    candidates: list[Candidate] = field(default_factory=list)
+
+    @property
+    def best(self) -> Candidate:
+        feasible = [c for c in self.candidates if c.feasible]
+        if not feasible:
+            raise PlanError(
+                f"no feasible configuration for {self.shape} on "
+                f"{self.config.gpu.name}"
+            )
+        return min(feasible, key=lambda c: c.makespan)
+
+    @property
+    def best_method(self) -> str:
+        return self.best.method
+
+    @property
+    def best_blocksize(self) -> int:
+        return self.best.blocksize
+
+    def options(self) -> QrOptions:
+        """QrOptions configured with the winning blocksize."""
+        return QrOptions(blocksize=self.best_blocksize)
+
+    def render(self) -> str:
+        """The sweep as a table, best row marked."""
+        best = self.best
+        rows = []
+        for c in sorted(self.candidates, key=lambda c: (c.method, c.blocksize)):
+            rows.append([
+                "->" if c is best else "",
+                c.method,
+                c.blocksize,
+                "infeasible" if not c.feasible else f"{c.makespan:.1f} s",
+                "" if not c.feasible else f"{c.achieved_tflops:.1f} TF",
+                c.note,
+            ])
+        return render_table(
+            ["", "method", "blocksize", "simulated", "rate", "note"],
+            rows,
+            title=f"tuning {self.kind} {self.shape[0]}x{self.shape[1]} "
+                  f"on {self.config.gpu.name}",
+        )
+
+
+def default_candidates(config: SystemConfig, m: int, n: int) -> list[int]:
+    """Power-of-two blocksizes from 1024 up to what the panel budget allows
+    (the m-by-b panel must fit in roughly a third of device memory to
+    leave room for the streaming pipelines)."""
+    limit_elems = config.usable_device_bytes // config.element_bytes // 3
+    out = []
+    b = 1024
+    while b <= n and m * b <= limit_elems:
+        out.append(b)
+        b *= 2
+    return out or [min(n, max(1, limit_elems // m))]
+
+
+def tune(
+    shape: tuple[int, int],
+    *,
+    kind: str = "qr",
+    config: SystemConfig = PAPER_SYSTEM,
+    methods: tuple[str, ...] = ("recursive", "blocking"),
+    candidates: list[int] | None = None,
+) -> TuneResult:
+    """Sweep method x blocksize through the simulator; returns the table
+    and the winner. Infeasible configurations (working set cannot fit) are
+    kept in the table, marked, and never win."""
+    kind = one_of(kind, KINDS, "kind")
+    m, n = int(shape[0]), int(shape[1])
+    if kind == "cholesky" and m != n:
+        raise ValidationError("cholesky tuning needs a square shape")
+    candidates = candidates or default_candidates(config, m, n)
+
+    if kind == "qr":
+        from repro.qr.api import ooc_qr as runner
+    elif kind == "lu":
+        from repro.factor.api import ooc_lu as runner
+    else:
+        from repro.factor.api import ooc_cholesky as runner
+
+    result = TuneResult(shape=(m, n), kind=kind, config=config)
+    for method in methods:
+        for b in candidates:
+            if b > n or b > m:
+                continue
+            try:
+                run = runner(
+                    (m, n), method=method, mode="sim", config=config,
+                    options=QrOptions(blocksize=b),
+                )
+                result.candidates.append(
+                    Candidate(
+                        method=method,
+                        blocksize=b,
+                        makespan=run.makespan,
+                        achieved_tflops=run.achieved_tflops,
+                        h2d_bytes=run.movement.h2d_bytes,
+                        note="; ".join(run.info.notes[:1]),
+                    )
+                )
+            except (OutOfDeviceMemoryError, PlanError) as exc:
+                result.candidates.append(
+                    Candidate(
+                        method=method,
+                        blocksize=b,
+                        makespan=float("inf"),
+                        achieved_tflops=0.0,
+                        h2d_bytes=0,
+                        note=type(exc).__name__,
+                    )
+                )
+    if not result.candidates:
+        raise PlanError(f"no candidate blocksizes for shape {shape}")
+    return result

@@ -1,0 +1,52 @@
+"""Shared utilities: validation, units, tables, deterministic RNG."""
+
+from repro.util.rng import default_rng
+from repro.util.tables import render_kv, render_table
+from repro.util.units import (
+    GIB,
+    fmt_bandwidth,
+    fmt_bytes,
+    fmt_rate,
+    fmt_time,
+    gb,
+    gemm_flops,
+    gib,
+    qr_flops,
+    tflops,
+)
+from repro.util.validation import (
+    check_divisible,
+    check_gemm_shapes,
+    check_shape_2d,
+    nonnegative_float,
+    nonnegative_int,
+    one_of,
+    positive_float,
+    positive_int,
+    require,
+)
+
+__all__ = [
+    "GIB",
+    "check_divisible",
+    "check_gemm_shapes",
+    "check_shape_2d",
+    "default_rng",
+    "fmt_bandwidth",
+    "fmt_bytes",
+    "fmt_rate",
+    "fmt_time",
+    "gb",
+    "gemm_flops",
+    "gib",
+    "nonnegative_float",
+    "nonnegative_int",
+    "one_of",
+    "positive_float",
+    "positive_int",
+    "qr_flops",
+    "render_kv",
+    "render_table",
+    "require",
+    "tflops",
+]

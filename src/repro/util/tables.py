@@ -1,0 +1,70 @@
+"""Plain-text table rendering for benchmark reports.
+
+The benchmark harness prints paper-style tables (Tables 1-4 of the paper)
+side-by-side with measured values; this module renders them without any
+third-party dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: str | None = None,
+    align: Sequence[str] | None = None,
+) -> str:
+    """Render *rows* under *headers* as a boxed ASCII table.
+
+    ``align`` is a per-column sequence of ``"l"`` or ``"r"``; columns default
+    to left for the first column and right for the rest (the common shape of
+    a label column followed by numbers).
+    """
+    headers = [str(h) for h in headers]
+    str_rows = [[str(c) for c in row] for row in rows]
+    for i, row in enumerate(str_rows):
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row {i} has {len(row)} cells, expected {len(headers)}"
+            )
+    if align is None:
+        align = ["l"] + ["r"] * (len(headers) - 1)
+    if len(align) != len(headers):
+        raise ValueError("align length must match headers length")
+
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for j, cell in enumerate(row):
+            widths[j] = max(widths[j], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        parts = []
+        for cell, w, a in zip(cells, widths, align):
+            parts.append(cell.ljust(w) if a == "l" else cell.rjust(w))
+        return "| " + " | ".join(parts) + " |"
+
+    sep = "+" + "+".join("-" * (w + 2) for w in widths) + "+"
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(sep)
+    lines.append(fmt_row(headers))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(fmt_row(row))
+    lines.append(sep)
+    return "\n".join(lines)
+
+
+def render_kv(pairs: Sequence[tuple[str, object]], *, title: str | None = None) -> str:
+    """Render key/value pairs as two aligned columns."""
+    if not pairs:
+        return title or ""
+    width = max(len(str(k)) for k, _ in pairs)
+    lines = [title] if title else []
+    for key, value in pairs:
+        lines.append(f"  {str(key).ljust(width)} : {value}")
+    return "\n".join(lines)

@@ -1,0 +1,100 @@
+"""Small argument-validation helpers used across the library.
+
+These raise :class:`repro.errors.ValidationError` (a ``ValueError`` subclass)
+with uniform messages, so call sites stay one-liners.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, TypeVar
+
+from repro.errors import ShapeError, ValidationError
+
+T = TypeVar("T")
+
+
+def require(cond: bool, msg: str) -> None:
+    """Raise :class:`ValidationError` with *msg* unless *cond* holds."""
+    if not cond:
+        raise ValidationError(msg)
+
+
+def positive_int(value: int, name: str) -> int:
+    """Validate that *value* is a positive integer and return it as ``int``."""
+    try:
+        ivalue = int(value)
+    except (TypeError, ValueError):
+        raise ValidationError(f"{name} must be an integer, got {value!r}") from None
+    if ivalue <= 0 or ivalue != value:
+        raise ValidationError(f"{name} must be a positive integer, got {value!r}")
+    return ivalue
+
+
+def nonnegative_int(value: int, name: str) -> int:
+    """Validate that *value* is a non-negative integer and return it."""
+    try:
+        ivalue = int(value)
+    except (TypeError, ValueError):
+        raise ValidationError(f"{name} must be an integer, got {value!r}") from None
+    if ivalue < 0 or ivalue != value:
+        raise ValidationError(f"{name} must be a non-negative integer, got {value!r}")
+    return ivalue
+
+
+def positive_float(value: float, name: str) -> float:
+    """Validate that *value* is a positive finite float and return it."""
+    try:
+        fvalue = float(value)
+    except (TypeError, ValueError):
+        raise ValidationError(f"{name} must be a number, got {value!r}") from None
+    if not (fvalue > 0.0) or fvalue != fvalue or fvalue == float("inf"):
+        raise ValidationError(f"{name} must be a positive finite number, got {value!r}")
+    return fvalue
+
+
+def nonnegative_float(value: float, name: str) -> float:
+    """Validate that *value* is a non-negative finite float and return it."""
+    try:
+        fvalue = float(value)
+    except (TypeError, ValueError):
+        raise ValidationError(f"{name} must be a number, got {value!r}") from None
+    if not (fvalue >= 0.0) or fvalue == float("inf"):
+        raise ValidationError(f"{name} must be a non-negative finite number, got {value!r}")
+    return fvalue
+
+
+def one_of(value: T, allowed: Sequence[T], name: str) -> T:
+    """Validate that *value* is one of *allowed* and return it."""
+    if value not in allowed:
+        raise ValidationError(f"{name} must be one of {list(allowed)!r}, got {value!r}")
+    return value
+
+
+def check_shape_2d(shape: Iterable[int], name: str) -> tuple[int, int]:
+    """Validate a 2-D shape tuple with positive dimensions."""
+    shape = tuple(shape)
+    if len(shape) != 2:
+        raise ShapeError(f"{name} must be 2-D, got shape {shape}")
+    rows, cols = shape
+    if rows <= 0 or cols <= 0:
+        raise ShapeError(f"{name} must have positive dimensions, got {shape}")
+    return int(rows), int(cols)
+
+
+def check_gemm_shapes(
+    m: int, n: int, k: int, *, what: str = "gemm"
+) -> tuple[int, int, int]:
+    """Validate GEMM problem dimensions ``C(m,n) += A(m,k) B(k,n)``."""
+    m = positive_int(m, f"{what} m")
+    n = positive_int(n, f"{what} n")
+    k = positive_int(k, f"{what} k")
+    return m, n, k
+
+
+def check_divisible(value: int, divisor: int, name: str) -> int:
+    """Validate that *divisor* divides *value* exactly."""
+    value = positive_int(value, name)
+    divisor = positive_int(divisor, f"{name} divisor")
+    if value % divisor != 0:
+        raise ValidationError(f"{name}={value} must be divisible by {divisor}")
+    return value

@@ -1,0 +1,56 @@
+"""Tests for the experiment reporting structures."""
+
+from repro.bench.report import Check, ExperimentResult, Row, fmt_ratio, fmt_s, fmt_tf
+
+
+class TestExperimentResult:
+    def make(self):
+        res = ExperimentResult("T9", "A test experiment")
+        res.add_row("speedup", "2.0x", "1.9x", "close")
+        res.add_check("recursion wins", True)
+        res.add_check("pigs fly", False)
+        res.artifacts["timeline"] = "H2D |>>>|"
+        return res
+
+    def test_all_passed_and_failed(self):
+        res = self.make()
+        assert not res.all_passed
+        assert [c.description for c in res.failed_checks()] == ["pigs fly"]
+
+    def test_render_text(self):
+        out = self.make().render()
+        assert "T9" in out
+        assert "[PASS] recursion wins" in out
+        assert "[FAIL] pigs fly" in out
+        assert "H2D |>>>|" in out
+        assert "2.0x" in out
+
+    def test_render_without_artifacts(self):
+        out = self.make().render(include_artifacts=False)
+        assert "H2D |>>>|" not in out
+
+    def test_render_markdown(self):
+        md = self.make().render_markdown()
+        assert md.startswith("### T9")
+        assert "| speedup | 2.0x | 1.9x | close |" in md
+        assert "- [x] recursion wins" in md
+        assert "- [ ] pigs fly" in md
+        assert "```text" in md
+
+    def test_empty_result_renders(self):
+        res = ExperimentResult("X", "empty")
+        assert "X" in res.render()
+        assert res.all_passed
+
+
+class TestFormatters:
+    def test_fmt_s(self):
+        assert fmt_s(0.693) == "693 ms"
+        assert fmt_s(12.932) == "12.9 s"
+        assert fmt_s(140.4) == "140 s"
+
+    def test_fmt_tf(self):
+        assert fmt_tf(99.9e12) == "99.9 TFLOPS"
+
+    def test_fmt_ratio(self):
+        assert fmt_ratio(1.246) == "1.25x"

@@ -1,0 +1,50 @@
+"""Tests for workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.bench.workloads import (
+    conditioned,
+    graded_columns,
+    least_squares_problem,
+    near_dependent,
+    random_tall,
+)
+from repro.errors import ValidationError
+
+
+class TestGenerators:
+    def test_random_tall_reproducible(self):
+        np.testing.assert_array_equal(random_tall(10, 4, seed=1), random_tall(10, 4, seed=1))
+
+    def test_random_tall_dtype(self):
+        assert random_tall(10, 4).dtype == np.float32
+
+    def test_wide_rejected(self):
+        with pytest.raises(ValidationError):
+            random_tall(4, 10)
+
+    def test_conditioned_spectrum(self):
+        a = conditioned(60, 12, kappa=100.0, seed=2).astype(np.float64)
+        s = np.linalg.svd(a, compute_uv=False)
+        assert s[0] / s[-1] == pytest.approx(100.0, rel=0.02)
+
+    def test_conditioned_kappa_validated(self):
+        with pytest.raises(ValidationError):
+            conditioned(10, 4, kappa=0.5)
+
+    def test_graded_columns_norm_decay(self):
+        a = graded_columns(100, 6, decay=0.5, seed=3)
+        norms = np.linalg.norm(a, axis=0)
+        ratios = norms[1:] / norms[:-1]
+        assert np.all(ratios < 0.7)
+
+    def test_near_dependent_is_near_rank_one(self):
+        a = near_dependent(50, 5, eps=1e-5, seed=4).astype(np.float64)
+        s = np.linalg.svd(a, compute_uv=False)
+        assert s[1] / s[0] < 1e-3
+
+    def test_least_squares_solvable(self):
+        a, b, x_true = least_squares_problem(200, 20, noise=1e-4, seed=5)
+        x, *_ = np.linalg.lstsq(a.astype(np.float64), b.astype(np.float64), rcond=None)
+        np.testing.assert_allclose(x, x_true, atol=1e-2)

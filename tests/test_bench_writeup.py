@@ -1,0 +1,46 @@
+"""Tests for the EXPERIMENTS.md generator (with a stubbed experiment list
+so the test stays fast)."""
+
+from pathlib import Path
+
+import pytest
+
+import repro.bench.writeup as writeup
+from repro.bench.report import ExperimentResult
+
+
+def fake_results(all_pass=True):
+    good = ExperimentResult("T1", "good")
+    good.add_row("x", "1", "1")
+    good.add_check("fine", True)
+    other = ExperimentResult("T2", "other")
+    other.add_check("maybe", all_pass)
+    return [good, other]
+
+
+class TestWriteup:
+    def test_writes_markdown(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(writeup, "run_all", lambda: fake_results())
+        out = tmp_path / "EXPERIMENTS.md"
+        rc = writeup.main([str(out)])
+        assert rc == 0
+        text = out.read_text()
+        assert text.startswith("# EXPERIMENTS")
+        assert "### T1" in text and "### T2" in text
+        assert "2/2 experiments reproduced" in text
+
+    def test_failure_returns_nonzero(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(writeup, "run_all", lambda: fake_results(all_pass=False))
+        out = tmp_path / "EXPERIMENTS.md"
+        assert writeup.main([str(out)]) == 1
+        assert "1/2 experiments reproduced" in out.read_text()
+
+    def test_header_documents_transcription_notes(self):
+        assert "11286" in writeup.HEADER  # the Table 2 erratum
+        assert "mn/2" in writeup.HEADER   # the §3.2 erratum
+
+    def test_repo_experiments_md_is_current_format(self):
+        text = Path(__file__).resolve().parents[1].joinpath("EXPERIMENTS.md").read_text()
+        assert "experiments reproduced" in text
+        assert "### T1" in text
+        assert "### S11" in text

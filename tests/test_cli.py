@@ -1,0 +1,97 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestGpus:
+    def test_lists_specs(self, capsys):
+        assert main(["gpus"]) == 0
+        out = capsys.readouterr().out
+        assert "V100-PCIe-32GB" in out
+        assert "A100" in out
+        assert "overlap m*" in out
+
+
+class TestFactorizations:
+    def test_qr_both_methods(self, capsys):
+        rc = main(["qr", "-m", "16384", "-n", "16384", "-b", "2048"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "recursive" in out and "blocking" in out
+        assert "speedup" in out
+
+    def test_qr_single_method_with_timeline(self, capsys):
+        rc = main([
+            "qr", "-m", "16384", "-n", "16384", "-b", "2048",
+            "--method", "recursive", "--timeline",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "H2D copy" in out
+        assert "legend:" in out
+        assert "blocking" not in out
+
+    def test_memory_cap(self, capsys):
+        rc = main([
+            "qr", "-m", "16384", "-n", "16384", "-b", "2048",
+            "--memory-gib", "1", "--method", "recursive",
+        ])
+        assert rc == 0
+        assert "capped" in capsys.readouterr().out
+
+    def test_lu_and_chol(self, capsys):
+        for cmd in ("lu", "chol"):
+            rc = main([cmd, "-m", "8192", "-n", "8192", "-b", "1024",
+                       "--method", "recursive"])
+            assert rc == 0
+        assert "TFLOPS" in capsys.readouterr().out
+
+    def test_chol_rejects_rectangular(self, capsys):
+        rc = main(["chol", "-m", "8192", "-n", "4096"])
+        assert rc == 2
+
+    def test_sync_and_no_opts_flags(self, capsys):
+        rc = main([
+            "qr", "-m", "8192", "-n", "8192", "-b", "1024",
+            "--method", "recursive", "--sync", "--no-opts",
+        ])
+        assert rc == 0
+
+    def test_unknown_gpu(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            main(["qr", "--gpu", "H100-SXM"])
+
+
+class TestGemm:
+    def test_inner_and_outer(self, capsys):
+        assert main(["gemm", "--kind", "inner", "-M", "8192", "-N", "8192",
+                     "-K", "16384", "-b", "2048"]) == 0
+        assert main(["gemm", "--kind", "outer", "-M", "16384", "-N", "8192",
+                     "-K", "8192", "-b", "2048", "--timeline"]) == 0
+        out = capsys.readouterr().out
+        assert "ksplit-inner" in out
+        assert "rowstream-outer" in out
+        assert "legend:" in out
+
+
+class TestExperiments:
+    def test_selected_experiment(self, capsys):
+        rc = main(["experiments", "S5", "--no-artifacts"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "S5" in out
+        assert "0 failed shape checks" in out
+
+    def test_unknown_id(self, capsys):
+        rc = main(["experiments", "T99"])
+        assert rc == 2
+        assert "unknown ids" in capsys.readouterr().err
+
+    def test_figure_experiment_with_artifact(self, capsys):
+        rc = main(["experiments", "F8"])
+        assert rc == 0
+        assert "legend:" in capsys.readouterr().out

@@ -1,0 +1,50 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for name in (
+            "ConfigError",
+            "ShapeError",
+            "OutOfDeviceMemoryError",
+            "AllocationError",
+            "StreamError",
+            "SimulationError",
+            "DeadlockError",
+            "PlanError",
+            "ExecutionError",
+            "ValidationError",
+        ):
+            assert issubclass(getattr(errors, name), errors.ReproError)
+
+    def test_shape_error_is_value_error(self):
+        assert issubclass(errors.ShapeError, ValueError)
+
+    def test_validation_error_is_value_error(self):
+        assert issubclass(errors.ValidationError, ValueError)
+
+    def test_deadlock_is_simulation_error(self):
+        assert issubclass(errors.DeadlockError, errors.SimulationError)
+
+    def test_oom_message(self):
+        err = errors.OutOfDeviceMemoryError(100, 50, 200, what="C tile")
+        assert "100" in str(err)
+        assert "C tile" in str(err)
+        assert err.free == 50
+
+    def test_deadlock_lists_ops(self):
+        class FakeOp:
+            def __init__(self, name):
+                self.name = name
+
+        err = errors.DeadlockError([FakeOp(f"op{i}") for i in range(12)])
+        assert "op0" in str(err)
+        assert "+4 more" in str(err)
+
+    def test_single_catch_all(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.PlanError("nope")

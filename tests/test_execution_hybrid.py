@@ -1,0 +1,77 @@
+"""Unit tests for the hybrid executor: numeric results + simulated time,
+with cross-checked counters."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExecutionError
+from repro.host.tiled import HostMatrix
+
+
+class TestHybrid:
+    def test_numeric_result_and_trace(self, hybrid_ex, rng):
+        a_np = rng.standard_normal((10, 6)).astype(np.float32)
+        b_np = rng.standard_normal((6, 8)).astype(np.float32)
+        s = hybrid_ex.stream("s")
+        a = hybrid_ex.alloc(10, 6)
+        b = hybrid_ex.alloc(6, 8)
+        c = hybrid_ex.alloc(10, 8)
+        hybrid_ex.h2d(a, HostMatrix.from_array(a_np).full(), s)
+        hybrid_ex.h2d(b, HostMatrix.from_array(b_np).full(), s)
+        hybrid_ex.gemm(c, a, b, s)
+        out = HostMatrix.zeros(10, 8)
+        hybrid_ex.d2h(out.full(), c, s)
+        trace = hybrid_ex.finish()
+        np.testing.assert_allclose(out.data, a_np @ b_np, rtol=1e-5)
+        assert trace.makespan > 0
+        assert trace.h2d_bytes == (10 * 6 + 6 * 8) * 4
+
+    def test_stats_cross_check(self, hybrid_ex):
+        s = hybrid_ex.stream("s")
+        a = hybrid_ex.alloc(4, 4)
+        host = HostMatrix.zeros(4, 4)
+        hybrid_ex.h2d(a, host.full(), s)
+        hybrid_ex.finish()
+        assert hybrid_ex.stats.h2d_bytes == 64
+        assert hybrid_ex.stats.makespan > 0
+
+    def test_views_are_shadowed(self, hybrid_ex, rng):
+        a_np = rng.standard_normal((8, 8)).astype(np.float32)
+        s = hybrid_ex.stream("s")
+        a = hybrid_ex.alloc(8, 8)
+        hybrid_ex.h2d(a, HostMatrix.from_array(a_np).full(), s)
+        c = hybrid_ex.alloc(4, 4)
+        hybrid_ex.gemm(c, a.view(0, 4, 0, 4), a.view(0, 4, 4, 8), s)
+        out = HostMatrix.zeros(4, 4)
+        hybrid_ex.d2h(out.full(), c, s)
+        hybrid_ex.finish()
+        np.testing.assert_allclose(out.data, a_np[:4, :4] @ a_np[:4, 4:], rtol=1e-5)
+
+    def test_foreign_buffer_rejected(self, hybrid_ex, numeric_ex):
+        foreign = numeric_ex.alloc(4, 4)
+        host = HostMatrix.zeros(4, 4)
+        with pytest.raises(ExecutionError, match="hybrid"):
+            hybrid_ex.h2d(foreign, host.full(), hybrid_ex.stream("s"))
+
+    def test_free_releases_both_sides(self, hybrid_ex):
+        a = hybrid_ex.alloc(4, 4)
+        hybrid_ex.free(a)
+        hybrid_ex.numeric.allocator.check_balanced()
+        hybrid_ex.simulated.allocator.check_balanced()
+
+    def test_events_forwarded(self, hybrid_ex):
+        s1 = hybrid_ex.stream("a")
+        s2 = hybrid_ex.stream("b")
+        buf = hybrid_ex.alloc(16, 16)
+        host = HostMatrix.zeros(16, 16)
+        hybrid_ex.h2d(buf, host.full(), s1)
+        ev = hybrid_ex.record_event(s1)
+        hybrid_ex.wait_event(s2, ev)
+        c = hybrid_ex.alloc(4, 4)
+        hybrid_ex.gemm(c, c.full(), c.full(), s2)
+        trace = hybrid_ex.finish()
+        from repro.sim.ops import EngineKind
+
+        copy = trace.by_engine(EngineKind.H2D)[0]
+        gemm = trace.by_engine(EngineKind.COMPUTE)[0]
+        assert gemm.start >= copy.end

@@ -1,0 +1,170 @@
+"""Unit tests for the numeric executor: real data movement, GEMMs, panel
+factorizations, capacity enforcement."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExecutionError, OutOfDeviceMemoryError, ShapeError
+from repro.host.tiled import HostMatrix
+from repro.qr.cgs import orthogonality_error
+
+
+class TestMemory:
+    def test_alloc_counts_against_capacity(self, numeric_ex):
+        cap = numeric_ex.allocator.capacity
+        rows = cap // (4 * 10)
+        numeric_ex.alloc(rows, 10, "big")
+        with pytest.raises(OutOfDeviceMemoryError):
+            numeric_ex.alloc(rows, 10, "second")
+
+    def test_free_returns_capacity(self, numeric_ex):
+        buf = numeric_ex.alloc(100, 100)
+        used = numeric_ex.allocator.used
+        numeric_ex.free(buf)
+        assert numeric_ex.allocator.used == used - 100 * 100 * 4
+
+    def test_double_free(self, numeric_ex):
+        buf = numeric_ex.alloc(4, 4)
+        numeric_ex.free(buf)
+        with pytest.raises(ExecutionError, match="double free"):
+            numeric_ex.free(buf)
+
+    def test_use_after_free(self, numeric_ex):
+        buf = numeric_ex.alloc(4, 4)
+        numeric_ex.free(buf)
+        host = HostMatrix.zeros(4, 4)
+        with pytest.raises(ExecutionError, match="freed"):
+            numeric_ex.h2d(buf, host.full(), numeric_ex.stream("s"))
+
+    def test_buffers_zero_initialized(self, numeric_ex):
+        buf = numeric_ex.alloc(3, 3)
+        host = HostMatrix.zeros(3, 3)
+        host.data[:] = 5
+        numeric_ex.d2h(host.full(), buf, numeric_ex.stream("s"))
+        assert host.data.sum() == 0
+
+
+class TestCopies:
+    def test_h2d_d2h_roundtrip(self, numeric_ex, rng):
+        data = rng.standard_normal((6, 7)).astype(np.float32)
+        src = HostMatrix.from_array(data.copy())
+        dst = HostMatrix.zeros(6, 7)
+        buf = numeric_ex.alloc(6, 7)
+        s = numeric_ex.stream("s")
+        numeric_ex.h2d(buf, src.full(), s)
+        numeric_ex.d2h(dst.full(), buf, s)
+        np.testing.assert_array_equal(dst.data, data)
+
+    def test_partial_views(self, numeric_ex, rng):
+        data = rng.standard_normal((8, 8)).astype(np.float32)
+        src = HostMatrix.from_array(data.copy())
+        buf = numeric_ex.alloc(4, 4)
+        s = numeric_ex.stream("s")
+        numeric_ex.h2d(buf, src.region(2, 6, 2, 6), s)
+        out = HostMatrix.zeros(4, 4)
+        numeric_ex.d2h(out.full(), buf, s)
+        np.testing.assert_array_equal(out.data, data[2:6, 2:6])
+
+    def test_d2d(self, numeric_ex, rng):
+        data = rng.standard_normal((5, 5)).astype(np.float32)
+        src = HostMatrix.from_array(data.copy())
+        a = numeric_ex.alloc(5, 5)
+        b = numeric_ex.alloc(5, 5)
+        s = numeric_ex.stream("s")
+        numeric_ex.h2d(a, src.full(), s)
+        numeric_ex.d2d(b, a, s)
+        out = HostMatrix.zeros(5, 5)
+        numeric_ex.d2h(out.full(), b, s)
+        np.testing.assert_array_equal(out.data, data)
+
+    def test_shape_mismatch(self, numeric_ex):
+        buf = numeric_ex.alloc(4, 4)
+        host = HostMatrix.zeros(4, 5)
+        with pytest.raises(ShapeError):
+            numeric_ex.h2d(buf, host.full(), numeric_ex.stream("s"))
+
+    def test_byte_accounting(self, numeric_ex):
+        buf = numeric_ex.alloc(4, 4)
+        host = HostMatrix.zeros(4, 4)
+        s = numeric_ex.stream("s")
+        numeric_ex.h2d(buf, host.full(), s)
+        numeric_ex.d2h(host.full(), buf, s)
+        assert numeric_ex.stats.h2d_bytes == 64
+        assert numeric_ex.stats.d2h_bytes == 64
+
+
+class TestGemm:
+    def test_matches_numpy(self, numeric_ex, rng):
+        a_np = rng.standard_normal((6, 4)).astype(np.float32)
+        b_np = rng.standard_normal((4, 5)).astype(np.float32)
+        s = numeric_ex.stream("s")
+        a = numeric_ex.alloc(6, 4)
+        b = numeric_ex.alloc(4, 5)
+        c = numeric_ex.alloc(6, 5)
+        numeric_ex.h2d(a, HostMatrix.from_array(a_np).full(), s)
+        numeric_ex.h2d(b, HostMatrix.from_array(b_np).full(), s)
+        numeric_ex.gemm(c, a, b, s)
+        out = HostMatrix.zeros(6, 5)
+        numeric_ex.d2h(out.full(), c, s)
+        np.testing.assert_allclose(out.data, a_np @ b_np, rtol=1e-5)
+
+    def test_transposed_accumulating(self, numeric_ex, rng):
+        a_np = rng.standard_normal((7, 3)).astype(np.float32)
+        b_np = rng.standard_normal((7, 4)).astype(np.float32)
+        c_np = rng.standard_normal((3, 4)).astype(np.float32)
+        s = numeric_ex.stream("s")
+        a = numeric_ex.alloc(7, 3)
+        b = numeric_ex.alloc(7, 4)
+        c = numeric_ex.alloc(3, 4)
+        numeric_ex.h2d(a, HostMatrix.from_array(a_np).full(), s)
+        numeric_ex.h2d(b, HostMatrix.from_array(b_np).full(), s)
+        numeric_ex.h2d(c, HostMatrix.from_array(c_np).full(), s)
+        numeric_ex.gemm(c, a, b, s, trans_a=True, alpha=-1.0, beta=1.0)
+        out = HostMatrix.zeros(3, 4)
+        numeric_ex.d2h(out.full(), c, s)
+        np.testing.assert_allclose(out.data, c_np - a_np.T @ b_np, rtol=1e-4)
+
+    def test_flop_accounting(self, numeric_ex):
+        s = numeric_ex.stream("s")
+        a = numeric_ex.alloc(2, 3)
+        b = numeric_ex.alloc(3, 4)
+        c = numeric_ex.alloc(2, 4)
+        numeric_ex.gemm(c, a, b, s)
+        assert numeric_ex.stats.gemm_flops == 2 * 2 * 3 * 4
+        assert numeric_ex.stats.n_gemms == 1
+
+    def test_gemm_on_views(self, numeric_ex, rng):
+        big_np = rng.standard_normal((8, 8)).astype(np.float32)
+        s = numeric_ex.stream("s")
+        big = numeric_ex.alloc(8, 8)
+        numeric_ex.h2d(big, HostMatrix.from_array(big_np).full(), s)
+        c = numeric_ex.alloc(4, 4)
+        numeric_ex.gemm(c, big.view(0, 4, 0, 4), big.view(0, 4, 4, 8), s)
+        out = HostMatrix.zeros(4, 4)
+        numeric_ex.d2h(out.full(), c, s)
+        np.testing.assert_allclose(
+            out.data, big_np[:4, :4] @ big_np[:4, 4:], rtol=1e-5
+        )
+
+
+class TestPanelQr:
+    def test_panel_factorization(self, numeric_ex, rng):
+        a_np = rng.standard_normal((40, 8)).astype(np.float32)
+        s = numeric_ex.stream("s")
+        panel = numeric_ex.alloc(40, 8)
+        r = numeric_ex.alloc(8, 8)
+        numeric_ex.h2d(panel, HostMatrix.from_array(a_np).full(), s)
+        numeric_ex.panel_qr(panel, r, s)
+        q_out = HostMatrix.zeros(40, 8)
+        r_out = HostMatrix.zeros(8, 8)
+        numeric_ex.d2h(q_out.full(), panel, s)
+        numeric_ex.d2h(r_out.full(), r, s)
+        assert orthogonality_error(q_out.data) < 1e-4
+        np.testing.assert_allclose(q_out.data @ r_out.data, a_np, atol=1e-3)
+        assert numeric_ex.stats.n_panels == 1
+
+    def test_r_shape_checked(self, numeric_ex):
+        panel = numeric_ex.alloc(10, 4)
+        r = numeric_ex.alloc(3, 3)
+        with pytest.raises(ExecutionError, match="panel_qr"):
+            numeric_ex.panel_qr(panel, r, numeric_ex.stream("s"))

@@ -1,0 +1,83 @@
+"""Smoke + shape tests of the experiment harness itself.
+
+The full paper-scale experiments run in the benchmarks; here we verify the
+harness machinery (rows, checks, artifacts) and run the cheapest
+experiments end to end so a plain `pytest tests/` still exercises them.
+"""
+
+import pytest
+
+from repro.bench.experiments import (
+    PAPER,
+    exp_gemm_timeline,
+    exp_headline,
+    exp_qr_timeline,
+    exp_table1,
+    exp_table3,
+)
+from repro.bench.studies import (
+    exp_future_hardware,
+    exp_gradual_blocksize,
+    exp_movement_validation,
+)
+
+
+class TestPaperConstants:
+    def test_transcribed_tables_sane(self):
+        assert PAPER["t1_rec"]["incore_tf"] == 99.9
+        assert PAPER["t1_blk"]["incore_tf"] == 52.6
+        assert PAPER["t2_blk"]["sync"] == pytest.approx(5.119)
+        assert PAPER["headline"]["speedup_16gb"] == 2.0
+
+    def test_table2_async_correction_is_consistent(self):
+        # 2 * 131072 * 16384 * 114688 flops at the paper's 96.2 TFLOPS
+        flops = 2 * 131072 * 16384 * 114688
+        assert flops / (PAPER["t2_blk"]["async_tf"] * 1e12) == pytest.approx(
+            PAPER["t2_blk"]["async_"], rel=0.01
+        )
+
+
+class TestCoreExperiments:
+    def test_table1_reproduces(self):
+        res = exp_table1()
+        assert res.all_passed, res.render(include_artifacts=False)
+        assert len(res.rows) >= 10
+
+    def test_table3_reproduces(self):
+        res = exp_table3()
+        assert res.all_passed, res.render(include_artifacts=False)
+
+    def test_headline_reproduces(self):
+        res = exp_headline()
+        assert res.all_passed, res.render(include_artifacts=False)
+
+    @pytest.mark.parametrize("fig", [8, 11])
+    def test_gemm_timelines(self, fig):
+        res = exp_gemm_timeline(fig)
+        assert res.all_passed, res.render(include_artifacts=False)
+        assert "timeline" in res.artifacts
+        assert "Compute" in res.artifacts["timeline"]
+
+    def test_qr_timeline_fig13(self):
+        res = exp_qr_timeline(13)
+        assert res.all_passed, res.render(include_artifacts=False)
+
+    def test_bad_figure_numbers(self):
+        with pytest.raises(ValueError):
+            exp_gemm_timeline(12)
+        with pytest.raises(ValueError):
+            exp_qr_timeline(7)
+
+
+class TestStudies:
+    def test_gradual_ablation(self):
+        res = exp_gradual_blocksize()
+        assert res.all_passed, res.render(include_artifacts=False)
+
+    def test_movement_validation(self):
+        res = exp_movement_validation()
+        assert res.all_passed, res.render(include_artifacts=False)
+
+    def test_future_hardware(self):
+        res = exp_future_hardware()
+        assert res.all_passed, res.render(include_artifacts=False)

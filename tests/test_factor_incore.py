@@ -1,0 +1,119 @@
+"""Tests for in-core unpivoted LU and Cholesky."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError, ValidationError
+from repro.factor.incore import (
+    diagonally_dominant,
+    incore_cholesky,
+    incore_lu_nopivot,
+    lu_unpack,
+    spd_matrix,
+)
+
+
+class TestWorkloads:
+    def test_diagonally_dominant_is_stable(self):
+        a = diagonally_dominant(100, 60, seed=1).astype(np.float64)
+        # every diagonal entry dominates its column
+        for j in range(60):
+            assert abs(a[j, j]) >= np.abs(a[:, j]).sum() - abs(a[j, j]) - 1e-6
+
+    def test_spd_matrix_is_spd(self):
+        s = spd_matrix(64, seed=2).astype(np.float64)
+        np.testing.assert_allclose(s, s.T)
+        assert np.linalg.eigvalsh(s).min() > 0
+
+    def test_spd_reproducible(self):
+        np.testing.assert_array_equal(spd_matrix(16, seed=3), spd_matrix(16, seed=3))
+
+
+class TestLu:
+    def test_reconstruction_fp32(self):
+        a = diagonally_dominant(150, 96, seed=4)
+        packed = incore_lu_nopivot(a, input_format="fp32")
+        L, U = lu_unpack(packed)
+        assert np.abs(L @ U - a).max() / np.abs(a).max() < 1e-5
+
+    def test_reconstruction_fp16(self):
+        a = diagonally_dominant(150, 96, seed=5)
+        L, U = lu_unpack(incore_lu_nopivot(a, input_format="fp16"))
+        assert np.abs(L @ U - a).max() / np.abs(a).max() < 5e-3
+
+    def test_matches_scipy_lu(self):
+        import scipy.linalg
+
+        a = diagonally_dominant(64, 64, seed=6)
+        L, U = lu_unpack(incore_lu_nopivot(a, input_format="fp32"))
+        # diagonally dominant -> scipy's partial pivoting picks the diagonal
+        p, l_ref, u_ref = scipy.linalg.lu(a.astype(np.float64))
+        np.testing.assert_allclose(p, np.eye(64), atol=0)
+        np.testing.assert_allclose(L, l_ref, atol=1e-3)
+        np.testing.assert_allclose(U, u_ref, atol=1e-2)
+
+    def test_l_unit_lower_u_upper(self):
+        a = diagonally_dominant(80, 48, seed=7)
+        L, U = lu_unpack(incore_lu_nopivot(a, input_format="fp32"))
+        np.testing.assert_allclose(np.diag(L[:48]), np.ones(48))
+        np.testing.assert_allclose(np.triu(L, 1), 0, atol=0)
+        np.testing.assert_allclose(np.tril(U, -1), 0, atol=0)
+
+    def test_leaf_size_irrelevant(self):
+        a = diagonally_dominant(96, 64, seed=8)
+        packed8 = incore_lu_nopivot(a, leaf=8, input_format="fp32")
+        packed64 = incore_lu_nopivot(a, leaf=64, input_format="fp32")
+        np.testing.assert_allclose(packed8, packed64, atol=1e-3)
+
+    def test_zero_pivot_rejected(self):
+        a = np.ones((8, 8), dtype=np.float32)  # singular, zero second pivot
+        with pytest.raises(ValidationError, match="pivot"):
+            incore_lu_nopivot(a, input_format="fp32")
+
+    def test_wide_rejected(self):
+        with pytest.raises(ShapeError):
+            incore_lu_nopivot(np.ones((4, 8), dtype=np.float32))
+
+    def test_input_not_modified(self):
+        a = diagonally_dominant(32, 32, seed=9)
+        a0 = a.copy()
+        incore_lu_nopivot(a)
+        np.testing.assert_array_equal(a, a0)
+
+
+class TestCholesky:
+    def test_reconstruction_fp32(self):
+        s = spd_matrix(120, seed=10)
+        L = incore_cholesky(s, input_format="fp32")
+        assert np.abs(L @ L.T - s).max() / np.abs(s).max() < 1e-5
+
+    def test_matches_numpy(self):
+        s = spd_matrix(96, seed=11)
+        L = incore_cholesky(s, input_format="fp32")
+        ref = np.linalg.cholesky(s.astype(np.float64))
+        np.testing.assert_allclose(L, ref, atol=1e-4)
+
+    def test_fp16_degrades_gracefully(self):
+        s = spd_matrix(96, seed=12)
+        L = incore_cholesky(s, input_format="fp16")
+        assert np.abs(L @ L.T - s).max() / np.abs(s).max() < 5e-3
+
+    def test_lower_triangular(self):
+        s = spd_matrix(50, seed=13)
+        L = incore_cholesky(s)
+        np.testing.assert_allclose(np.triu(L, 1), 0, atol=0)
+
+    def test_non_spd_rejected(self):
+        bad = -np.eye(8, dtype=np.float32)
+        with pytest.raises(ValidationError, match="positive definite"):
+            incore_cholesky(bad)
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ShapeError):
+            incore_cholesky(np.ones((4, 6), dtype=np.float32))
+
+    def test_odd_sizes(self):
+        for n in (7, 33, 65, 100):
+            s = spd_matrix(n, seed=n)
+            L = incore_cholesky(s, input_format="fp32", leaf=16)
+            assert np.abs(L @ L.T - s).max() / np.abs(s).max() < 1e-4

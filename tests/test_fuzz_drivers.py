@@ -1,0 +1,105 @@
+"""Hypothesis fuzzing of all six OOC drivers in simulation mode.
+
+For random (shape, blocksize, memory budget) configurations, every driver
+must either produce a structurally valid, race-free simulated run with
+sane traffic accounting — or fail *cleanly* with a library error (never a
+wrong result, never a leak, never an engine/causality violation).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import SystemConfig
+from repro.errors import ReproError
+from repro.execution.sim import SimExecutor
+from repro.factor.cholesky import ooc_blocking_cholesky, ooc_recursive_cholesky
+from repro.factor.lu import ooc_blocking_lu, ooc_recursive_lu
+from repro.host.tiled import HostMatrix
+from repro.hw.gemm import Precision
+from repro.qr.blocking import ooc_blocking_qr
+from repro.qr.options import QrOptions
+from repro.qr.recursive import ooc_recursive_qr
+from repro.sim.race import assert_race_free
+from tests.conftest import make_tiny_spec
+
+DRIVERS = {
+    "qr-recursive": ("qr", ooc_recursive_qr),
+    "qr-blocking": ("qr", ooc_blocking_qr),
+    "lu-recursive": ("lu", ooc_recursive_lu),
+    "lu-blocking": ("lu", ooc_blocking_lu),
+    "chol-recursive": ("chol", ooc_recursive_cholesky),
+    "chol-blocking": ("chol", ooc_blocking_cholesky),
+}
+
+config_strategy = st.fixed_dictionaries(
+    {
+        "n": st.sampled_from([64, 96, 128, 192, 256]),
+        "extra_rows": st.sampled_from([0, 32, 128]),
+        "b": st.sampled_from([16, 32, 48, 64]),
+        "mem_kib": st.sampled_from([192, 384, 1024, 4096]),
+        "pipelined": st.booleans(),
+        "overlap": st.booleans(),
+        "reuse": st.booleans(),
+        "staging": st.booleans(),
+    }
+)
+
+
+@pytest.mark.parametrize("name", sorted(DRIVERS))
+@given(cfg=config_strategy)
+@settings(max_examples=12, deadline=None)
+def test_fuzz_driver(name, cfg):
+    kind, driver = DRIVERS[name]
+    n = cfg["n"]
+    m = n if kind == "chol" else n + cfg["extra_rows"]
+    b = min(cfg["b"], n)
+    system = SystemConfig(
+        gpu=make_tiny_spec(cfg["mem_kib"] << 10, name="fuzz"),
+        precision=Precision.FP32,
+    )
+    options = QrOptions(
+        blocksize=b,
+        pipelined=cfg["pipelined"],
+        qr_level_overlap=cfg["overlap"],
+        reuse_inner_result=cfg["reuse"],
+        staging_buffer=cfg["staging"],
+    )
+    ex = SimExecutor(system)
+    a = HostMatrix.shape_only(m, n, name="A")
+
+    try:
+        if kind == "qr":
+            r = HostMatrix.shape_only(n, n, name="R")
+            driver(ex, a, r, options)
+        else:
+            driver(ex, a, options)
+    except ReproError:
+        # clean refusal (e.g. the panel cannot fit) is acceptable; leaks
+        # of completed allocations are not checked on this path because
+        # the driver aborted mid-flight
+        return
+
+    trace = ex.finish()
+    ex.allocator.check_balanced()
+    trace.check_engine_serial()
+    trace.check_causality()
+    assert_race_free(trace)
+
+    # traffic sanity: the referenced part of the matrix must be read at
+    # least once and the factors written back. Cholesky only touches the
+    # panels of the lower trapezoid plus the trailing squares (~half the
+    # matrix for wide blocksizes); QR and LU stream everything.
+    matrix_bytes = m * n * system.element_bytes
+    floor = matrix_bytes // 3 if kind == "chol" else matrix_bytes
+    assert ex.stats.h2d_bytes >= floor
+    assert ex.stats.d2h_bytes >= floor // 2
+    # compute sanity: panels ran, and the makespan is bounded below by the
+    # busiest engine
+    assert ex.stats.n_panels >= 1
+    from repro.sim.ops import EngineKind
+
+    busiest = max(trace.busy_time(e) for e in EngineKind)
+    assert trace.makespan >= busiest - 1e-12

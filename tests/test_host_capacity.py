@@ -1,0 +1,58 @@
+"""Tests for host-memory capacity modeling (the paper's §5.2 wall)."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.config import PAPER_SYSTEM, SystemConfig
+from repro.errors import ConfigError, OutOfHostMemoryError
+from repro.factor.api import ooc_lu
+from repro.hw.specs import V100_32GB
+from repro.qr.api import ooc_qr
+from repro.util.units import gib
+
+
+def paper_host(gib_capacity=128):
+    return replace(PAPER_SYSTEM, host_mem_bytes=gib(gib_capacity))
+
+
+class TestConfig:
+    def test_default_unchecked(self):
+        PAPER_SYSTEM.check_host_capacity(10**15)  # no capacity -> no-op
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ConfigError):
+            SystemConfig(gpu=V100_32GB, host_mem_bytes=0)
+
+    def test_check_raises_with_details(self):
+        cfg = paper_host(1)  # 1 GiB host
+        with pytest.raises(OutOfHostMemoryError) as exc:
+            cfg.check_host_capacity(10**9, what="test matrix")
+        assert exc.value.required == 4 * 10**9
+        assert "test matrix" in str(exc.value)
+
+
+class TestPaperWall:
+    def test_papers_table4_tall_shape_fits_128gb(self):
+        """262144 x 65536 (the paper's largest tall matrix) + its R fits
+        in 128 GB — consistent with them having run it."""
+        cfg = paper_host(128)
+        res = ooc_qr((262144, 65536), mode="sim", config=cfg, blocksize=8192)
+        assert res.makespan > 0
+
+    def test_oversized_tall_shape_hits_the_wall(self):
+        """Doubling it (524288 x 65536 = 137 GB + R) exceeds the paper's
+        host — the same constraint §5.2 reports."""
+        cfg = paper_host(128)
+        with pytest.raises(OutOfHostMemoryError):
+            ooc_qr((524288, 65536), mode="sim", config=cfg, blocksize=8192)
+
+    def test_lu_checked_too(self):
+        cfg = paper_host(8)
+        with pytest.raises(OutOfHostMemoryError):
+            ooc_lu((65536, 65536), mode="sim", config=cfg, blocksize=8192)
+
+    def test_lu_within_capacity_runs(self):
+        cfg = paper_host(64)
+        res = ooc_lu((65536, 65536), mode="sim", config=cfg, blocksize=8192)
+        assert res.makespan > 0

@@ -1,0 +1,70 @@
+"""Unit tests for the pinned staging-buffer pool."""
+
+import pytest
+
+from repro.errors import AllocationError
+from repro.host.pinned import PinnedPool
+
+
+class TestAcquireRelease:
+    def test_reuse_after_release(self):
+        pool = PinnedPool()
+        a = pool.acquire(1000)
+        pool.release(a)
+        b = pool.acquire(1000)
+        assert b is a
+        assert pool.n_hits == 1
+        assert pool.n_misses == 1
+
+    def test_rounding_shares_near_equal_sizes(self):
+        pool = PinnedPool()
+        a = pool.acquire(1000)
+        pool.release(a)
+        b = pool.acquire(5000)  # same 1 MiB bucket
+        assert b is a
+
+    def test_distinct_buckets(self):
+        pool = PinnedPool()
+        a = pool.acquire(1 << 20)
+        b = pool.acquire(3 << 20)
+        assert a is not b
+        assert a.nbytes < b.nbytes
+        pool.release(a)
+        pool.release(b)
+
+    def test_live_and_peak_tracking(self):
+        pool = PinnedPool()
+        a = pool.acquire(10)
+        b = pool.acquire(10)
+        assert pool.live == 2
+        pool.release(a)
+        assert pool.live == 1
+        assert pool.peak_live == 2
+        pool.release(b)
+
+    def test_buffer_large_enough(self):
+        pool = PinnedPool()
+        buf = pool.acquire(1234567)
+        assert buf.nbytes >= 1234567
+
+
+class TestErrors:
+    def test_release_without_acquire(self):
+        pool = PinnedPool()
+        import numpy as np
+
+        with pytest.raises(AllocationError):
+            pool.release(np.empty(10, dtype=np.uint8))
+
+    def test_capacity_enforced(self):
+        pool = PinnedPool(capacity=1 << 20)
+        pool.acquire(1 << 20)
+        with pytest.raises(AllocationError, match="capacity"):
+            pool.acquire(1 << 20)
+
+    def test_zero_rejected(self):
+        pool = PinnedPool()
+        from repro.errors import ValidationError
+
+        with pytest.raises(ValidationError):
+            pool.acquire(0)

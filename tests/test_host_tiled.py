@@ -1,0 +1,113 @@
+"""Unit tests for host matrices, regions, and memmap backing."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError, ValidationError
+from repro.host.tiled import HostMatrix, HostRegion, tile_ranges
+
+
+class TestConstruction:
+    def test_from_array_no_copy(self):
+        arr = np.zeros((4, 5), dtype=np.float32)
+        hm = HostMatrix.from_array(arr, "X")
+        assert hm.data is arr
+        assert hm.shape == (4, 5)
+        assert hm.element_bytes == 4
+        assert hm.backed
+
+    def test_shape_only(self):
+        hm = HostMatrix.shape_only(131072, 131072)
+        assert not hm.backed
+        assert hm.nbytes == 131072 * 131072 * 4  # 68.7 GB without allocating
+
+    def test_zeros(self):
+        hm = HostMatrix.zeros(3, 3)
+        assert hm.data.sum() == 0
+
+    def test_memmap_roundtrip(self, tmp_path):
+        path = tmp_path / "big.dat"
+        hm = HostMatrix.memmap(path, 16, 8, name="disk")
+        hm.data[:] = 7.0
+        hm.data.flush()
+        again = HostMatrix.memmap(path, 16, 8, mode="r", name="disk2")
+        assert float(again.data[3, 3]) == 7.0
+
+    def test_backing_shape_mismatch(self):
+        with pytest.raises(ShapeError):
+            HostMatrix(rows=3, cols=3, data=np.zeros((2, 2), dtype=np.float32))
+
+    def test_backing_dtype_mismatch(self):
+        with pytest.raises(ShapeError):
+            HostMatrix(
+                rows=2, cols=2, element_bytes=4,
+                data=np.zeros((2, 2), dtype=np.float64),
+            )
+
+    def test_rejects_1d(self):
+        with pytest.raises(ShapeError):
+            HostMatrix.from_array(np.zeros((2, 2, 2)))
+
+
+class TestRegions:
+    @pytest.fixture
+    def hm(self):
+        return HostMatrix.from_array(np.arange(20, dtype=np.float32).reshape(4, 5))
+
+    def test_full(self, hm):
+        assert hm.full().shape == (4, 5)
+
+    def test_region_view_is_view(self, hm):
+        r = hm.region(1, 3, 2, 4)
+        r.array[:] = -1
+        assert hm.data[1, 2] == -1
+
+    def test_nbytes(self, hm):
+        assert hm.region(0, 2, 0, 3).nbytes == 2 * 3 * 4
+
+    def test_col_and_row_blocks(self, hm):
+        assert hm.col_block(1, 2).shape == (4, 2)
+        assert hm.row_block(2, 2).shape == (2, 5)
+
+    def test_sub_is_relative(self, hm):
+        r = hm.region(1, 4, 1, 5)
+        s = r.sub(1, 3, 2, 4)
+        assert (s.row0, s.row1, s.col0, s.col1) == (2, 4, 3, 5)
+
+    def test_sub_defaults_cover_region(self, hm):
+        r = hm.region(1, 3, 2, 5)
+        s = r.sub()
+        assert s.shape == r.shape
+
+    def test_label(self, hm):
+        assert hm.region(0, 2, 1, 3).label() == "A[0:2,1:3]"
+
+    def test_out_of_bounds(self, hm):
+        with pytest.raises(ShapeError):
+            hm.region(0, 5, 0, 5)
+        with pytest.raises(ShapeError):
+            hm.region(2, 2, 0, 5)  # empty row range
+
+    def test_shape_only_region_has_no_array(self):
+        hm = HostMatrix.shape_only(10, 10)
+        with pytest.raises(ValidationError, match="no data"):
+            _ = hm.full().array
+
+    def test_shape_only_region_nbytes_works(self):
+        hm = HostMatrix.shape_only(10, 10)
+        assert hm.region(0, 4, 0, 5).nbytes == 80
+
+
+class TestTileRanges:
+    def test_exact_division(self):
+        assert tile_ranges(8, 4) == [(0, 4), (4, 8)]
+
+    def test_remainder(self):
+        assert tile_ranges(10, 4) == [(0, 4), (4, 8), (8, 10)]
+
+    def test_tile_larger_than_extent(self):
+        assert tile_ranges(3, 100) == [(0, 3)]
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValidationError):
+            tile_ranges(0, 4)

@@ -1,0 +1,96 @@
+"""Unit tests for the TensorCore GEMM time model — including the
+calibration points transcribed from the paper's Tables 1 and 2."""
+
+import pytest
+
+from repro.hw.gemm import GemmModel, Precision
+from repro.hw.specs import A100_40GB, V100_32GB
+
+
+@pytest.fixture
+def model():
+    return GemmModel(V100_32GB)
+
+
+class TestCalibration:
+    """The model must land near the paper's measured in-core rates."""
+
+    def test_cube_16384(self, model):
+        # Table 2 blocking outer tile: 98.8 TFLOPS
+        assert model.rate(16384, 16384, 16384) / 1e12 == pytest.approx(98.8, rel=0.06)
+
+    def test_fat_outer_block(self, model):
+        # Table 2 recursive outer block: 107.6 TFLOPS
+        assert model.rate(8192, 65536, 65536) / 1e12 == pytest.approx(107.6, rel=0.06)
+
+    def test_reduction_shaped_inner_block(self, model):
+        # Table 1 blocking inner block: 52.6 TFLOPS — the "tall and skinny
+        # GEMMs are very hard to run at peak" observation
+        assert model.rate(16384, 16384, 131072) / 1e12 == pytest.approx(52.6, rel=0.06)
+
+    def test_paper_tile_times(self, model):
+        assert model.time(16384, 16384, 16384) == pytest.approx(0.089, rel=0.06)
+        assert model.time(8192, 65536, 65536) == pytest.approx(0.654, rel=0.06)
+        assert model.time(16384, 16384, 131072) == pytest.approx(1.337, rel=0.06)
+
+
+class TestShapeBehaviour:
+    def test_rate_below_peak(self, model):
+        assert model.rate(65536, 65536, 65536) < V100_32GB.tc_peak_flops
+
+    def test_bigger_is_more_efficient(self, model):
+        assert model.efficiency(8192, 8192, 8192) < model.efficiency(
+            32768, 32768, 32768
+        )
+
+    def test_deep_reduction_penalized(self, model):
+        base = model.rate(8192, 8192, 8192)
+        deep = model.rate(8192, 8192, 131072)
+        assert deep < 0.6 * base
+
+    def test_large_free_dimension_rescues_deep_k(self, model):
+        # k / max(m, n) governs the penalty, not k alone
+        assert model.rate(8192, 131072, 131072) > model.rate(8192, 8192, 131072)
+
+    def test_aspect_efficiency_capped_at_one(self, model):
+        assert model.aspect_efficiency(10000, 10000, 10) == 1.0
+
+    def test_time_monotone_in_each_dim(self, model):
+        t0 = model.time(1024, 1024, 1024)
+        assert model.time(2048, 1024, 1024) > t0
+        assert model.time(1024, 2048, 1024) > t0
+        assert model.time(1024, 1024, 2048) > t0
+
+    def test_launch_latency_floor(self, model):
+        assert model.time(1, 1, 1) >= V100_32GB.kernel_launch_s
+
+
+class TestPrecision:
+    def test_fp32_uses_cuda_peak(self, model):
+        assert model.peak(Precision.FP32) == V100_32GB.cuda_peak_flops
+        assert model.peak(Precision.TC_FP16) == V100_32GB.tc_peak_flops
+
+    def test_tc_much_faster_on_big_gemms(self, model):
+        # §1: "representing an 8x speedup by using the matrix accelerator"
+        ratio = model.time(16384, 16384, 16384, Precision.FP32) / model.time(
+            16384, 16384, 16384, Precision.TC_FP16
+        )
+        assert 5.0 < ratio < 9.0
+
+    def test_fp32_tolerates_deep_k_better(self, model):
+        tc = model.aspect_efficiency(8192, 8192, 131072, Precision.TC_FP16)
+        cc = model.aspect_efficiency(8192, 8192, 131072, Precision.FP32)
+        assert cc > tc
+
+
+class TestOtherGpus:
+    def test_a100_faster(self):
+        v, a = GemmModel(V100_32GB), GemmModel(A100_40GB)
+        shape = (32768, 32768, 32768)
+        assert a.time(*shape) < v.time(*shape)
+
+    def test_validation(self, model):
+        from repro.errors import ValidationError
+
+        with pytest.raises(ValidationError):
+            model.time(0, 10, 10)

@@ -1,0 +1,50 @@
+"""Unit tests for the panel-factorization cost model (Table 4 calibration)."""
+
+import pytest
+
+from repro.errors import ShapeError
+from repro.hw.panel import PanelModel
+from repro.hw.specs import A100_40GB, V100_32GB
+
+
+@pytest.fixture
+def model():
+    return PanelModel(V100_32GB)
+
+
+class TestCalibration:
+    def test_table4_square_panels(self, model):
+        # 8 panels of 65536 x 8192 took 2.7 s in the paper
+        assert 8 * model.time(65536, 8192) == pytest.approx(2.7, rel=0.05)
+
+    def test_table4_tall_panels(self, model):
+        # 8 panels of 262144 x 8192 took 9.0 s
+        assert 8 * model.time(262144, 8192) == pytest.approx(9.0, rel=0.05)
+
+    def test_effective_rates(self, model):
+        assert model.rate(65536, 8192) / 1e12 == pytest.approx(26.1, rel=0.05)
+        assert model.rate(262144, 8192) / 1e12 == pytest.approx(31.3, rel=0.05)
+
+
+class TestBehaviour:
+    def test_taller_panels_are_more_efficient(self, model):
+        assert model.rate(262144, 8192) > model.rate(65536, 8192)
+
+    def test_rate_saturates_below_r0(self, model):
+        assert model.rate(10**9, 8192) < model.r0()
+
+    def test_flops_quadratic_in_width(self, model):
+        assert model.flops(1000, 20) == 2 * 1000 * 400
+
+    def test_time_scales_with_width_squared(self, model):
+        # 2x width -> ~4x flops at the same rate
+        ratio = model.time(65536, 16384) / model.time(65536, 8192)
+        assert 3.5 < ratio < 4.5
+
+    def test_a100_panel_faster(self):
+        v, a = PanelModel(V100_32GB), PanelModel(A100_40GB)
+        assert a.time(65536, 8192) < v.time(65536, 8192)
+
+    def test_shape_validation(self, model):
+        with pytest.raises(ShapeError):
+            model.time(0, 10)

@@ -1,0 +1,124 @@
+"""Unit tests for GPU specs and the system configuration."""
+
+import pytest
+
+from repro.config import PAPER_SYSTEM, PAPER_SYSTEM_16GB, SystemConfig
+from repro.errors import ConfigError
+from repro.hw.specs import (
+    A100_40GB,
+    KNOWN_GPUS,
+    V100_16GB,
+    V100_32GB,
+    GpuSpec,
+    get_gpu,
+)
+from repro.util.units import gib
+
+
+class TestGpuSpec:
+    def test_paper_testbed_capacity(self):
+        assert V100_32GB.mem_bytes == gib(32)
+        assert V100_16GB.mem_bytes == gib(16)
+
+    def test_v100_tensorcore_ratio(self):
+        # the paper's "8x speedup by using the matrix accelerator"
+        assert V100_32GB.tc_peak_flops / V100_32GB.cuda_peak_flops == 8.0
+
+    def test_with_memory_preserves_rates(self):
+        capped = V100_32GB.with_memory(gib(16), suffix="x")
+        assert capped.mem_bytes == gib(16)
+        assert capped.tc_peak_flops == V100_32GB.tc_peak_flops
+        assert capped.name == "V100-PCIe-32GB-x"
+
+    def test_with_memory_rejects_nonpositive(self):
+        with pytest.raises(ConfigError):
+            V100_32GB.with_memory(0)
+
+    def test_compute_to_bandwidth_ratio_grows_on_a100(self):
+        # §6: the imbalance keeps growing on newer hardware
+        assert (
+            A100_40GB.compute_to_bandwidth_ratio
+            > V100_32GB.compute_to_bandwidth_ratio
+        )
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("mem_bytes", 0),
+            ("tc_peak_flops", -1.0),
+            ("h2d_bytes_per_s", 0.0),
+        ],
+    )
+    def test_rejects_nonpositive_fields(self, field, value):
+        kwargs = dict(
+            name="bad",
+            mem_bytes=1024,
+            tc_peak_flops=1e12,
+            cuda_peak_flops=1e11,
+            h2d_bytes_per_s=1e9,
+            d2h_bytes_per_s=1e9,
+            d2d_bytes_per_s=1e10,
+        )
+        kwargs[field] = value
+        with pytest.raises(ConfigError):
+            GpuSpec(**kwargs)
+
+    def test_rejects_bad_pageable_factor(self):
+        with pytest.raises(ConfigError):
+            GpuSpec(
+                name="bad",
+                mem_bytes=1024,
+                tc_peak_flops=1e12,
+                cuda_peak_flops=1e11,
+                h2d_bytes_per_s=1e9,
+                d2h_bytes_per_s=1e9,
+                d2d_bytes_per_s=1e10,
+                pageable_factor=1.5,
+            )
+
+
+class TestRegistry:
+    def test_lookup(self):
+        assert get_gpu("V100-PCIe-32GB") is V100_32GB
+
+    def test_unknown_raises_with_list(self):
+        with pytest.raises(ConfigError, match="known:"):
+            get_gpu("H100")
+
+    def test_all_registered_specs_are_consistent(self):
+        for name, spec in KNOWN_GPUS.items():
+            assert spec.name == name
+            assert spec.mem_bytes > 0
+
+
+class TestSystemConfig:
+    def test_paper_system_defaults(self):
+        assert PAPER_SYSTEM.gpu is V100_32GB
+        assert PAPER_SYSTEM.element_bytes == 4
+        assert PAPER_SYSTEM.pinned
+
+    def test_usable_bytes_below_capacity(self):
+        assert 0 < PAPER_SYSTEM.usable_device_bytes < PAPER_SYSTEM.gpu.mem_bytes
+
+    def test_bytes_of(self):
+        assert PAPER_SYSTEM.bytes_of(16384, 16384) == 16384 * 16384 * 4
+
+    def test_elements_fit(self):
+        assert PAPER_SYSTEM.elements_fit(1000)
+        assert not PAPER_SYSTEM.elements_fit(10**12)
+
+    def test_with_gpu(self):
+        cfg = PAPER_SYSTEM.with_gpu(V100_16GB)
+        assert cfg.gpu is V100_16GB
+        assert cfg.element_bytes == PAPER_SYSTEM.element_bytes
+
+    def test_rejects_weird_element_bytes(self):
+        with pytest.raises(ConfigError):
+            SystemConfig(gpu=V100_32GB, element_bytes=3)
+
+    def test_rejects_bad_reserve(self):
+        with pytest.raises(ConfigError):
+            SystemConfig(gpu=V100_32GB, mem_reserve_fraction=1.0)
+
+    def test_16gb_variant(self):
+        assert PAPER_SYSTEM_16GB.gpu.mem_bytes == gib(16)

@@ -1,0 +1,61 @@
+"""Unit tests for the PCIe transfer model."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.hw.specs import V100_32GB
+from repro.hw.transfer import Direction, TransferModel
+
+
+@pytest.fixture
+def model():
+    return TransferModel(V100_32GB, pinned=True)
+
+
+class TestBandwidth:
+    def test_directional_bandwidths(self, model):
+        assert model.bandwidth(Direction.H2D) == V100_32GB.h2d_bytes_per_s
+        assert model.bandwidth(Direction.D2H) == V100_32GB.d2h_bytes_per_s
+        assert model.bandwidth(Direction.D2D) == V100_32GB.d2d_bytes_per_s
+
+    def test_pageable_derating(self):
+        pageable = TransferModel(V100_32GB, pinned=False)
+        assert pageable.bandwidth(Direction.H2D) == pytest.approx(
+            V100_32GB.h2d_bytes_per_s * V100_32GB.pageable_factor
+        )
+
+    def test_d2d_not_derated_by_pageable(self):
+        pageable = TransferModel(V100_32GB, pinned=False)
+        assert pageable.bandwidth(Direction.D2D) == V100_32GB.d2d_bytes_per_s
+
+
+class TestTime:
+    def test_zero_bytes_is_free(self, model):
+        assert model.time(0, Direction.H2D) == 0.0
+
+    def test_includes_latency(self, model):
+        tiny = model.time(1, Direction.H2D)
+        assert tiny >= V100_32GB.pcie_latency_s
+
+    def test_paper_block_time(self, model):
+        # Table 1: a 131072 x 16384 fp32 block moves H2D in ~728 ms
+        nbytes = 131072 * 16384 * 4
+        assert model.time(nbytes, Direction.H2D) == pytest.approx(0.728, rel=0.02)
+
+    def test_paper_c_tile_out(self, model):
+        # Table 2: a 16384^2 fp32 tile moves D2H in ~81 ms
+        nbytes = 16384 * 16384 * 4
+        assert model.time(nbytes, Direction.D2H) == pytest.approx(0.081, rel=0.02)
+
+    def test_monotone_in_bytes(self, model):
+        assert model.time(2**20, Direction.H2D) < model.time(2**21, Direction.H2D)
+
+    def test_d2d_much_faster(self, model):
+        nbytes = 1 << 30
+        assert model.time(nbytes, Direction.D2D) < 0.05 * model.time(
+            nbytes, Direction.H2D
+        )
+
+    def test_negative_bytes_rejected(self, model):
+        with pytest.raises(ValidationError):
+            model.time(-1, Direction.H2D)

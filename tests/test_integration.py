@@ -1,0 +1,140 @@
+"""Integration tests across the whole stack: OOC QR vs numpy on multiple
+workloads, memmap (true disk) out-of-core, hybrid consistency, and
+cross-method agreement."""
+
+import numpy as np
+import pytest
+
+from repro.bench.workloads import (
+    conditioned,
+    graded_columns,
+    least_squares_problem,
+    random_tall,
+)
+from repro.config import SystemConfig
+from repro.execution.numeric import NumericExecutor
+from repro.host.tiled import HostMatrix
+from repro.hw.gemm import Precision
+from repro.qr.api import ooc_qr
+from repro.qr.blocking import ooc_blocking_qr
+from repro.qr.cgs import factorization_error, orthogonality_error
+from repro.qr.options import QrOptions
+from repro.qr.recursive import ooc_recursive_qr
+from tests.conftest import make_tiny_spec
+
+
+@pytest.fixture
+def config():
+    return SystemConfig(gpu=make_tiny_spec(2 << 20), precision=Precision.FP32)
+
+
+class TestCrossMethodAgreement:
+    def test_recursive_equals_blocking_numerically(self, config):
+        """Same CGS math, different schedules: Q and R must agree to fp32
+        accumulation error."""
+        a = random_tall(180, 96, seed=40)
+        rec = ooc_qr(a, method="recursive", config=config, blocksize=32)
+        blk = ooc_qr(a, method="blocking", config=config, blocksize=32)
+        np.testing.assert_allclose(rec.r, blk.r, atol=2e-3)
+        np.testing.assert_allclose(rec.q, blk.q, atol=2e-3)
+
+    def test_ooc_equals_incore(self, config):
+        from repro.qr.incore import incore_recursive_qr
+
+        a = random_tall(128, 64, seed=41)
+        ooc = ooc_qr(a, method="recursive", config=config, blocksize=64)
+        q_ic, r_ic = incore_recursive_qr(a, input_format="fp32")
+        np.testing.assert_allclose(ooc.r, r_ic, atol=2e-3)
+
+
+class TestWorkloads:
+    @pytest.mark.parametrize("method", ["recursive", "blocking"])
+    def test_graded_columns(self, config, method):
+        a = graded_columns(150, 64, decay=0.8, seed=42)
+        res = ooc_qr(a, method=method, config=config, blocksize=16)
+        assert factorization_error(a, res.q, res.r) < 1e-4
+
+    @pytest.mark.parametrize("method", ["recursive", "blocking"])
+    def test_moderately_ill_conditioned(self, config, method):
+        a = conditioned(200, 64, kappa=1e3, seed=43)
+        res = ooc_qr(a, method=method, config=config, blocksize=16)
+        assert factorization_error(a, res.q, res.r) < 1e-4
+        # CGS2 panels keep orthogonality reasonable even at kappa = 1e3
+        assert orthogonality_error(res.q) < 1e-1
+
+    def test_least_squares_via_ooc_qr(self, config):
+        """The motivating application: solve min ||Ax - b|| with the OOC
+        factorization, x = R^{-1} Qᵀ b."""
+        a, b, x_true = least_squares_problem(300, 32, noise=1e-4, seed=44)
+        res = ooc_qr(a, config=config, blocksize=16)
+        x = np.linalg.solve(
+            res.r.astype(np.float64), res.q.astype(np.float64).T @ b
+        )
+        np.testing.assert_allclose(x, x_true, atol=5e-2)
+
+
+class TestDiskBackedOutOfCore:
+    def test_memmap_host_matrix(self, config, tmp_path):
+        """Genuine out-of-core: host A lives in a disk-backed memmap."""
+        a_np = random_tall(160, 64, seed=45)
+        path = tmp_path / "A.dat"
+        mm = np.memmap(path, dtype=np.float32, mode="w+", shape=a_np.shape)
+        mm[:] = a_np
+        host_a = HostMatrix.from_array(mm, name="A")
+        host_r = HostMatrix.zeros(64, 64, name="R")
+        ex = NumericExecutor(config)
+        ooc_recursive_qr(ex, host_a, host_r, QrOptions(blocksize=16))
+        assert factorization_error(a_np, np.asarray(mm), host_r.data) < 1e-4
+
+
+class TestExecutorConsistency:
+    def test_numeric_and_sim_issue_identical_traffic(self, config):
+        """The same driver on numeric and sim executors must move exactly
+        the same bytes and launch the same kernels."""
+        from repro.execution.sim import SimExecutor
+
+        m, n, b = 160, 96, 32
+        a_np = random_tall(m, n, seed=46)
+        nex = NumericExecutor(config)
+        ooc_blocking_qr(
+            nex,
+            HostMatrix.from_array(a_np.copy()),
+            HostMatrix.zeros(n, n),
+            QrOptions(blocksize=b),
+        )
+        sex = SimExecutor(config)
+        ooc_blocking_qr(
+            sex,
+            HostMatrix.shape_only(m, n),
+            HostMatrix.shape_only(n, n),
+            QrOptions(blocksize=b),
+        )
+        assert nex.stats.h2d_bytes == sex.stats.h2d_bytes
+        assert nex.stats.d2h_bytes == sex.stats.d2h_bytes
+        assert nex.stats.n_gemms == sex.stats.n_gemms
+        assert nex.stats.n_panels == sex.stats.n_panels
+
+    def test_hybrid_runs_full_qr(self, config):
+        a = random_tall(128, 64, seed=47)
+        res = ooc_qr(a, mode="hybrid", config=config, blocksize=32)
+        assert factorization_error(a, res.q, res.r) < 1e-4
+        assert res.trace is not None
+        res.trace.check_engine_serial()
+        res.trace.check_causality()
+
+
+class TestScaleInvariants:
+    @pytest.mark.parametrize("b", [16, 32, 64])
+    def test_blocksize_does_not_change_answer(self, config, b):
+        a = random_tall(128, 64, seed=48)
+        res = ooc_qr(a, config=config, blocksize=b)
+        assert factorization_error(a, res.q, res.r) < 1e-4
+
+    def test_memory_cap_does_not_change_answer(self):
+        a = random_tall(192, 96, seed=49)
+        results = []
+        for mem in (4 << 20, 1 << 20, 3 << 19):
+            cfg = SystemConfig(gpu=make_tiny_spec(mem), precision=Precision.FP32)
+            results.append(ooc_qr(a, config=cfg, blocksize=32).r)
+        np.testing.assert_allclose(results[0], results[1], atol=1e-5)
+        np.testing.assert_allclose(results[0], results[2], atol=1e-5)

@@ -1,0 +1,60 @@
+"""Tests for the communication lower bound."""
+
+import pytest
+
+from repro.config import PAPER_SYSTEM, PAPER_SYSTEM_16GB
+from repro.models.bounds import (
+    communication_lower_bound_words,
+    movement_optimality_ratio,
+    qr_flops_total,
+    qr_lower_bound_bytes,
+)
+
+
+class TestBound:
+    def test_formula(self):
+        assert communication_lower_bound_words(1e12, 10**8) == pytest.approx(1e8)
+
+    def test_scales_inverse_sqrt_memory(self):
+        big = communication_lower_bound_words(1e12, 4 * 10**8)
+        small = communication_lower_bound_words(1e12, 10**8)
+        assert small == pytest.approx(2 * big)
+
+    def test_validation(self):
+        from repro.errors import ValidationError
+
+        with pytest.raises(ValidationError):
+            communication_lower_bound_words(0, 100)
+
+
+class TestQrBound:
+    def test_flops_square(self):
+        n = 1000
+        assert qr_flops_total(n, n) == pytest.approx(4 / 3 * n**3, rel=1e-12)
+
+    def test_paper_scale_bound(self):
+        # 131072^2 QR on 31 GB usable: ~132 GB lower bound
+        bound = qr_lower_bound_bytes(PAPER_SYSTEM, 131072, 131072)
+        assert bound == pytest.approx(132e9, rel=0.05)
+
+    def test_smaller_memory_raises_bound(self):
+        b32 = qr_lower_bound_bytes(PAPER_SYSTEM, 131072, 131072)
+        b16 = qr_lower_bound_bytes(PAPER_SYSTEM_16GB, 131072, 131072)
+        assert b16 > b32
+
+    def test_optimality_ratio(self):
+        bound = qr_lower_bound_bytes(PAPER_SYSTEM, 131072, 131072)
+        assert movement_optimality_ratio(
+            PAPER_SYSTEM, 131072, 131072, int(2 * bound)
+        ) == pytest.approx(2.0)
+
+    def test_measured_recursive_traffic_above_bound(self):
+        """Sanity: no algorithm may beat the lower bound."""
+        from repro.qr.api import ooc_qr
+
+        run = ooc_qr((65536, 65536), method="recursive", mode="sim",
+                     blocksize=8192)
+        ratio = movement_optimality_ratio(
+            PAPER_SYSTEM, 65536, 65536, run.movement.total_bytes
+        )
+        assert ratio > 1.0

@@ -1,0 +1,104 @@
+"""Tests for the §3.2 data-movement closed forms."""
+
+import pytest
+
+from repro.models.movement import (
+    blocking_d2h_exact,
+    blocking_d2h_words,
+    blocking_h2d_exact,
+    blocking_h2d_words,
+    compare_movement,
+    recursive_d2h_exact,
+    recursive_d2h_words,
+    recursive_h2d_exact,
+    recursive_h2d_words,
+)
+
+
+class TestClosedFormsMatchBruteForce:
+    """The paper's printed sums vs term-by-term evaluation."""
+
+    @pytest.mark.parametrize(
+        "m,n,b",
+        [(131072, 131072, 16384), (65536, 65536, 8192), (1000, 96, 8), (64, 64, 8)],
+    )
+    def test_blocking_h2d(self, m, n, b):
+        assert blocking_h2d_words(m, n, b) == blocking_h2d_exact(m, n, b)
+
+    @pytest.mark.parametrize(
+        "m,n,b",
+        [(131072, 131072, 16384), (65536, 65536, 8192), (1000, 96, 8)],
+    )
+    def test_blocking_d2h(self, m, n, b):
+        assert blocking_d2h_words(m, n, b) == blocking_d2h_exact(m, n, b)
+
+    @pytest.mark.parametrize("m,n,b", [(131072, 131072, 16384), (4096, 1024, 128)])
+    def test_recursive_d2h_matches_tree_count(self, m, n, b):
+        assert recursive_d2h_words(m, n, b) == pytest.approx(
+            recursive_d2h_exact(m, n, b) + 0.0, rel=0.02
+        )
+
+    def test_recursive_h2d_tree_count_close_to_printed_form(self):
+        # the paper's printed recursive H2D has a known mn/2-vs-n^2/2
+        # inconsistency; the independently derived tree count must agree
+        # with it to leading order for square matrices
+        m = n = 131072
+        b = 16384
+        assert recursive_h2d_exact(m, n, b) == pytest.approx(
+            recursive_h2d_words(m, n, b), rel=0.25
+        )
+
+
+class TestScalingClaims:
+    def test_blocking_linear_in_k(self):
+        m = n = 65536
+        v1 = blocking_h2d_words(m, n, n // 8)   # k = 8
+        v2 = blocking_h2d_words(m, n, n // 16)  # k = 16
+        # leading term (k + 2) m n: doubling k nearly doubles traffic
+        assert v2 / v1 == pytest.approx(18 / 10, rel=0.15)
+
+    def test_recursive_logarithmic_in_k(self):
+        m = n = 65536
+        v1 = recursive_h2d_words(m, n, n // 8)
+        v2 = recursive_h2d_words(m, n, n // 16)
+        # log2 16 / log2 8 = 4/3 on the dominant term
+        assert v2 / v1 < 1.4
+
+    def test_gap_widens_with_k(self):
+        m = n = 131072
+        ratios = [
+            blocking_h2d_words(m, n, b) / recursive_h2d_words(m, n, b)
+            for b in (16384, 8192, 4096, 2048)
+        ]
+        assert ratios == sorted(ratios)
+        assert ratios[-1] > 2 * ratios[0]
+
+    def test_recursive_wins_paper_configuration(self):
+        cmp = compare_movement(131072, 131072, 16384)
+        assert cmp.h2d_ratio > 1.0
+        assert cmp.total_ratio > 1.0
+        assert cmp.k == 8
+
+    def test_paper_table3_band(self):
+        # Table 3's measured ratio was 47.2/37.9 ~ 1.25 H2D; the worst-case
+        # no-reuse model should be in the same band
+        cmp = compare_movement(131072, 131072, 16384)
+        assert 1.0 < cmp.h2d_ratio < 1.6
+
+
+class TestValidation:
+    def test_requires_divisible(self):
+        with pytest.raises(Exception):
+            blocking_h2d_words(100, 100, 7)
+
+    def test_recursive_exact_requires_power_of_two(self):
+        with pytest.raises(ValueError, match="power of two"):
+            recursive_h2d_exact(96, 96, 16)  # k = 6
+
+    def test_k_one_degenerates(self):
+        # single panel: blocking H2D = 3mn per the formula's i=1 term
+        m, n = 100, 10
+        assert blocking_h2d_words(m, n, n) == 3 * m * n
+        assert recursive_h2d_words(m, n, n) == pytest.approx(
+            2 * m * n + m * n / 2 - n * n / 2
+        )

@@ -1,0 +1,91 @@
+"""Tests for the LU/Cholesky movement models and their agreement with the
+measured engine counters."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.execution.sim import SimExecutor
+from repro.factor.cholesky import ooc_blocking_cholesky, ooc_recursive_cholesky
+from repro.factor.lu import ooc_blocking_lu, ooc_recursive_lu
+from repro.host.tiled import HostMatrix
+from repro.hw.gemm import Precision
+from repro.models.movement_ext import (
+    blocking_cholesky_h2d_exact,
+    blocking_lu_d2h_exact,
+    blocking_lu_h2d_exact,
+    cholesky_movement_ratio,
+    lu_movement_ratio,
+    recursive_cholesky_h2d_exact,
+    recursive_lu_d2h_exact,
+    recursive_lu_h2d_exact,
+)
+from repro.qr.options import QrOptions
+from tests.conftest import make_tiny_spec
+
+
+class TestGrowthLaws:
+    def test_blocking_lu_linear_in_k(self):
+        n = 4096
+        v8 = blocking_lu_h2d_exact(n, n // 8)
+        v32 = blocking_lu_h2d_exact(n, n // 32)
+        # the trailing-tile term grows ~linearly with k
+        assert v32 / v8 > 2.5
+
+    def test_recursive_lu_logarithmic_in_k(self):
+        n = 4096
+        v8 = recursive_lu_h2d_exact(n, n // 8)
+        v32 = recursive_lu_h2d_exact(n, n // 32)
+        assert v32 / v8 < 1.5
+
+    def test_gap_widens_with_k_for_both_factorizations(self):
+        n = 8192
+        lu_ratios = [lu_movement_ratio(n, n // k) for k in (4, 8, 16, 32)]
+        chol_ratios = [cholesky_movement_ratio(n, n // k) for k in (4, 8, 16, 32)]
+        assert lu_ratios == sorted(lu_ratios)
+        assert chol_ratios == sorted(chol_ratios)
+        assert lu_ratios[-1] > 1.5
+        assert chol_ratios[-1] > 1.5
+
+    def test_requires_power_of_two_k(self):
+        with pytest.raises(ValueError, match="power of two"):
+            recursive_lu_h2d_exact(96, 16)   # k = 6
+
+    def test_cholesky_cheaper_than_lu(self):
+        # Cholesky touches roughly the lower half
+        n, b = 4096, 512
+        assert blocking_cholesky_h2d_exact(n, b) < blocking_lu_h2d_exact(n, b)
+
+
+class TestAgainstMeasurement:
+    """The engines reuse aggressively, so measured <= worst-case model,
+    while the blocking/recursive ordering is preserved."""
+
+    @pytest.fixture
+    def config(self):
+        return SystemConfig(gpu=make_tiny_spec(1 << 20), precision=Precision.FP32)
+
+    def _measure(self, config, driver, n, b):
+        ex = SimExecutor(config)
+        driver(ex, HostMatrix.shape_only(n, n), QrOptions(blocksize=b))
+        ex.finish()
+        return ex.stats.h2d_bytes // config.element_bytes, (
+            ex.stats.d2h_bytes // config.element_bytes
+        )
+
+    def test_lu_measured_below_model(self, config):
+        n, b = 256, 32
+        blk_h2d, blk_d2h = self._measure(config, ooc_blocking_lu, n, b)
+        rec_h2d, rec_d2h = self._measure(config, ooc_recursive_lu, n, b)
+        assert blk_h2d <= blocking_lu_h2d_exact(n, b)
+        assert blk_d2h <= blocking_lu_d2h_exact(n, b)
+        assert rec_h2d <= recursive_lu_h2d_exact(n, b)
+        assert rec_d2h <= recursive_lu_d2h_exact(n, b)
+        assert rec_h2d < blk_h2d
+
+    def test_cholesky_measured_below_model(self, config):
+        n, b = 256, 32
+        blk_h2d, _ = self._measure(config, ooc_blocking_cholesky, n, b)
+        rec_h2d, _ = self._measure(config, ooc_recursive_cholesky, n, b)
+        assert blk_h2d <= blocking_cholesky_h2d_exact(n, b)
+        assert rec_h2d <= recursive_cholesky_h2d_exact(n, b)
+        assert rec_h2d < blk_h2d

@@ -1,0 +1,83 @@
+"""Tests for the §3.3 overlap thresholds."""
+
+import pytest
+
+from repro.hw.specs import A100_40GB, GpuSpec, V100_32GB
+from repro.models.overlap import (
+    all_cases,
+    blocking_inner_overlap,
+    blocking_outer_overlap,
+    machine_balance,
+    overlap_threshold,
+    recursive_inner_overlap,
+    recursive_outer_overlap,
+)
+from repro.util.units import gb, gib, tflops
+
+#: The paper's round numbers: R_g = 90 TFLOPS, R_m = 12 GB/s.
+PAPER_V100 = GpuSpec(
+    name="paper-v100",
+    mem_bytes=gib(32),
+    tc_peak_flops=tflops(90),
+    cuda_peak_flops=tflops(14),
+    h2d_bytes_per_s=gb(12),
+    d2h_bytes_per_s=gb(12),
+    d2d_bytes_per_s=gb(750),
+)
+
+
+class TestPaperConstants:
+    def test_recursive_threshold_30k(self):
+        assert overlap_threshold(PAPER_V100) == pytest.approx(30000)
+
+    def test_blocking_threshold_15k(self):
+        assert overlap_threshold(
+            PAPER_V100, streams_both_operands=False
+        ) == pytest.approx(15000)
+
+    def test_machine_balance(self):
+        # 90e12 flops/s over 3e9 elements/s = 30000 flops per element
+        assert machine_balance(PAPER_V100) == pytest.approx(30000)
+
+
+class TestCases:
+    def test_recursive_inner_large_m_overlaps(self):
+        assert recursive_inner_overlap(PAPER_V100, 65536).overlapped
+
+    def test_recursive_inner_small_m_does_not(self):
+        assert not recursive_inner_overlap(PAPER_V100, 16384).overlapped
+
+    def test_blocking_inner_panel_width_fails(self):
+        # the blocking algorithm's m IS the panel width (8192/16384):
+        # 8192 < 15000 fails, 16384 barely passes
+        assert not blocking_inner_overlap(PAPER_V100, 8192).overlapped
+        assert blocking_inner_overlap(PAPER_V100, 16384).overlapped
+
+    def test_outer_cases_mirror_inner(self):
+        assert recursive_outer_overlap(PAPER_V100, 65536).overlapped
+        assert not blocking_outer_overlap(PAPER_V100, 8192).overlapped
+
+    def test_all_cases_paper_configuration(self):
+        cases = {c.name: c for c in all_cases(PAPER_V100, qr_blocksize=16384, matrix_n=131072)}
+        assert cases["recursive-inner"].overlapped
+        assert cases["recursive-outer"].overlapped
+        assert cases["blocking-inner"].overlapped  # 16384 > 15000, just
+        # shrink the panel (the 16 GB scenario) and blocking fails
+        cases8k = {c.name: c for c in all_cases(PAPER_V100, qr_blocksize=8192, matrix_n=131072)}
+        assert not cases8k["blocking-inner"].overlapped
+        assert not cases8k["blocking-outer"].overlapped
+        assert cases8k["recursive-inner"].overlapped  # recursion unaffected
+
+
+class TestHardwareTrend:
+    def test_a100_threshold_higher(self):
+        # §6: A100 needs blocksize > 60k — impossible for blocking
+        t_v100 = overlap_threshold(V100_32GB)
+        t_a100 = overlap_threshold(A100_40GB)
+        assert t_a100 > 1.3 * t_v100
+        assert t_a100 > 50000
+
+    def test_element_size_scales_threshold(self):
+        t4 = overlap_threshold(PAPER_V100, element_bytes=4)
+        t8 = overlap_threshold(PAPER_V100, element_bytes=8)
+        assert t8 == pytest.approx(2 * t4)

@@ -1,0 +1,71 @@
+"""Tests for the analytic end-to-end predictor."""
+
+import pytest
+
+from repro.config import PAPER_SYSTEM, PAPER_SYSTEM_16GB, SystemConfig
+from repro.hw.specs import A100_40GB
+from repro.models.predict import (
+    predict,
+    predict_blocking,
+    predict_recursive,
+    predicted_speedup,
+)
+
+
+class TestStructure:
+    def test_phase_lists(self):
+        p = predict_recursive(PAPER_SYSTEM, 131072, 131072, 16384)
+        names = [ph.name for ph in p.phases]
+        assert names[0] == "panels"
+        assert any("level-0-inner" in n for n in names)
+        # k = 8 -> 3 levels of updates
+        assert sum("inner" in n for n in names) == 3
+
+    def test_blocking_iterations(self):
+        p = predict_blocking(PAPER_SYSTEM, 131072, 131072, 16384)
+        assert sum("inner" in ph.name for ph in p.phases) == 7  # k - 1
+
+    def test_totals_positive_and_consistent(self):
+        for method in ("recursive", "blocking"):
+            p = predict(PAPER_SYSTEM, 65536, 65536, 8192, method)
+            assert p.total_s > 0
+            assert p.total_s <= p.compute_s + p.transfer_s
+            assert p.total_s >= max(ph.span_s for ph in p.phases)
+
+    def test_unknown_method(self):
+        with pytest.raises(ValueError):
+            predict(PAPER_SYSTEM, 100, 100, 10, "cholesky")
+
+
+class TestPaperShape:
+    def test_recursive_wins_paper_config(self):
+        s = predicted_speedup(PAPER_SYSTEM, 131072, 131072, 16384)
+        assert 1.1 < s < 1.8
+
+    def test_advantage_grows_with_smaller_blocksize(self):
+        s_16k = predicted_speedup(PAPER_SYSTEM, 131072, 131072, 16384)
+        s_8k = predicted_speedup(PAPER_SYSTEM_16GB, 131072, 131072, 8192)
+        assert s_8k > s_16k
+
+    def test_a100_advantage_at_least_v100(self):
+        cfg_a100 = SystemConfig(gpu=A100_40GB)
+        s_v = predicted_speedup(PAPER_SYSTEM, 131072, 131072, 16384)
+        s_a = predicted_speedup(cfg_a100, 131072, 131072, 16384)
+        assert s_a >= 0.9 * s_v
+
+    def test_panel_time_identical_between_methods(self):
+        rec = predict_recursive(PAPER_SYSTEM, 65536, 65536, 8192)
+        blk = predict_blocking(PAPER_SYSTEM, 65536, 65536, 8192)
+        rec_panel = next(p for p in rec.phases if p.name == "panels")
+        blk_panel = next(p for p in blk.phases if p.name == "panels")
+        assert rec_panel.compute_s == blk_panel.compute_s
+
+    def test_table4_panel_estimate(self):
+        rec = predict_recursive(PAPER_SYSTEM, 65536, 65536, 8192)
+        panel = next(p for p in rec.phases if p.name == "panels")
+        assert panel.compute_s == pytest.approx(2.7, rel=0.1)
+
+    def test_achieved_tflops_helper(self):
+        p = predict_recursive(PAPER_SYSTEM, 65536, 65536, 8192)
+        flops = (4 / 3) * 65536**3
+        assert 10 < p.achieved_tflops(flops) < 112

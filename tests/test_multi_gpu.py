@@ -1,0 +1,75 @@
+"""Tests for the multi-GPU OOC GEMM simulation."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.errors import ValidationError
+from repro.hw.gemm import Precision
+from repro.multi import multi_gpu_gemm, scaling_sweep
+from tests.conftest import make_tiny_spec
+
+
+@pytest.fixture
+def config():
+    return SystemConfig(gpu=make_tiny_spec(4 << 20), precision=Precision.FP32)
+
+ARGS = dict(kind="inner", M=512, N=1024, K=2048, blocksize=256)
+
+
+class TestMultiGpuGemm:
+    def test_single_gpu_baseline(self, config):
+        r = multi_gpu_gemm(config, n_gpus=1, **ARGS)
+        assert r.n_gpus == 1
+        assert r.makespan > 0
+        assert r.total_flops == 2 * 512 * 1024 * 2048
+        assert len(r.per_gpu_makespans) == 1
+
+    def test_flops_conserved_across_splits(self, config):
+        r1 = multi_gpu_gemm(config, n_gpus=1, **ARGS)
+        r4 = multi_gpu_gemm(config, n_gpus=4, **ARGS)
+        assert r4.total_flops == r1.total_flops
+
+    def test_shared_operand_reread_per_gpu(self, config):
+        """Each device reads all of A: total traffic grows with the count."""
+        r1 = multi_gpu_gemm(config, n_gpus=1, shared_link=False, **ARGS)
+        r4 = multi_gpu_gemm(config, n_gpus=4, shared_link=False, **ARGS)
+        a_bytes = 2048 * 512 * 4
+        assert r4.total_h2d_bytes >= r1.total_h2d_bytes + 2 * a_bytes
+
+    def test_independent_links_speed_up(self, config):
+        r1 = multi_gpu_gemm(config, n_gpus=1, shared_link=False, **ARGS)
+        r2 = multi_gpu_gemm(config, n_gpus=2, shared_link=False, **ARGS)
+        assert r2.speedup_over(r1) > 1.2
+        assert 0 < r2.efficiency_over(r1) <= 1.0
+
+    def test_shared_link_scales_worse(self, config):
+        r2_own = multi_gpu_gemm(config, n_gpus=2, shared_link=False, **ARGS)
+        r2_shared = multi_gpu_gemm(config, n_gpus=2, shared_link=True, **ARGS)
+        assert r2_shared.makespan >= r2_own.makespan
+
+    def test_outer_kind(self, config):
+        r = multi_gpu_gemm(config, kind="outer", M=1024, N=512, K=256,
+                           blocksize=128, n_gpus=2)
+        assert r.makespan > 0
+        assert r.total_flops == 2 * 1024 * 512 * 256
+
+    def test_makespan_is_max_over_devices(self, config):
+        r = multi_gpu_gemm(config, n_gpus=3, **ARGS)
+        assert r.makespan == max(r.per_gpu_makespans)
+
+    def test_too_many_gpus_rejected(self, config):
+        with pytest.raises(ValidationError):
+            multi_gpu_gemm(config, kind="inner", M=8, N=4, K=8,
+                           blocksize=4, n_gpus=8)
+
+    def test_bad_kind(self, config):
+        with pytest.raises(ValidationError):
+            multi_gpu_gemm(config, kind="middle", M=8, N=8, K=8,
+                           blocksize=4, n_gpus=1)
+
+
+class TestScalingSweep:
+    def test_returns_all_counts(self, config):
+        sweep = scaling_sweep(config, gpu_counts=(1, 2), **ARGS)
+        assert set(sweep) == {1, 2}
+        assert all(r.makespan > 0 for r in sweep.values())

@@ -1,0 +1,58 @@
+"""Tests for multi-GPU TSQR panel factorization."""
+
+import pytest
+
+from repro.config import PAPER_SYSTEM
+from repro.errors import ValidationError
+from repro.multi import multi_gpu_panel_qr, panel_scaling_sweep
+
+
+class TestMultiGpuPanel:
+    def test_single_gpu_has_no_tree(self):
+        r = multi_gpu_panel_qr(PAPER_SYSTEM, m=65536, b=2048, n_gpus=1)
+        assert r.tree_phase == 0.0
+        assert r.makespan == r.local_phase
+
+    def test_local_phase_shrinks_with_gpus(self):
+        r1 = multi_gpu_panel_qr(PAPER_SYSTEM, m=131072, b=2048, n_gpus=1,
+                                shared_link=False)
+        r4 = multi_gpu_panel_qr(PAPER_SYSTEM, m=131072, b=2048, n_gpus=4,
+                                shared_link=False)
+        assert r4.local_phase < 0.5 * r1.local_phase
+        assert r4.tree_phase > 0
+
+    def test_skinny_panels_scale_well(self):
+        """The TSQR regime: for skinny panels, the tree is negligible and
+        multi-GPU panel factorization approaches linear speedup."""
+        sweep = panel_scaling_sweep(
+            PAPER_SYSTEM, m=131072, b=1024, gpu_counts=(1, 4), shared_link=False
+        )
+        assert sweep[4].speedup_over(sweep[1]) > 2.5
+
+    def test_fat_panels_bottleneck_on_the_tree(self):
+        """The honest counterpoint: at the paper's b = 8192 panel width,
+        the (2b x b) reduction QRs cost as much as the saved local work —
+        multi-GPU panels are NOT the fix for Table 4's panel time."""
+        sweep = panel_scaling_sweep(
+            PAPER_SYSTEM, m=65536, b=8192, gpu_counts=(1, 4), shared_link=False
+        )
+        assert sweep[4].speedup_over(sweep[1]) < 1.6
+        assert sweep[4].tree_phase > sweep[4].local_phase
+
+    def test_shared_link_erodes_the_gain(self):
+        own = multi_gpu_panel_qr(PAPER_SYSTEM, m=131072, b=1024, n_gpus=4,
+                                 shared_link=False)
+        shared = multi_gpu_panel_qr(PAPER_SYSTEM, m=131072, b=1024, n_gpus=4,
+                                    shared_link=True)
+        assert shared.makespan > own.makespan
+
+    def test_slabs_must_be_taller_than_the_panel(self):
+        with pytest.raises(ValidationError, match="slabs"):
+            multi_gpu_panel_qr(PAPER_SYSTEM, m=8192, b=4096, n_gpus=4)
+
+    def test_speedup_helper(self):
+        sweep = panel_scaling_sweep(
+            PAPER_SYSTEM, m=65536, b=1024, gpu_counts=(1, 2), shared_link=False
+        )
+        assert sweep[1].speedup_over(sweep[1]) == pytest.approx(1.0)
+        assert sweep[2].speedup_over(sweep[1]) > 1.0

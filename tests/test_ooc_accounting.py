@@ -1,0 +1,77 @@
+"""Tests for movement accounting and the track() context manager."""
+
+import pytest
+
+from repro.host.tiled import HostMatrix
+from repro.ooc.accounting import MovementReport, track
+
+
+class TestTrack:
+    def test_deltas_only(self, numeric_ex):
+        host = HostMatrix.zeros(8, 8)
+        buf = numeric_ex.alloc(8, 8)
+        s = numeric_ex.stream("s")
+        numeric_ex.h2d(buf, host.full(), s)  # before tracking
+        with track(numeric_ex) as moved:
+            numeric_ex.h2d(buf, host.full(), s)
+            numeric_ex.d2h(host.full(), buf, s)
+        assert moved.h2d_bytes == 8 * 8 * 4
+        assert moved.d2h_bytes == 8 * 8 * 4
+        numeric_ex.free(buf)
+
+    def test_report_before_exit_unavailable(self, numeric_ex):
+        with track(numeric_ex) as moved:
+            with pytest.raises(AttributeError):
+                _ = moved.h2d_bytes
+
+    def test_captures_on_exception(self, numeric_ex):
+        host = HostMatrix.zeros(4, 4)
+        buf = numeric_ex.alloc(4, 4)
+        s = numeric_ex.stream("s")
+        with pytest.raises(RuntimeError):
+            with track(numeric_ex) as moved:
+                numeric_ex.h2d(buf, host.full(), s)
+                raise RuntimeError("boom")
+        assert moved.h2d_bytes == 64
+        numeric_ex.free(buf)
+
+    def test_gemm_and_panel_counters(self, numeric_ex):
+        with track(numeric_ex) as moved:
+            a = numeric_ex.alloc(16, 8)
+            r = numeric_ex.alloc(8, 8)
+            c = numeric_ex.alloc(8, 8)
+            s = numeric_ex.stream("s")
+            import numpy as np
+
+            numeric_ex.h2d(
+                a, HostMatrix.from_array(
+                    np.random.default_rng(0).standard_normal((16, 8)).astype(np.float32)
+                ).full(), s,
+            )
+            numeric_ex.gemm(c, a, a, s, trans_a=True)
+            numeric_ex.panel_qr(a, r, s)
+            for buf in (a, r, c):
+                numeric_ex.free(buf)
+        assert moved.n_gemms == 1
+        assert moved.n_panels == 1
+        assert moved.gemm_flops == 2 * 8 * 8 * 16
+        assert moved.panel_flops == 2 * 16 * 8 * 8
+
+
+class TestMovementReport:
+    def test_totals_and_intensity(self):
+        rep = MovementReport(
+            h2d_bytes=100, d2h_bytes=50, d2d_bytes=10,
+            gemm_flops=3000, panel_flops=0, n_gemms=1, n_panels=0,
+        )
+        assert rep.total_bytes == 150
+        assert rep.arithmetic_intensity() == pytest.approx(20.0)
+
+    def test_zero_bytes_intensity_infinite(self):
+        rep = MovementReport(0, 0, 0, 10, 0, 1, 0)
+        assert rep.arithmetic_intensity() == float("inf")
+
+    def test_describe_renders(self):
+        rep = MovementReport(10**9, 10**8, 0, 10**12, 10**10, 5, 2)
+        text = rep.describe()
+        assert "H2D" in text and "GB" in text and "intensity" in text

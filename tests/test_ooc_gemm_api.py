@@ -1,0 +1,97 @@
+"""Tests for the public ooc_gemm entry point."""
+
+import numpy as np
+import pytest
+
+from repro.config import SystemConfig
+from repro.errors import ShapeError, ValidationError
+from repro.hw.gemm import Precision
+from repro.ooc.api import ooc_gemm
+from tests.conftest import make_tiny_spec
+
+
+@pytest.fixture
+def config():
+    return SystemConfig(gpu=make_tiny_spec(1 << 20), precision=Precision.FP32)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(99)
+
+
+class TestInnerForm:
+    def test_matches_numpy(self, config, rng):
+        a = rng.standard_normal((300, 64)).astype(np.float32)
+        b = rng.standard_normal((300, 80)).astype(np.float32)
+        res = ooc_gemm(a, b, trans_a=True, config=config, blocksize=64)
+        assert res.strategy == "ksplit-inner"
+        np.testing.assert_allclose(res.c, a.T @ b, rtol=1e-4, atol=1e-4)
+        assert res.movement.h2d_bytes >= (a.nbytes + b.nbytes)
+
+    def test_simulated(self, config):
+        res = ooc_gemm((2048, 128), (2048, 96), trans_a=True,
+                       config=config, blocksize=256)
+        assert res.c is None
+        assert res.makespan > 0
+        assert res.achieved_tflops > 0
+
+    def test_alpha_beta_restricted(self, config):
+        with pytest.raises(ValidationError):
+            ooc_gemm((8, 4), (8, 4), trans_a=True, alpha=2.0, config=config)
+
+    def test_k_mismatch(self, config):
+        with pytest.raises(ShapeError):
+            ooc_gemm((8, 4), (9, 4), trans_a=True, config=config)
+
+
+class TestOuterForm:
+    def test_update_matches_numpy(self, config, rng):
+        a = rng.standard_normal((120, 24)).astype(np.float32)
+        b = rng.standard_normal((24, 40)).astype(np.float32)
+        c = rng.standard_normal((120, 40)).astype(np.float32)
+        expected = c - a @ b
+        res = ooc_gemm(a, b, alpha=-1.0, beta=1.0, c=c.copy(),
+                       config=config, blocksize=32)
+        assert res.strategy == "rowstream-outer"
+        np.testing.assert_allclose(res.c, expected, rtol=1e-4, atol=1e-4)
+
+    def test_plain_product(self, config, rng):
+        a = rng.standard_normal((96, 16)).astype(np.float32)
+        b = rng.standard_normal((16, 48)).astype(np.float32)
+        res = ooc_gemm(a, b, config=config, blocksize=32)
+        np.testing.assert_allclose(res.c, a @ b, rtol=1e-4, atol=1e-4)
+
+    def test_update_requires_c(self, config):
+        with pytest.raises(ValidationError, match="requires the C"):
+            ooc_gemm((8, 4), (4, 8), alpha=-1.0, beta=1.0, config=config)
+
+    def test_simulated_paper_scale(self):
+        # Table 2's recursive outer product shape, via the public API
+        res = ooc_gemm((131072, 65536), (65536, 65536), alpha=-1.0, beta=1.0,
+                       c=(131072, 65536), blocksize=8192)
+        assert res.makespan == pytest.approx(12.0, rel=0.25)
+
+    def test_inner_dims_checked(self, config):
+        with pytest.raises(ShapeError):
+            ooc_gemm((8, 4), (5, 8), config=config)
+
+
+class TestValidation:
+    def test_mixed_backing_rejected(self, config, rng):
+        a = rng.standard_normal((8, 4)).astype(np.float32)
+        with pytest.raises(ValidationError):
+            ooc_gemm(a, (4, 8), config=config)
+
+    def test_numeric_mode_on_shapes_rejected(self, config):
+        with pytest.raises(ValidationError):
+            ooc_gemm((8, 4), (4, 8), mode="numeric", config=config)
+
+    def test_device_memory_cap(self, rng):
+        a = rng.standard_normal((256, 64)).astype(np.float32)
+        b = rng.standard_normal((256, 64)).astype(np.float32)
+        res = ooc_gemm(a, b, trans_a=True, blocksize=32,
+                       device_memory=256 << 10)
+        assert res.config.gpu.mem_bytes == 256 << 10
+        # default precision is fp16 TensorCore emulation: loose check
+        np.testing.assert_allclose(res.c, a.T @ b, rtol=5e-2, atol=5e-2)

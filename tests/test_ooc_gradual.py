@@ -1,0 +1,74 @@
+"""Unit tests for chunk schedules (uniform and §4.1.3 gradual ramp)."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.ooc.gradual import gradual_schedule, uniform_schedule
+
+
+def covers_exactly(schedule, extent):
+    pos = 0
+    for off, size in schedule:
+        if off != pos or size <= 0:
+            return False
+        pos += size
+    return pos == extent
+
+
+class TestUniform:
+    def test_exact_division(self):
+        assert uniform_schedule(8, 4) == [(0, 4), (4, 8 - 4)]
+
+    def test_remainder_in_last(self):
+        sched = uniform_schedule(10, 4)
+        assert sched[-1] == (8, 2)
+        assert covers_exactly(sched, 10)
+
+    def test_single_chunk(self):
+        assert uniform_schedule(3, 10) == [(0, 3)]
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValidationError):
+            uniform_schedule(0, 4)
+
+
+class TestGradual:
+    def test_paper_example(self):
+        # §4.1.3: K = 131072, blocksize 16384, ramp from 4096
+        sched = gradual_schedule(131072, 16384, ramp=4)
+        sizes = [s for _, s in sched]
+        assert sizes[0] == 4096
+        assert sizes[1] == 8192
+        assert sizes[2] == 16384
+        assert max(sizes) == 16384
+        assert covers_exactly(sched, 131072)
+
+    def test_first_chunk_smaller(self):
+        sched = gradual_schedule(1000, 100, ramp=4)
+        assert sched[0][1] < 100
+        assert covers_exactly(sched, 1000)
+
+    def test_ramp_one_is_uniform(self):
+        assert gradual_schedule(100, 10, ramp=1) == uniform_schedule(100, 10)
+
+    def test_small_extent_falls_back(self):
+        assert gradual_schedule(10, 16) == uniform_schedule(10, 16)
+
+    def test_tiny_blocksize_falls_back(self):
+        # blocksize < 2 * ramp cannot ramp meaningfully
+        assert gradual_schedule(100, 4, ramp=4) == uniform_schedule(100, 4)
+
+    @pytest.mark.parametrize("extent,block", [(100, 7), (128, 32), (131072, 8192), (999, 250)])
+    def test_always_covers(self, extent, block):
+        assert covers_exactly(gradual_schedule(extent, block), extent)
+
+    def test_monotone_nondecreasing_until_last(self):
+        sizes = [s for _, s in gradual_schedule(10000, 512, ramp=4)]
+        body = sizes[:-1]  # last chunk may be a remainder
+        assert all(a <= b for a, b in zip(body, body[1:]))
+
+    def test_total_chunks_close_to_uniform(self):
+        # the ramp must not explode the chunk count (it adds ~log2(ramp))
+        g = gradual_schedule(131072, 16384, ramp=4)
+        u = uniform_schedule(131072, 16384)
+        assert len(g) <= len(u) + 3

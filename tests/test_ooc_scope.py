@@ -1,0 +1,64 @@
+"""Direct unit tests for the exception-safe device-buffer scope."""
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.ooc.scope import DeviceScope
+
+
+class TestDeviceScope:
+    def test_frees_on_normal_exit(self, numeric_ex):
+        with DeviceScope(numeric_ex) as scope:
+            scope.alloc(8, 8, "a")
+            scope.alloc(4, 4, "b")
+            assert numeric_ex.allocator.used > 0
+        numeric_ex.allocator.check_balanced()
+
+    def test_frees_on_exception(self, numeric_ex):
+        with pytest.raises(RuntimeError):
+            with DeviceScope(numeric_ex) as scope:
+                scope.alloc(8, 8, "a")
+                raise RuntimeError("boom")
+        numeric_ex.allocator.check_balanced()
+
+    def test_release_transfers_ownership(self, numeric_ex):
+        with DeviceScope(numeric_ex) as scope:
+            buf = scope.alloc(8, 8, "kept")
+            kept = scope.release(buf)
+        assert numeric_ex.allocator.used > 0  # survived the scope
+        numeric_ex.free(kept)
+        numeric_ex.allocator.check_balanced()
+
+    def test_mid_scope_free(self, numeric_ex):
+        with DeviceScope(numeric_ex) as scope:
+            buf = scope.alloc(8, 8, "tmp")
+            scope.free(buf)
+            assert numeric_ex.allocator.used == 0
+        numeric_ex.allocator.check_balanced()
+
+    def test_adopt_external_buffer(self, numeric_ex):
+        external = numeric_ex.alloc(4, 4, "ext")
+        with DeviceScope(numeric_ex) as scope:
+            scope.adopt(external)
+        numeric_ex.allocator.check_balanced()
+
+    def test_adopt_none_passthrough(self, numeric_ex):
+        with DeviceScope(numeric_ex) as scope:
+            assert scope.adopt(None) is None
+
+    def test_foreign_buffer_operations_rejected(self, numeric_ex):
+        foreign = numeric_ex.alloc(4, 4, "foreign")
+        with DeviceScope(numeric_ex) as scope:
+            with pytest.raises(ExecutionError, match="not owned"):
+                scope.release(foreign)
+            with pytest.raises(ExecutionError, match="not owned"):
+                scope.free(foreign)
+        numeric_ex.free(foreign)
+
+    def test_exception_not_masked_by_free_failure(self, numeric_ex):
+        """If both the body and cleanup fail, the body's error wins."""
+        with pytest.raises(RuntimeError, match="body error"):
+            with DeviceScope(numeric_ex) as scope:
+                buf = scope.alloc(4, 4, "x")
+                numeric_ex.free(buf)  # behind the scope's back: cleanup fails
+                raise RuntimeError("body error")

@@ -1,0 +1,219 @@
+"""Tests for the out-of-core triangular-solve engines."""
+
+import numpy as np
+import pytest
+import scipy.linalg
+
+from repro.errors import PlanError, ShapeError
+from repro.host.tiled import HostMatrix
+from repro.ooc.plan import plan_panel_inner
+from repro.ooc.trsm import plan_ooc_trsm, run_ooc_trsm, run_panel_trsm
+
+
+def budget(ex):
+    return ex.allocator.free_bytes // ex.config.element_bytes
+
+
+def make_triangle(k, rng, *, garbage_upper=True):
+    """A well-conditioned unit-lower triangle (random ones explode)."""
+    tri = np.eye(k, dtype=np.float32) + 0.5 * np.tril(
+        rng.standard_normal((k, k)).astype(np.float32), -1
+    ) / np.sqrt(k)
+    if garbage_upper:
+        tri = tri + np.triu(rng.standard_normal((k, k)).astype(np.float32), 1)
+    return tri
+
+
+class TestPlan:
+    def test_single_panel(self):
+        plan = plan_ooc_trsm(100, 50, 20, 10**6)
+        assert plan.n_panels == 1
+        assert sum(h for _, h in plan.blocks) == 100
+
+    def test_panel_split_under_pressure(self):
+        plan = plan_ooc_trsm(100, 50, 4, 100 * 10 + 2 * 1 * 100 + 8)
+        assert plan.n_panels >= 2
+
+    def test_h2d_accounting(self):
+        plan = plan_ooc_trsm(64, 16, 16, 10**6)
+        # strips: heights 16, widths 16/32/48/64 -> 16*(16+32+48+64) + B
+        assert plan.h2d_elements() == 16 * (16 + 32 + 48 + 64) + 64 * 16
+
+    def test_infeasible(self):
+        with pytest.raises(PlanError):
+            plan_ooc_trsm(10**4, 10**4, 1, 100)
+
+
+class TestOocTrsm:
+    @pytest.mark.parametrize("K,N,b", [(96, 40, 16), (64, 64, 64), (50, 7, 8)])
+    def test_matches_scipy(self, numeric_ex, rng, K, N, b):
+        tri = make_triangle(K, rng)
+        rhs = rng.standard_normal((K, N)).astype(np.float32)
+        ref = scipy.linalg.solve_triangular(
+            np.tril(tri, -1).astype(np.float64) + np.eye(K),
+            rhs.astype(np.float64),
+            lower=True,
+            unit_diagonal=True,
+        )
+        x = rhs.copy()
+        plan = plan_ooc_trsm(K, N, b, budget(numeric_ex))
+        run_ooc_trsm(
+            numeric_ex,
+            HostMatrix.from_array(tri, "L").full(),
+            HostMatrix.from_array(rhs, "B").full(),
+            HostMatrix.from_array(x, "X").full(),
+            plan,
+        )
+        assert np.abs(x - ref).max() / np.abs(ref).max() < 1e-5
+        numeric_ex.allocator.check_balanced()
+
+    def test_in_place_alias(self, numeric_ex, rng):
+        """The LU driver aliases B and X (solves into the packed storage)."""
+        K, N = 64, 24
+        tri = make_triangle(K, rng)
+        rhs = rng.standard_normal((K, N)).astype(np.float32)
+        ref = scipy.linalg.solve_triangular(
+            np.tril(tri, -1).astype(np.float64) + np.eye(K),
+            rhs.astype(np.float64), lower=True, unit_diagonal=True,
+        )
+        host = HostMatrix.from_array(rhs, "BX")
+        plan = plan_ooc_trsm(K, N, 16, budget(numeric_ex))
+        run_ooc_trsm(
+            numeric_ex,
+            HostMatrix.from_array(tri, "L").full(),
+            host.full(),
+            host.full(),
+            plan,
+        )
+        assert np.abs(rhs - ref).max() / np.abs(ref).max() < 1e-5
+
+    def test_keep_on_device(self, numeric_ex, rng):
+        K, N = 48, 12
+        tri = make_triangle(K, rng)
+        rhs = rng.standard_normal((K, N)).astype(np.float32)
+        plan = plan_ooc_trsm(K, N, 16, budget(numeric_ex))
+        x_dev = run_ooc_trsm(
+            numeric_ex,
+            HostMatrix.from_array(tri, "L").full(),
+            HostMatrix.from_array(rhs, "B").full(),
+            None,
+            plan,
+            keep_on_device=True,
+        )
+        assert x_dev is not None
+        out = HostMatrix.zeros(K, N)
+        numeric_ex.d2h(out.full(), x_dev.view(0, K, 0, N), numeric_ex.stream("s"))
+        ref = scipy.linalg.solve_triangular(
+            np.tril(tri, -1) + np.eye(K, dtype=np.float32), rhs,
+            lower=True, unit_diagonal=True,
+        )
+        np.testing.assert_allclose(out.data, ref, rtol=1e-4, atol=1e-4)
+        numeric_ex.free(x_dev)
+        numeric_ex.allocator.check_balanced()
+
+    def test_panel_split_path(self, numeric_ex, rng):
+        K, N = 64, 40
+        tri = make_triangle(K, rng)
+        rhs = rng.standard_normal((K, N)).astype(np.float32)
+        tight = K * (N // 2) + 2 * 8 * K + 8
+        plan = plan_ooc_trsm(K, N, 8, tight)
+        assert plan.n_panels >= 2
+        x = rhs.copy()
+        run_ooc_trsm(
+            numeric_ex,
+            HostMatrix.from_array(tri, "L").full(),
+            HostMatrix.from_array(rhs, "B").full(),
+            HostMatrix.from_array(x, "X").full(),
+            plan,
+        )
+        ref = scipy.linalg.solve_triangular(
+            np.tril(tri, -1).astype(np.float64) + np.eye(K),
+            rhs.astype(np.float64), lower=True, unit_diagonal=True,
+        )
+        assert np.abs(x - ref).max() / np.abs(ref).max() < 1e-5
+
+    def test_non_unit_diagonal(self, numeric_ex, rng):
+        K, N = 32, 8
+        tri = make_triangle(K, rng, garbage_upper=False) + np.diag(
+            rng.uniform(1.0, 2.0, K).astype(np.float32) - 1.0
+        )
+        rhs = rng.standard_normal((K, N)).astype(np.float32)
+        ref = scipy.linalg.solve_triangular(
+            tri.astype(np.float64), rhs.astype(np.float64), lower=True
+        )
+        x = rhs.copy()
+        plan = plan_ooc_trsm(K, N, 8, budget(numeric_ex))
+        run_ooc_trsm(
+            numeric_ex,
+            HostMatrix.from_array(tri, "L").full(),
+            HostMatrix.from_array(rhs, "B").full(),
+            HostMatrix.from_array(x, "X").full(),
+            plan,
+            unit_diag=False,
+        )
+        assert np.abs(x - ref).max() / np.abs(ref).max() < 1e-4
+
+    def test_shape_validation(self, numeric_ex):
+        plan = plan_ooc_trsm(16, 8, 8, budget(numeric_ex))
+        with pytest.raises(ShapeError):
+            run_ooc_trsm(
+                numeric_ex,
+                HostMatrix.shape_only(17, 16).full(),
+                HostMatrix.shape_only(16, 8).full(),
+                HostMatrix.shape_only(16, 8).full(),
+                plan,
+            )
+
+    def test_sim_trace_valid(self, sim_ex):
+        plan = plan_ooc_trsm(512, 128, 64, budget(sim_ex))
+        run_ooc_trsm(
+            sim_ex,
+            HostMatrix.shape_only(512, 512).full(),
+            HostMatrix.shape_only(512, 128).full(),
+            HostMatrix.shape_only(512, 128).full(),
+            plan,
+        )
+        trace = sim_ex.finish()
+        trace.check_engine_serial()
+        trace.check_causality()
+        assert sim_ex.stats.h2d_bytes == plan.h2d_elements() * 4
+
+
+class TestPanelTrsm:
+    def test_matches_scipy(self, numeric_ex, rng):
+        k, N = 16, 44
+        tri = make_triangle(k, rng)
+        rhs = rng.standard_normal((k, N)).astype(np.float32)
+        tri_dev = numeric_ex.alloc(k, k, "tri")
+        numeric_ex.h2d(tri_dev, HostMatrix.from_array(tri, "T").full(), numeric_ex.stream("s"))
+        plan = plan_panel_inner(k, k, N, 16, budget(numeric_ex), prefer_keep_c=False)
+        x = np.zeros_like(rhs)
+        run_panel_trsm(
+            numeric_ex,
+            tri_dev,
+            HostMatrix.from_array(rhs, "B").full(),
+            HostMatrix.from_array(x, "X").full(),
+            plan,
+        )
+        ref = scipy.linalg.solve_triangular(
+            np.tril(tri, -1) + np.eye(k, dtype=np.float32), rhs,
+            lower=True, unit_diagonal=True,
+        )
+        np.testing.assert_allclose(x, ref, rtol=1e-4, atol=1e-4)
+        numeric_ex.free(tri_dev)
+        numeric_ex.allocator.check_balanced()
+
+    def test_keep_resident(self, numeric_ex, rng):
+        k, N = 8, 20
+        tri = make_triangle(k, rng)
+        rhs = rng.standard_normal((k, N)).astype(np.float32)
+        tri_dev = numeric_ex.alloc(k, k, "tri")
+        numeric_ex.h2d(tri_dev, HostMatrix.from_array(tri, "T").full(), numeric_ex.stream("s"))
+        plan = plan_panel_inner(k, k, N, 8, budget(numeric_ex), prefer_keep_c=True)
+        assert plan.keep_c
+        res = run_panel_trsm(
+            numeric_ex, tri_dev, HostMatrix.from_array(rhs, "B").full(), None, plan
+        )
+        assert res.c_device is not None
+        numeric_ex.free(res.c_device)
+        numeric_ex.free(tri_dev)

@@ -1,0 +1,79 @@
+"""Tests for selectable panel factorizers in the OOC pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.bench.workloads import conditioned, random_tall
+from repro.config import SystemConfig
+from repro.errors import ConfigError
+from repro.hw.gemm import Precision
+from repro.qr.api import ooc_qr
+from repro.qr.cgs import factorization_error, orthogonality_error
+from tests.conftest import make_tiny_spec
+
+
+def cfg(algo, precision=Precision.FP32):
+    return SystemConfig(
+        gpu=make_tiny_spec(2 << 20), precision=precision, panel_algorithm=algo
+    )
+
+
+class TestConfig:
+    def test_default_is_paper_algorithm(self):
+        assert cfg("recursive-cgs").panel_algorithm == "recursive-cgs"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ConfigError, match="panel_algorithm"):
+            cfg("givens")
+
+
+@pytest.mark.parametrize("algo", ["recursive-cgs", "tsqr", "householder"])
+class TestAllPanelAlgorithms:
+    def test_ooc_qr_correct(self, algo):
+        a = random_tall(200, 96, seed=60)
+        res = ooc_qr(a, method="recursive", config=cfg(algo), blocksize=32)
+        assert factorization_error(a, res.q, res.r) < 1e-5
+        np.testing.assert_allclose(res.r, np.triu(res.r), atol=0)
+
+    def test_blocking_driver_too(self, algo):
+        a = random_tall(150, 64, seed=61)
+        res = ooc_qr(a, method="blocking", config=cfg(algo), blocksize=32)
+        assert factorization_error(a, res.q, res.r) < 1e-5
+
+
+class TestStablePanelsHelp:
+    def test_single_panel_stable_algorithms_reach_machine_orthogonality(self):
+        """With blocksize >= n the whole factorization is one panel, so the
+        panel algorithm decides everything: TSQR and Householder deliver
+        ~u orthogonality on inputs where that matters."""
+        ill = conditioned(400, 96, kappa=3e5, seed=62)
+        for algo in ("tsqr", "householder"):
+            res = ooc_qr(ill, method="recursive", config=cfg(algo), blocksize=96)
+            assert orthogonality_error(res.q) < 1e-4
+            assert factorization_error(ill, res.q, res.r) < 1e-4
+
+    def test_block_level_cgs_dominates_multi_panel_loss(self):
+        """The flip side (and why the paper's CGS choice is defensible):
+        with many panels, the *block-level* Gram-Schmidt updates dominate
+        the orthogonality loss, so upgrading only the panel factorizer
+        barely moves the needle — all three algorithms land within an
+        order of magnitude of each other."""
+        ill = conditioned(400, 128, kappa=3e5, seed=62)
+        results = {}
+        for algo in ("recursive-cgs", "tsqr", "householder"):
+            res = ooc_qr(ill, method="recursive", config=cfg(algo), blocksize=32)
+            results[algo] = orthogonality_error(res.q)
+            assert factorization_error(ill, res.q, res.r) < 1e-4
+        lo, hi = min(results.values()), max(results.values())
+        assert hi < 10 * lo
+
+    def test_r_agrees_across_algorithms(self):
+        """All panel algorithms compute the same factorization (up to
+        roundoff): R must match between them."""
+        a = random_tall(128, 64, seed=63)
+        rs = {
+            algo: ooc_qr(a, config=cfg(algo), blocksize=32).r
+            for algo in ("recursive-cgs", "tsqr", "householder")
+        }
+        np.testing.assert_allclose(rs["tsqr"], rs["householder"], atol=1e-4)
+        np.testing.assert_allclose(rs["tsqr"], rs["recursive-cgs"], atol=2e-3)

@@ -1,0 +1,254 @@
+"""Property-based tests (hypothesis) for core data structures and
+invariants: schedules, tiling plans, the allocator, the event scheduler,
+interval arithmetic, the movement closed forms, and Gram-Schmidt."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import SystemConfig
+from repro.hw.gemm import GemmModel, Precision
+from repro.hw.specs import V100_32GB
+from repro.models.movement import (
+    blocking_d2h_exact,
+    blocking_d2h_words,
+    blocking_h2d_exact,
+    blocking_h2d_words,
+)
+from repro.ooc.gradual import gradual_schedule, uniform_schedule
+from repro.ooc.plan import (
+    plan_ksplit_inner,
+    plan_rowstream_outer,
+    plan_tile_outer,
+    split_even,
+)
+from repro.qr.cgs import cgs2_qr, factorization_error, orthogonality_error
+from repro.sim.memory import DeviceAllocator
+from repro.sim.ops import EngineKind, OpKind, SimOp
+from repro.sim.simulator import GpuSimulator
+from repro.sim.trace import _interval_difference, _interval_length, _merge_intervals
+from tests.conftest import make_tiny_spec
+
+dims = st.integers(min_value=1, max_value=5000)
+blocks = st.integers(min_value=1, max_value=512)
+
+
+class TestScheduleProperties:
+    @given(extent=dims, block=blocks)
+    def test_uniform_partitions_exactly(self, extent, block):
+        sched = uniform_schedule(extent, block)
+        pos = 0
+        for off, size in sched:
+            assert off == pos and size >= 1
+            pos += size
+        assert pos == extent
+        assert all(size <= block for _, size in sched)
+
+    @given(extent=dims, block=blocks, ramp=st.integers(1, 8))
+    def test_gradual_partitions_exactly(self, extent, block, ramp):
+        sched = gradual_schedule(extent, block, ramp=ramp)
+        pos = 0
+        for off, size in sched:
+            assert off == pos and size >= 1
+            pos += size
+        assert pos == extent
+        assert all(size <= max(block, extent) for _, size in sched)
+
+    @given(extent=st.integers(1, 10000), parts=st.integers(1, 64))
+    def test_split_even_balanced(self, extent, parts):
+        if parts > extent:
+            return
+        ranges = split_even(extent, parts)
+        sizes = [s for _, s in ranges]
+        assert sum(sizes) == extent
+        assert max(sizes) - min(sizes) <= 1
+
+
+class TestPlanProperties:
+    @given(
+        K=st.integers(8, 4096),
+        M=st.integers(1, 256),
+        N=st.integers(1, 256),
+        b=st.integers(1, 512),
+    )
+    @settings(max_examples=60)
+    def test_ksplit_within_budget_and_exact_cover(self, K, M, N, b):
+        budget = M * N + 2 * min(b, K) * (M + N) + 16
+        plan = plan_ksplit_inner(K, M, N, b, budget)
+        assert plan.working_set_elements() <= budget
+        assert sum(h for _, h in plan.chunks) == K
+        assert sum(w for _, w in plan.panels) == N
+        # H2D never less than reading each operand once
+        assert plan.h2d_elements() >= K * (M + N)
+
+    @given(
+        M=st.integers(8, 4096),
+        K=st.integers(1, 256),
+        N=st.integers(1, 256),
+        b=st.integers(1, 512),
+        staging=st.booleans(),
+    )
+    @settings(max_examples=60)
+    def test_rowstream_within_budget(self, M, K, N, b, staging):
+        budget = K * N + 2 * min(b, M) * (K + N) + min(b, M) * N + 16
+        plan = plan_rowstream_outer(M, K, N, b, budget, staging=staging)
+        assert plan.working_set_elements() <= budget
+        assert sum(h for _, h in plan.blocks) == M
+        assert sum(w for _, w in plan.panels) == N
+
+    @given(
+        M=st.integers(1, 2048),
+        N=st.integers(1, 2048),
+        K=st.integers(1, 128),
+        b=st.integers(1, 256),
+    )
+    @settings(max_examples=60)
+    def test_tile_outer_grid_covers_c(self, M, N, K, b):
+        budget = 3 * min(b, M) * min(b, N) + 4
+        plan = plan_tile_outer(M, K, N, b, budget)
+        assert sum(h for _, h in plan.row_blocks) == M
+        assert sum(w for _, w in plan.col_blocks) == N
+        assert plan.working_set_elements() <= budget
+
+
+class TestAllocatorProperties:
+    @given(
+        ops=st.lists(
+            st.tuples(st.booleans(), st.integers(0, 1000)), min_size=1, max_size=60
+        )
+    )
+    def test_never_exceeds_capacity_and_balances(self, ops):
+        from repro.errors import OutOfDeviceMemoryError
+
+        alloc = DeviceAllocator(capacity=4096)
+        live = []
+        for do_alloc, size in ops:
+            if do_alloc or not live:
+                try:
+                    live.append(alloc.alloc(size))
+                except OutOfDeviceMemoryError:
+                    pass
+            else:
+                alloc.free(live.pop())
+            assert 0 <= alloc.used <= alloc.capacity
+            assert alloc.used == sum(a.nbytes for a in live)
+        for a in live:
+            alloc.free(a)
+        alloc.check_balanced()
+
+
+class TestSimulatorProperties:
+    @given(data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_random_programs_schedule_validly(self, data):
+        """Any program of stream-ordered ops + recorded-event waits yields
+        a causal, engine-serial schedule whose makespan is bounded by the
+        serial sum and at least the busiest engine."""
+        config = SystemConfig(gpu=make_tiny_spec(), precision=Precision.FP32)
+        sim = GpuSimulator(config)
+        n_streams = data.draw(st.integers(1, 4))
+        streams = [sim.stream(f"s{i}") for i in range(n_streams)]
+        events = []
+        n_ops = data.draw(st.integers(1, 30))
+        for i in range(n_ops):
+            s = streams[data.draw(st.integers(0, n_streams - 1))]
+            if events and data.draw(st.booleans()):
+                sim.wait_event(s, events[data.draw(st.integers(0, len(events) - 1))])
+            engine = data.draw(st.sampled_from(list(EngineKind)))
+            kind = {
+                EngineKind.H2D: OpKind.COPY_H2D,
+                EngineKind.D2H: OpKind.COPY_D2H,
+                EngineKind.COMPUTE: OpKind.GEMM,
+            }[engine]
+            dur = data.draw(st.floats(0.0, 2.0, allow_nan=False))
+            sim.enqueue(SimOp(name=f"o{i}", engine=engine, kind=kind, duration=dur), s)
+            if data.draw(st.booleans()):
+                events.append(sim.record_event(s))
+        trace = sim.run()
+        trace.check_engine_serial()
+        trace.check_causality()
+        serial = sum(op.duration for op in trace.ops)
+        busiest = max(trace.busy_time(e) for e in EngineKind)
+        assert busiest - 1e-9 <= trace.makespan <= serial + 1e-9
+
+
+class TestIntervalProperties:
+    intervals = st.lists(
+        st.tuples(st.floats(0, 100, allow_nan=False), st.floats(0, 100, allow_nan=False))
+        .map(lambda t: (min(t), max(t))),
+        max_size=20,
+    )
+
+    @given(a=intervals)
+    def test_merge_idempotent_and_disjoint(self, a):
+        merged = _merge_intervals(a)
+        assert merged == _merge_intervals(merged)
+        for (s1, e1), (s2, e2) in zip(merged, merged[1:]):
+            assert e1 < s2  # strictly disjoint and sorted
+
+    @given(a=intervals, b=intervals)
+    def test_difference_length_bounds(self, a, b):
+        am, bm = _merge_intervals(a), _merge_intervals(b)
+        diff = _interval_difference(am, bm)
+        len_a = _interval_length(am)
+        len_diff = _interval_length(diff)
+        assert -1e-9 <= len_diff <= len_a + 1e-9
+        # difference is disjoint from b
+        for s, e in diff:
+            for bs, be in bm:
+                assert e <= bs + 1e-9 or s >= be - 1e-9
+
+
+class TestMovementFormulaProperties:
+    @given(
+        m=st.integers(1, 10**6),
+        k=st.integers(1, 64),
+        b=st.integers(1, 4096),
+    )
+    def test_blocking_closed_forms_equal_brute_force(self, m, k, b):
+        n = k * b
+        assert blocking_h2d_words(m, n, b) == blocking_h2d_exact(m, n, b)
+        assert blocking_d2h_words(m, n, b) == blocking_d2h_exact(m, n, b)
+
+
+class TestGemmModelProperties:
+    model = GemmModel(V100_32GB)
+
+    @given(
+        m=st.integers(1, 10**5),
+        n=st.integers(1, 10**5),
+        k=st.integers(1, 10**5),
+    )
+    @settings(max_examples=80)
+    def test_rate_bounded_by_peak_and_positive(self, m, n, k):
+        rate = self.model.rate(m, n, k)
+        assert 0 < rate < V100_32GB.tc_peak_flops
+
+    @given(
+        m=st.integers(1, 10**4),
+        n=st.integers(1, 10**4),
+        k=st.integers(1, 10**4),
+    )
+    @settings(max_examples=50)
+    def test_transpose_symmetric_in_m_n(self, m, n, k):
+        assert self.model.rate(m, n, k) == pytest.approx(self.model.rate(n, m, k))
+
+
+class TestGramSchmidtProperties:
+    @given(
+        m=st.integers(2, 40),
+        n=st.integers(1, 12),
+        seed=st.integers(0, 2**16),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_cgs2_factorizes_random_matrices(self, m, n, seed):
+        if m < n:
+            m, n = n, m
+        if m == n == 1:
+            return
+        a = np.random.default_rng(seed).standard_normal((max(m, n), min(m, n)))
+        q, r = cgs2_qr(a)
+        assert orthogonality_error(q) < 1e-10
+        assert factorization_error(a, q, r) < 1e-10
+        assert np.allclose(r, np.triu(r))

@@ -1,0 +1,116 @@
+"""Property-based tests for the extension machinery: TRSM plans, the race
+detector, and the LU/Cholesky numerics."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import SystemConfig
+from repro.factor.incore import (
+    diagonally_dominant,
+    incore_cholesky,
+    incore_lu_nopivot,
+    lu_unpack,
+    spd_matrix,
+)
+from repro.hw.gemm import Precision
+from repro.ooc.trsm import plan_ooc_trsm
+from repro.sim.ops import EngineKind, OpKind, SimOp
+from repro.sim.race import detect_races
+from repro.sim.simulator import GpuSimulator
+from tests.conftest import make_tiny_spec
+
+
+class TestTrsmPlanProperties:
+    @given(
+        K=st.integers(1, 2048),
+        N=st.integers(1, 512),
+        b=st.integers(1, 256),
+    )
+    @settings(max_examples=60)
+    def test_within_budget_and_covering(self, K, N, b):
+        budget = K * N + 2 * min(b, K) * K + 16
+        plan = plan_ooc_trsm(K, N, b, budget)
+        assert plan.working_set_elements() <= budget
+        assert sum(h for _, h in plan.blocks) == K
+        assert sum(w for _, w in plan.panels) == N
+        # B in once + X out once, triangle read >= its strictly lower part
+        assert plan.h2d_elements() >= K * N
+        assert plan.d2h_elements() == K * N
+
+    @given(K=st.integers(2, 1024), N=st.integers(1, 64))
+    @settings(max_examples=30)
+    def test_triangle_traffic_half_square(self, K, N):
+        plan = plan_ooc_trsm(K, N, max(1, K // 4), 10**8)
+        strip = plan.h2d_elements() - K * N
+        # the streamed strips cover between K^2/2 and K^2 elements
+        assert K * K / 2 <= strip <= K * K + K * plan.blocksize
+
+
+class TestRaceDetectorProperties:
+    @given(data=st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_single_stream_programs_are_race_free(self, data):
+        """FIFO ordering covers any access pattern on one stream."""
+        config = SystemConfig(gpu=make_tiny_spec(), precision=Precision.FP32)
+        sim = GpuSimulator(config)
+        stream = sim.stream("only")
+        alloc = sim.allocator.alloc(1 << 16, "buf")
+        n_ops = data.draw(st.integers(1, 25))
+        for i in range(n_ops):
+            r0 = data.draw(st.integers(0, 30))
+            r1 = data.draw(st.integers(r0 + 1, 32))
+            write = data.draw(st.booleans())
+            op = SimOp(
+                name=f"o{i}",
+                engine=data.draw(st.sampled_from(list(EngineKind))),
+                kind=OpKind.GEMM,
+                duration=0.001,
+                tags={"accesses": [(alloc.handle, r0, r1, 0, 8, write)]},
+            )
+            sim.enqueue(op, stream)
+        races = detect_races(sim.run())
+        assert races == []
+
+    @given(n_writers=st.integers(2, 6))
+    @settings(max_examples=20, deadline=None)
+    def test_parallel_writers_always_race(self, n_writers):
+        config = SystemConfig(gpu=make_tiny_spec(), precision=Precision.FP32)
+        sim = GpuSimulator(config)
+        alloc = sim.allocator.alloc(1024, "buf")
+        for i in range(n_writers):
+            op = SimOp(
+                name=f"w{i}",
+                engine=EngineKind.COMPUTE,
+                kind=OpKind.GEMM,
+                duration=0.001,
+                tags={"accesses": [(alloc.handle, 0, 4, 0, 4, True)]},
+            )
+            sim.enqueue(op, sim.stream(f"s{i}"))
+        races = detect_races(sim.run())
+        assert len(races) >= n_writers - 1
+
+
+class TestFactorProperties:
+    @given(
+        n=st.integers(2, 48),
+        extra=st.integers(0, 32),
+        seed=st.integers(0, 10**6),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_lu_reconstructs_diagonally_dominant(self, n, extra, seed):
+        a = diagonally_dominant(n + extra, n, seed=seed)
+        L, U = lu_unpack(incore_lu_nopivot(a, input_format="fp32"))
+        rel = np.abs(L @ U - a).max() / max(np.abs(a).max(), 1e-6)
+        assert rel < 1e-4
+        assert np.allclose(np.triu(L, 1), 0)
+        assert np.allclose(np.tril(U, -1), 0)
+
+    @given(n=st.integers(2, 48), seed=st.integers(0, 10**6))
+    @settings(max_examples=30, deadline=None)
+    def test_cholesky_reconstructs_spd(self, n, seed):
+        s = spd_matrix(n, seed=seed)
+        L = incore_cholesky(s, input_format="fp32", leaf=8)
+        rel = np.abs(L @ L.T - s).max() / np.abs(s).max()
+        assert rel < 1e-4
+        assert (np.diag(L) > 0).all()

@@ -1,0 +1,87 @@
+"""Tests for the Householder QR references."""
+
+import numpy as np
+import pytest
+
+from repro.bench.workloads import conditioned, random_tall
+from repro.errors import ShapeError
+from repro.qr.cgs import cgs_qr, factorization_error, orthogonality_error
+from repro.qr.householder import blocked_householder_qr, householder_qr
+
+
+@pytest.mark.parametrize("fn", [householder_qr, blocked_householder_qr])
+class TestContract:
+    def test_reconstruction(self, fn):
+        a = random_tall(80, 32, seed=1)
+        q, r = fn(a)
+        assert factorization_error(a, q, r) < 1e-12
+
+    def test_orthogonality(self, fn):
+        a = random_tall(80, 32, seed=2)
+        q, _ = fn(a)
+        assert orthogonality_error(q) < 1e-12
+
+    def test_r_upper_positive_diag(self, fn):
+        a = random_tall(60, 24, seed=3)
+        _, r = fn(a)
+        np.testing.assert_allclose(r, np.triu(r), atol=0)
+        assert (np.diag(r) > 0).all()
+
+    def test_matches_numpy_r(self, fn):
+        a = random_tall(50, 20, seed=4)
+        _, r = fn(a)
+        _, r_np = np.linalg.qr(a.astype(np.float64))
+        signs = np.sign(np.diag(r_np))
+        np.testing.assert_allclose(r, signs[:, None] * r_np, atol=1e-10)
+
+    def test_square(self, fn):
+        a = random_tall(16, 16, seed=5)
+        q, r = fn(a)
+        assert factorization_error(a, q, r) < 1e-12
+
+    def test_single_column(self, fn):
+        a = np.array([[3.0], [4.0]], dtype=np.float32)
+        q, r = fn(a)
+        np.testing.assert_allclose(q, [[0.6], [0.8]], atol=1e-12)
+        np.testing.assert_allclose(r, [[5.0]], atol=1e-12)
+
+    def test_wide_rejected(self, fn):
+        with pytest.raises(ShapeError):
+            fn(np.ones((3, 5)))
+
+
+class TestStabilityHierarchy:
+    """Householder >= blocked-Householder >= CGS on ill-conditioned input."""
+
+    def test_ordering_at_kappa_1e6(self):
+        ill = conditioned(200, 64, kappa=1e6, seed=6)
+        hh = orthogonality_error(householder_qr(ill, dtype=np.float32)[0])
+        bhh = orthogonality_error(
+            blocked_householder_qr(ill, block=16, dtype=np.float32)[0]
+        )
+        cgs = orthogonality_error(cgs_qr(ill, dtype=np.float32)[0])
+        assert hh < 1e-4          # ~u regardless of conditioning
+        assert hh < bhh < cgs     # block-GS loss sits in between
+
+    def test_householder_immune_to_conditioning(self):
+        errs = []
+        for kappa in (1e2, 1e6):
+            ill = conditioned(150, 48, kappa=kappa, seed=7)
+            errs.append(
+                orthogonality_error(householder_qr(ill, dtype=np.float32)[0])
+            )
+        assert errs[1] < 100 * errs[0]  # roughly flat, unlike CGS's kappa^2
+
+
+class TestBlockedVariants:
+    def test_block_size_irrelevant_to_result_quality(self):
+        a = random_tall(100, 48, seed=8)
+        for block in (8, 16, 48, 100):
+            q, r = blocked_householder_qr(a, block=block)
+            assert factorization_error(a, q, r) < 1e-12
+
+    def test_agrees_with_unblocked(self):
+        a = random_tall(64, 32, seed=9)
+        _, r1 = householder_qr(a)
+        _, r2 = blocked_householder_qr(a, block=8)
+        np.testing.assert_allclose(r1, r2, atol=1e-10)

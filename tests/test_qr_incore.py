@@ -1,0 +1,100 @@
+"""Tests for in-core blocked and recursive CGS QR (the [24]-style panel
+factorization)."""
+
+import numpy as np
+import pytest
+
+from repro.bench.workloads import conditioned, graded_columns, random_tall
+from repro.errors import ShapeError
+from repro.qr.cgs import factorization_error, orthogonality_error
+from repro.qr.incore import incore_blocked_qr, incore_recursive_qr
+
+
+@pytest.mark.parametrize("fn", [incore_recursive_qr, incore_blocked_qr])
+class TestCommon:
+    def test_fp32_reconstruction(self, fn, rng):
+        a = random_tall(200, 96, seed=5)
+        q, r = fn(a, input_format="fp32")
+        assert factorization_error(a, q, r) < 1e-5
+        assert orthogonality_error(q) < 1e-4
+
+    def test_fp16_reconstruction(self, fn, rng):
+        a = random_tall(200, 96, seed=6)
+        q, r = fn(a, input_format="fp16")
+        # fp16 input rounding: error ~1e-3-1e-4 as on real TensorCore
+        assert factorization_error(a, q, r) < 5e-3
+        assert orthogonality_error(q) < 5e-2
+
+    def test_r_upper_triangular(self, fn):
+        a = random_tall(150, 64, seed=7)
+        _, r = fn(a)
+        np.testing.assert_allclose(r, np.triu(r), atol=0)
+
+    def test_outputs_fp32(self, fn):
+        a = random_tall(64, 32, seed=8).astype(np.float64)
+        q, r = fn(a)
+        assert q.dtype == np.float32 and r.dtype == np.float32
+
+    def test_input_not_modified(self, fn):
+        a = random_tall(64, 32, seed=9)
+        a0 = a.copy()
+        fn(a)
+        np.testing.assert_array_equal(a, a0)
+
+    def test_wide_rejected(self, fn):
+        with pytest.raises(ShapeError):
+            fn(np.zeros((4, 8), dtype=np.float32))
+
+    def test_width_not_power_of_two(self, fn):
+        a = random_tall(120, 50, seed=10)
+        q, r = fn(a, input_format="fp32")
+        assert factorization_error(a, q, r) < 1e-5
+
+    def test_graded_columns(self, fn):
+        a = graded_columns(100, 32, decay=0.7, seed=11)
+        q, r = fn(a, input_format="fp32")
+        assert factorization_error(a, q, r) < 1e-4
+
+
+class TestRecursive:
+    def test_leaf_size_does_not_change_result_quality(self):
+        a = random_tall(128, 64, seed=12)
+        errs = []
+        for leaf in (8, 16, 64):
+            q, r = incore_recursive_qr(a, leaf=leaf, input_format="fp32")
+            errs.append(factorization_error(a, q, r))
+        assert max(errs) < 1e-5
+
+    def test_width_at_most_leaf_is_pure_cgs(self):
+        a = random_tall(40, 8, seed=13)
+        q, r = incore_recursive_qr(a, leaf=8, input_format="fp32")
+        assert factorization_error(a, q, r) < 1e-5
+
+    def test_reorthogonalization_improves_ill_conditioned(self):
+        a = conditioned(300, 64, kappa=1e4, seed=14)
+        q1, _ = incore_recursive_qr(a, input_format="fp32", reorthogonalize=False)
+        q2, _ = incore_recursive_qr(a, input_format="fp32", reorthogonalize=True)
+        assert orthogonality_error(q2) <= orthogonality_error(q1)
+
+    def test_matches_numpy_r_up_to_signs(self):
+        a = random_tall(100, 32, seed=15)
+        _, r = incore_recursive_qr(a, input_format="fp32")
+        _, r_np = np.linalg.qr(a.astype(np.float64))
+        signs = np.sign(np.diag(r_np))
+        np.testing.assert_allclose(r, signs[:, None] * r_np, atol=2e-3)
+
+
+class TestBlocked:
+    def test_block_size_variations(self):
+        a = random_tall(96, 48, seed=16)
+        for block in (8, 16, 48, 100):
+            q, r = incore_blocked_qr(a, block=block, input_format="fp32")
+            assert factorization_error(a, q, r) < 1e-5
+
+    def test_agrees_with_recursive(self):
+        a = random_tall(80, 32, seed=17)
+        q1, r1 = incore_blocked_qr(a, block=8, input_format="fp32")
+        q2, r2 = incore_recursive_qr(a, input_format="fp32")
+        # same math, different association order: identical up to fp error
+        np.testing.assert_allclose(r1, r2, atol=2e-3)
+        np.testing.assert_allclose(q1, q2, atol=2e-3)

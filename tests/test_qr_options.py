@@ -1,0 +1,55 @@
+"""Tests for QrOptions defaults and derived values."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.qr.options import QrOptions
+
+
+class TestDefaults:
+    def test_paper_defaults(self):
+        opts = QrOptions()
+        assert opts.blocksize == 16384
+        assert opts.pipelined
+        assert opts.qr_level_overlap
+        assert opts.reuse_inner_result
+        assert opts.staging_buffer
+        assert not opts.gradual_blocksize
+
+    def test_outer_blocksize_default_is_half(self):
+        # the paper pairs QR blocksize 16384 with outer blocksize 8192
+        assert QrOptions(blocksize=16384).effective_outer_blocksize == 8192
+
+    def test_outer_blocksize_explicit(self):
+        assert QrOptions(blocksize=16384, outer_blocksize=4096).effective_outer_blocksize == 4096
+
+    def test_tile_blocksize_default(self):
+        assert QrOptions(blocksize=8192).effective_tile_blocksize == 8192
+
+    def test_all_optimizations_off(self):
+        off = QrOptions().all_optimizations_off()
+        assert not off.qr_level_overlap
+        assert not off.reuse_inner_result
+        assert not off.staging_buffer
+        assert off.pipelined  # async pipelines stay (that's Table 1's axis)
+        assert off.blocksize == 16384
+
+
+class TestValidation:
+    def test_blocksize_positive(self):
+        with pytest.raises(ValidationError):
+            QrOptions(blocksize=0)
+
+    def test_n_buffers_at_least_two(self):
+        with pytest.raises(ValidationError, match="n_buffers"):
+            QrOptions(n_buffers=1)
+
+    def test_outer_blocksize_positive(self):
+        with pytest.raises(ValidationError):
+            QrOptions(outer_blocksize=-1)
+
+    def test_frozen(self):
+        import dataclasses
+
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            QrOptions().blocksize = 1

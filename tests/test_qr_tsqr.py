@@ -1,0 +1,89 @@
+"""Tests for TSQR (communication-avoiding tall-skinny QR)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench.workloads import conditioned, random_tall
+from repro.errors import ShapeError
+from repro.qr.cgs import cgs_qr, factorization_error, orthogonality_error
+from repro.qr.tsqr import tsqr
+
+
+class TestContract:
+    @pytest.mark.parametrize("m,n,leaf", [(1000, 32, 64), (777, 16, 40),
+                                          (300, 50, None), (130, 8, 8)])
+    def test_factorizes(self, m, n, leaf):
+        a = random_tall(m, n, seed=m + n)
+        q, r = tsqr(a, leaf_rows=leaf)
+        assert orthogonality_error(q) < 1e-12
+        assert factorization_error(a, q, r) < 1e-12
+        np.testing.assert_allclose(r, np.triu(r), atol=0)
+        assert (np.diag(r) > 0).all()
+
+    def test_square_single_leaf(self):
+        a = random_tall(64, 64, seed=1)
+        q, r = tsqr(a)
+        assert factorization_error(a, q, r) < 1e-12
+
+    def test_matches_numpy_r(self):
+        a = random_tall(500, 20, seed=2)
+        _, r = tsqr(a)
+        _, r_np = np.linalg.qr(a.astype(np.float64))
+        signs = np.sign(np.diag(r_np))
+        np.testing.assert_allclose(r, signs[:, None] * r_np, atol=1e-12)
+
+    def test_leaf_rows_invariance(self):
+        a = random_tall(640, 24, seed=3)
+        rs = [tsqr(a, leaf_rows=leaf)[1] for leaf in (24, 100, 320, 640)]
+        for r in rs[1:]:
+            np.testing.assert_allclose(r, rs[0], atol=1e-11)
+
+    def test_wide_rejected(self):
+        with pytest.raises(ShapeError):
+            tsqr(np.ones((4, 8)))
+
+    def test_short_tail_merged(self):
+        # 100 rows with leaf 48 -> blocks 48, 48, 4 would leave a short
+        # tail (< n = 16); the implementation must merge it
+        a = random_tall(100, 16, seed=4)
+        q, r = tsqr(a, leaf_rows=48)
+        assert factorization_error(a, q, r) < 1e-12
+
+
+class TestStability:
+    def test_householder_grade_orthogonality_when_cgs_fails(self):
+        """TSQR's selling point as a panel factorizer: Householder-quality
+        orthogonality independent of conditioning."""
+        ill = conditioned(2000, 64, kappa=1e6, seed=5)
+        q_tsqr, _ = tsqr(ill, dtype=np.float32)
+        q_cgs, _ = cgs_qr(ill, dtype=np.float32)
+        assert orthogonality_error(q_tsqr) < 1e-5
+        assert orthogonality_error(q_cgs) > 1e-1
+
+    def test_deep_trees_stay_stable(self):
+        a = random_tall(4096, 8, seed=6)
+        q, r = tsqr(a, leaf_rows=8)   # 512 leaves, ~9 tree levels
+        assert orthogonality_error(q) < 1e-12
+        assert factorization_error(a, q, r) < 1e-12
+
+
+class TestPropertyBased:
+    @given(
+        m=st.integers(8, 400),
+        n=st.integers(1, 24),
+        leaf=st.integers(1, 128),
+        seed=st.integers(0, 10**6),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_random_shapes(self, m, n, leaf, seed):
+        if m < n:
+            m, n = n, m
+        if m == 0 or n == 0:
+            return
+        a = np.random.default_rng(seed).standard_normal((m, n))
+        q, r = tsqr(a, leaf_rows=leaf)
+        assert q.shape == (m, n) and r.shape == (n, n)
+        assert orthogonality_error(q) < 1e-10
+        assert factorization_error(a, q, r) < 1e-10

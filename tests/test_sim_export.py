@@ -1,0 +1,68 @@
+"""Tests for trace export (CSV / JSON / Chrome trace)."""
+
+import csv
+import json
+
+import pytest
+
+from repro.host.tiled import HostMatrix
+from repro.sim.export import to_chrome_trace, to_csv, to_json, trace_rows
+
+
+@pytest.fixture
+def trace(sim_ex):
+    host = HostMatrix.shape_only(64, 64)
+    buf = sim_ex.alloc(64, 64)
+    c = sim_ex.alloc(64, 64)
+    s1, s2 = sim_ex.stream("copy"), sim_ex.stream("go")
+    sim_ex.h2d(buf, host.full(), s1)
+    ev = sim_ex.record_event(s1)
+    sim_ex.wait_event(s2, ev)
+    sim_ex.gemm(c, buf, buf, s2, tag="inner")
+    sim_ex.d2h(host.full(), c, s2)
+    return sim_ex.finish()
+
+
+class TestRows:
+    def test_schedule_ordered_and_complete(self, trace):
+        rows = trace_rows(trace)
+        assert len(rows) == 3
+        starts = [r["start_s"] for r in rows]
+        assert starts == sorted(starts)
+        assert rows[1]["kind"] == "gemm"
+        assert rows[1]["tag"] == "inner"
+        assert rows[0]["bytes"] == 64 * 64 * 4
+
+
+class TestCsv:
+    def test_roundtrip(self, trace, tmp_path):
+        path = to_csv(trace, tmp_path / "t.csv")
+        with path.open() as fh:
+            rows = list(csv.DictReader(fh))
+        assert len(rows) == 3
+        assert rows[0]["engine"] == "h2d"
+        assert float(rows[-1]["end_s"]) == pytest.approx(trace.makespan)
+
+
+class TestJson:
+    def test_summary_and_ops(self, trace, tmp_path):
+        payload = json.loads(to_json(trace, tmp_path / "t.json").read_text())
+        assert payload["makespan_s"] == pytest.approx(trace.makespan)
+        assert payload["h2d_bytes"] == 64 * 64 * 4
+        assert len(payload["ops"]) == 3
+        assert set(payload["busy_s"]) == {"h2d", "compute", "d2h"}
+
+
+class TestChromeTrace:
+    def test_format(self, trace, tmp_path):
+        payload = json.loads(
+            to_chrome_trace(trace, tmp_path / "t.json").read_text()
+        )
+        events = payload["traceEvents"]
+        metas = [e for e in events if e["ph"] == "M"]
+        spans = [e for e in events if e["ph"] == "X"]
+        assert {m["args"]["name"] for m in metas} == {"h2d", "compute", "d2h"}
+        assert len(spans) == 3
+        gemm = next(e for e in spans if e["cat"] == "gemm")
+        assert gemm["dur"] > 0
+        assert gemm["args"]["stream"] == "go"

@@ -1,0 +1,103 @@
+"""Unit tests for the device-memory allocator."""
+
+import pytest
+
+from repro.errors import AllocationError, OutOfDeviceMemoryError
+from repro.sim.memory import DeviceAllocator
+
+
+@pytest.fixture
+def alloc():
+    return DeviceAllocator(capacity=1000)
+
+
+class TestAlloc:
+    def test_basic_accounting(self, alloc):
+        a = alloc.alloc(400, "a")
+        assert alloc.used == 400
+        assert alloc.free_bytes == 600
+        b = alloc.alloc(600, "b")
+        assert alloc.free_bytes == 0
+        alloc.free(a)
+        assert alloc.free_bytes == 400
+        alloc.free(b)
+        assert alloc.used == 0
+
+    def test_zero_byte_allocation_legal(self, alloc):
+        a = alloc.alloc(0, "empty")
+        assert alloc.used == 0
+        alloc.free(a)
+
+    def test_oom_raises_with_details(self, alloc):
+        alloc.alloc(900, "big")
+        with pytest.raises(OutOfDeviceMemoryError) as exc:
+            alloc.alloc(200, "overflow")
+        assert exc.value.requested == 200
+        assert exc.value.free == 100
+        assert exc.value.capacity == 1000
+        assert "overflow" in str(exc.value)
+
+    def test_oom_leaves_state_unchanged(self, alloc):
+        alloc.alloc(900, "big")
+        with pytest.raises(OutOfDeviceMemoryError):
+            alloc.alloc(200)
+        assert alloc.used == 900
+
+    def test_peak_tracking(self, alloc):
+        a = alloc.alloc(700)
+        alloc.free(a)
+        alloc.alloc(100)
+        assert alloc.peak == 700
+
+    def test_counts(self, alloc):
+        a = alloc.alloc(10)
+        b = alloc.alloc(10)
+        alloc.free(a)
+        assert alloc.n_allocs == 2
+        assert alloc.n_frees == 1
+        alloc.free(b)
+
+
+class TestFree:
+    def test_double_free_raises(self, alloc):
+        a = alloc.alloc(10, "x")
+        alloc.free(a)
+        with pytest.raises(AllocationError, match="already-freed"):
+            alloc.free(a)
+
+    def test_foreign_allocation_rejected(self, alloc):
+        other = DeviceAllocator(capacity=100)
+        a = other.alloc(10)
+        with pytest.raises(AllocationError):
+            alloc.free(a)
+
+    def test_free_all(self, alloc):
+        alloc.alloc(10)
+        alloc.alloc(20)
+        alloc.free_all()
+        assert alloc.used == 0
+        alloc.check_balanced()
+
+
+class TestLeakDetector:
+    def test_balanced_passes(self, alloc):
+        a = alloc.alloc(10)
+        alloc.free(a)
+        alloc.check_balanced()
+
+    def test_leak_reported_by_name(self, alloc):
+        alloc.alloc(10, "leaky-buffer")
+        with pytest.raises(AllocationError, match="leaky-buffer"):
+            alloc.check_balanced()
+
+
+class TestValidation:
+    def test_capacity_positive(self):
+        with pytest.raises(Exception):
+            DeviceAllocator(capacity=0)
+
+    def test_negative_alloc_rejected(self, alloc):
+        from repro.errors import ValidationError
+
+        with pytest.raises(ValidationError):
+            alloc.alloc(-5)

@@ -1,0 +1,101 @@
+"""Unit tests for CUDA-like stream/event dependency wiring."""
+
+import pytest
+
+from repro.errors import StreamError
+from repro.sim.ops import EngineKind, OpKind, SimOp
+from repro.sim.stream import Event, Stream
+
+
+def make_op(name="op", engine=EngineKind.COMPUTE, dur=1.0):
+    return SimOp(name=name, engine=engine, kind=OpKind.GEMM, duration=dur)
+
+
+class TestStreamFifo:
+    def test_fifo_dependency_chain(self):
+        s = Stream("s")
+        a, b, c = make_op("a"), make_op("b"), make_op("c")
+        s.attach(a)
+        s.attach(b)
+        s.attach(c)
+        assert a.deps == set()
+        assert b.deps == {a}
+        assert c.deps == {b}
+
+    def test_op_cannot_be_enqueued_twice(self):
+        s1, s2 = Stream("s1"), Stream("s2")
+        op = make_op()
+        s1.attach(op)
+        with pytest.raises(StreamError, match="already enqueued"):
+            s2.attach(op)
+
+
+class TestEvents:
+    def test_record_captures_last_op(self):
+        s = Stream("s")
+        a = make_op("a")
+        s.attach(a)
+        ev = s.record()
+        assert ev.op is a
+        assert ev.recorded
+
+    def test_record_on_empty_stream_is_complete(self):
+        ev = Stream("s").record()
+        assert ev.op is None
+
+    def test_wait_wires_cross_stream_dependency(self):
+        s1, s2 = Stream("s1"), Stream("s2")
+        a = make_op("a")
+        s1.attach(a)
+        ev = s1.record()
+        s2.wait(ev)
+        b = make_op("b")
+        s2.attach(b)
+        assert a in b.deps
+
+    def test_wait_applies_only_to_future_ops(self):
+        s1, s2 = Stream("s1"), Stream("s2")
+        early = make_op("early")
+        s2.attach(early)
+        a = make_op("a")
+        s1.attach(a)
+        s2.wait(s1.record())
+        late = make_op("late")
+        s2.attach(late)
+        assert a not in early.deps
+        assert a in late.deps
+        assert early in late.deps  # FIFO still holds
+
+    def test_wait_cleared_after_one_op(self):
+        s1, s2 = Stream("s1"), Stream("s2")
+        a = make_op("a")
+        s1.attach(a)
+        s2.wait(s1.record())
+        first, second = make_op("first"), make_op("second")
+        s2.attach(first)
+        s2.attach(second)
+        assert a in first.deps
+        assert a not in second.deps
+
+    def test_multiple_waits_accumulate(self):
+        s1, s2, s3 = Stream("1"), Stream("2"), Stream("3")
+        a, b = make_op("a"), make_op("b")
+        s1.attach(a)
+        s2.attach(b)
+        s3.wait(s1.record())
+        s3.wait(s2.record())
+        c = make_op("c")
+        s3.attach(c)
+        assert {a, b} <= c.deps
+
+    def test_unrecorded_event_rejected(self):
+        s = Stream("s")
+        with pytest.raises(StreamError, match="unrecorded"):
+            s.wait(Event())
+
+    def test_empty_event_adds_no_dependency(self):
+        s1, s2 = Stream("s1"), Stream("s2")
+        s2.wait(s1.record())  # nothing ever ran on s1
+        op = make_op()
+        s2.attach(op)
+        assert op.deps == set()

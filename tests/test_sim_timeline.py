@@ -1,0 +1,86 @@
+"""Unit tests for the ASCII timeline renderer."""
+
+from repro.sim.ops import EngineKind, OpKind, SimOp
+from repro.sim.timeline import render_summary, render_timeline, segments
+from repro.sim.trace import Trace
+
+
+def done_op(name, engine, kind, start, end, **kw):
+    op = SimOp(name=name, engine=engine, kind=kind, duration=end - start, **kw)
+    op.start, op.end = start, end
+    return op
+
+
+def pipeline_trace():
+    t = Trace()
+    t.extend(
+        [
+            done_op("h0", EngineKind.H2D, OpKind.COPY_H2D, 0, 2, nbytes=8),
+            done_op("g0", EngineKind.COMPUTE, OpKind.GEMM, 2, 6, flops=100),
+            done_op("d0", EngineKind.D2H, OpKind.COPY_D2H, 6, 7, nbytes=4),
+            done_op("p0", EngineKind.COMPUTE, OpKind.PANEL, 6, 8, flops=10),
+        ]
+    )
+    return t
+
+
+class TestSegments:
+    def test_ordered_by_start(self):
+        segs = segments(pipeline_trace(), EngineKind.COMPUTE)
+        assert [s.name for s in segs] == ["g0", "p0"]
+        assert segs[0].duration == 4
+
+    def test_empty_engine(self):
+        assert segments(Trace(), EngineKind.H2D) == []
+
+
+class TestRenderTimeline:
+    def test_rows_and_legend(self):
+        out = render_timeline(pipeline_trace(), width=40)
+        assert "H2D copy" in out
+        assert "Compute" in out
+        assert "D2H copy" in out
+        assert "legend:" in out
+
+    def test_glyphs_present(self):
+        out = render_timeline(pipeline_trace(), width=80)
+        compute_row = [l for l in out.splitlines() if l.startswith("Compute")][0]
+        assert "#" in compute_row  # gemm
+        assert "P" in compute_row  # panel
+        h2d_row = [l for l in out.splitlines() if l.startswith("H2D")][0]
+        assert ">" in h2d_row
+
+    def test_busy_percentages(self):
+        out = render_timeline(pipeline_trace(), width=40)
+        compute_row = [l for l in out.splitlines() if l.startswith("Compute")][0]
+        assert "75.0% busy" in compute_row  # 6 busy of 8 span
+
+    def test_title(self):
+        out = render_timeline(pipeline_trace(), width=10, title="Figure X")
+        assert out.splitlines()[0] == "Figure X"
+
+    def test_empty_trace(self):
+        out = render_timeline(Trace(), width=10, title="t")
+        assert "(empty timeline)" in out
+
+    def test_width_respected(self):
+        out = render_timeline(pipeline_trace(), width=25)
+        row = [l for l in out.splitlines() if l.startswith("Compute")][0]
+        bar = row.split("|")[1]
+        assert len(bar) == 25
+
+    def test_idle_is_blank(self):
+        out = render_timeline(pipeline_trace(), width=8)
+        d2h_row = [l for l in out.splitlines() if l.startswith("D2H")][0]
+        bar = d2h_row.split("|")[1]
+        assert "<" in bar  # has the glyph
+        assert " " in bar  # and idle space
+
+
+class TestRenderSummary:
+    def test_contains_key_metrics(self):
+        out = render_summary(pipeline_trace(), title="Summary")
+        assert "makespan" in out
+        assert "overlap ratio" in out
+        assert "achieved rate" in out
+        assert out.splitlines()[0] == "Summary"

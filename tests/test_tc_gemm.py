@@ -1,0 +1,122 @@
+"""Unit tests for the emulated TensorCore GEMM."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.tc.gemm import tc_gemm
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(42)
+
+
+class TestBasics:
+    def test_matches_numpy_fp32(self, rng):
+        a = rng.standard_normal((20, 30)).astype(np.float32)
+        b = rng.standard_normal((30, 10)).astype(np.float32)
+        np.testing.assert_allclose(
+            tc_gemm(a, b, input_format="fp32"), a @ b, rtol=1e-6
+        )
+
+    def test_fp16_error_small_but_nonzero(self, rng):
+        a = rng.standard_normal((64, 64)).astype(np.float32)
+        b = rng.standard_normal((64, 64)).astype(np.float32)
+        exact = a.astype(np.float64) @ b.astype(np.float64)
+        approx = tc_gemm(a, b, input_format="fp16")
+        rel = np.abs(approx - exact).max() / np.abs(exact).max()
+        assert 0 < rel < 1e-2
+
+    def test_output_dtype_fp32(self, rng):
+        a = rng.standard_normal((4, 4)).astype(np.float64)
+        assert tc_gemm(a, a).dtype == np.float32
+
+    def test_transposes(self, rng):
+        a = rng.standard_normal((30, 20)).astype(np.float32)
+        b = rng.standard_normal((30, 10)).astype(np.float32)
+        np.testing.assert_allclose(
+            tc_gemm(a, b, trans_a=True, input_format="fp32"), a.T @ b, rtol=1e-6
+        )
+        c = rng.standard_normal((10, 30)).astype(np.float32)
+        np.testing.assert_allclose(
+            tc_gemm(a, c, trans_a=True, trans_b=True, input_format="fp32"),
+            a.T @ c.T,
+            rtol=1e-6,
+        )
+
+    def test_alpha(self, rng):
+        a = rng.standard_normal((5, 5)).astype(np.float32)
+        np.testing.assert_allclose(
+            tc_gemm(a, a, alpha=-2.0, input_format="fp32"),
+            -2.0 * (a @ a),
+            rtol=1e-6,
+        )
+
+    def test_beta_accumulation(self, rng):
+        a = rng.standard_normal((6, 7)).astype(np.float32)
+        b = rng.standard_normal((7, 8)).astype(np.float32)
+        c = rng.standard_normal((6, 8)).astype(np.float32)
+        out = tc_gemm(a, b, beta=1.0, c=c.copy(), input_format="fp32")
+        np.testing.assert_allclose(out, a @ b + c, rtol=1e-5)
+
+    def test_update_form(self, rng):
+        # the outer product's C -= A B
+        a = rng.standard_normal((6, 3)).astype(np.float32)
+        b = rng.standard_normal((3, 6)).astype(np.float32)
+        c = rng.standard_normal((6, 6)).astype(np.float32)
+        out = tc_gemm(a, b, alpha=-1.0, beta=1.0, c=c.copy(), input_format="fp32")
+        np.testing.assert_allclose(out, c - a @ b, rtol=1e-5)
+
+
+class TestOutParameter:
+    def test_writes_in_place(self, rng):
+        a = rng.standard_normal((4, 4)).astype(np.float32)
+        out = np.zeros((4, 4), dtype=np.float32)
+        ret = tc_gemm(a, a, input_format="fp32", out=out)
+        assert ret is out
+        np.testing.assert_allclose(out, a @ a, rtol=1e-6)
+
+    def test_out_can_alias_c(self, rng):
+        # the engines update C in place: out is c
+        a = rng.standard_normal((5, 3)).astype(np.float32)
+        b = rng.standard_normal((3, 5)).astype(np.float32)
+        c = rng.standard_normal((5, 5)).astype(np.float32)
+        expected = c - a @ b
+        tc_gemm(a, b, alpha=-1.0, beta=1.0, c=c, input_format="fp32", out=c)
+        np.testing.assert_allclose(c, expected, rtol=1e-5)
+
+    def test_out_shape_checked(self, rng):
+        a = rng.standard_normal((4, 4)).astype(np.float32)
+        with pytest.raises(ShapeError):
+            tc_gemm(a, a, out=np.zeros((3, 3), dtype=np.float32))
+
+
+class TestErrors:
+    def test_inner_dim_mismatch(self, rng):
+        with pytest.raises(ShapeError, match="inner dimensions"):
+            tc_gemm(np.ones((2, 3)), np.ones((4, 2)))
+
+    def test_beta_without_c(self):
+        with pytest.raises(ShapeError, match="requires operand c"):
+            tc_gemm(np.ones((2, 2)), np.ones((2, 2)), beta=1.0)
+
+    def test_c_shape_mismatch(self):
+        with pytest.raises(ShapeError):
+            tc_gemm(np.ones((2, 2)), np.ones((2, 2)), beta=1.0, c=np.ones((3, 3)))
+
+    def test_non_2d(self):
+        with pytest.raises(ShapeError):
+            tc_gemm(np.ones(3), np.ones((3, 2)))
+
+
+class TestNumericalProperties:
+    def test_fp16_rounding_is_input_side_only(self):
+        # accumulate in fp32: summing many small products must not lose
+        # them wholesale (as a pure-fp16 accumulator would)
+        k = 4096
+        a = np.full((1, k), 0.01, dtype=np.float32)
+        b = np.full((k, 1), 0.01, dtype=np.float32)
+        out = tc_gemm(a, b, input_format="fp16")
+        # true value ~0.4096; pure fp16 accumulation would stagnate early
+        assert out[0, 0] == pytest.approx(0.4096, rel=5e-3)

@@ -1,0 +1,87 @@
+"""Unit tests for reduced-precision input rounding."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.tc.precision import (
+    UNIT_ROUNDOFF,
+    round_bf16,
+    round_fp16,
+    round_tf32,
+    round_to,
+)
+
+
+class TestFp16:
+    def test_returns_fp32(self):
+        out = round_fp16(np.array([1.0, 2.0]))
+        assert out.dtype == np.float32
+
+    def test_exact_values_preserved(self):
+        vals = np.array([0.0, 1.0, -2.0, 0.5, 1024.0], dtype=np.float32)
+        np.testing.assert_array_equal(round_fp16(vals), vals)
+
+    def test_rounding_error_bounded(self):
+        rng = np.random.default_rng(0)
+        x = rng.uniform(0.5, 2.0, 1000).astype(np.float32)
+        err = np.abs(round_fp16(x) - x) / np.abs(x)
+        assert err.max() <= UNIT_ROUNDOFF["fp16"]
+
+    def test_overflow_to_inf(self):
+        # fp16 max is 65504 — conversion overflows like the hardware
+        assert np.isinf(round_fp16(np.array([1e6], dtype=np.float32)))[0]
+
+
+class TestBf16:
+    def test_coarser_than_fp16_near_one(self):
+        x = np.array([1.0 + 2.0**-9], dtype=np.float32)
+        assert round_bf16(x)[0] != x[0]
+        assert round_fp16(x)[0] == x[0]
+
+    def test_range_preserved(self):
+        # bf16 shares fp32's exponent: 1e6 survives
+        assert np.isfinite(round_bf16(np.array([1e6], dtype=np.float32)))[0]
+
+    def test_error_bounded(self):
+        rng = np.random.default_rng(1)
+        x = rng.uniform(0.5, 2.0, 1000).astype(np.float32)
+        err = np.abs(round_bf16(x) - x) / np.abs(x)
+        assert err.max() <= UNIT_ROUNDOFF["bf16"]
+
+    def test_round_to_nearest_even(self):
+        # 1 + 2^-8 sits exactly halfway between 1 and 1 + 2^-7:
+        # round-half-even keeps the even mantissa (1.0)
+        x = np.array([1.0 + 2.0**-8], dtype=np.float32)
+        assert round_bf16(x)[0] == 1.0
+
+
+class TestTf32:
+    def test_between_fp16_and_fp32_in_precision(self):
+        x = np.array([1.0 + 2.0**-12], dtype=np.float32)
+        assert round_tf32(x)[0] == 1.0  # 10 mantissa bits drop it
+        x2 = np.array([1.0 + 2.0**-9], dtype=np.float32)
+        assert round_tf32(x2)[0] == x2[0]
+
+    def test_wide_range(self):
+        assert np.isfinite(round_tf32(np.array([1e30], dtype=np.float32)))[0]
+
+
+class TestRoundTo:
+    @pytest.mark.parametrize("fmt", ["fp16", "bf16", "tf32", "fp32"])
+    def test_dispatch(self, fmt):
+        x = np.ones(3, dtype=np.float32)
+        np.testing.assert_array_equal(round_to(x, fmt), x)
+
+    def test_fp32_identity_on_noise(self):
+        rng = np.random.default_rng(2)
+        x = rng.standard_normal(100).astype(np.float32)
+        np.testing.assert_array_equal(round_to(x, "fp32"), x)
+
+    def test_unknown_format(self):
+        with pytest.raises(ValidationError):
+            round_to(np.ones(1), "fp8")
+
+    def test_preserves_shape(self):
+        x = np.ones((3, 4, 5), dtype=np.float32)
+        assert round_to(x, "bf16").shape == (3, 4, 5)

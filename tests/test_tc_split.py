@@ -1,0 +1,128 @@
+"""Tests for precision-splitting GEMM."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError, ValidationError
+from repro.tc.precision import UNIT_ROUNDOFF
+from repro.tc.split import split_fp16, split_gemm
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(77)
+
+
+class TestSplit:
+    def test_hi_plus_lo_recovers_fp32(self, rng):
+        a = rng.standard_normal(1000).astype(np.float32)
+        hi, lo = split_fp16(a)
+        rel = np.abs((hi + lo) - a) / np.maximum(np.abs(a), 1e-30)
+        # elements whose residual falls into fp16's subnormal range lose
+        # precision (as on hardware); away from it the split is ~2^-22
+        assert rel.max() < 1e-4
+        big = np.abs(a) >= 0.25
+        assert rel[big].max() < 2.0**-21
+
+    def test_hi_is_fp16_representable(self, rng):
+        a = rng.standard_normal(100).astype(np.float32)
+        hi, _ = split_fp16(a)
+        np.testing.assert_array_equal(hi, hi.astype(np.float16).astype(np.float32))
+
+    def test_lo_much_smaller_than_hi(self, rng):
+        a = rng.uniform(0.5, 2.0, 100).astype(np.float32)
+        hi, lo = split_fp16(a)
+        assert np.abs(lo).max() < 2.0**-10 * np.abs(hi).max()
+
+
+class TestSplitGemm:
+    def _errors(self, rng, terms):
+        a = rng.standard_normal((96, 80)).astype(np.float32)
+        b = rng.standard_normal((80, 64)).astype(np.float32)
+        exact = a.astype(np.float64) @ b.astype(np.float64)
+        out = split_gemm(a, b, terms=terms)
+        return float(np.abs(out - exact).max() / np.abs(exact).max())
+
+    def test_accuracy_hierarchy(self, rng):
+        e1 = self._errors(rng, 1)
+        e3 = self._errors(rng, 3)
+        e4 = self._errors(rng, 4)
+        assert e1 > 100 * e3           # splitting buys ~3 digits
+        assert e4 <= e3 * 1.5          # the lo*lo term is tiny
+        assert e1 < UNIT_ROUNDOFF["fp16"] * 100
+        assert e3 < UNIT_ROUNDOFF["fp32"] * 100
+
+    def test_terms_validation(self, rng):
+        a = np.ones((2, 2), dtype=np.float32)
+        with pytest.raises(ValidationError):
+            split_gemm(a, a, terms=2)
+
+    def test_transposes_and_scalars(self, rng):
+        a = rng.standard_normal((20, 30)).astype(np.float32)
+        b = rng.standard_normal((20, 10)).astype(np.float32)
+        c = rng.standard_normal((30, 10)).astype(np.float32)
+        out = split_gemm(a, b, trans_a=True, alpha=-1.0, beta=1.0, c=c.copy())
+        np.testing.assert_allclose(out, c - a.T @ b, rtol=1e-5, atol=1e-5)
+
+    def test_out_aliases_c(self, rng):
+        a = rng.standard_normal((8, 4)).astype(np.float32)
+        b = rng.standard_normal((4, 8)).astype(np.float32)
+        c = rng.standard_normal((8, 8)).astype(np.float32)
+        expected = c - a @ b
+        split_gemm(a, b, alpha=-1.0, beta=1.0, c=c, out=c)
+        np.testing.assert_allclose(c, expected, rtol=1e-5, atol=1e-5)
+
+    def test_shape_errors(self):
+        with pytest.raises(ShapeError):
+            split_gemm(np.ones((2, 3)), np.ones((4, 5)))
+
+
+class TestIntegration:
+    def test_tc_gemm_dispatches_split(self, rng):
+        from repro.tc.gemm import tc_gemm
+
+        a = rng.standard_normal((32, 32)).astype(np.float32)
+        out3 = tc_gemm(a, a, input_format="fp16x3")
+        ref = split_gemm(a, a, terms=3)
+        np.testing.assert_array_equal(out3, ref)
+
+    def test_precision_enum_mapping(self):
+        from repro.hw.gemm import Precision
+
+        assert Precision.TC_FP16_SPLIT3.input_format == "fp16x3"
+        assert Precision.TC_FP16_SPLIT3.work_factor == 3
+        assert Precision.TC_FP16.work_factor == 1
+
+    def test_model_charges_3x(self):
+        from repro.hw.gemm import GemmModel, Precision
+        from repro.hw.specs import V100_32GB
+
+        gm = GemmModel(V100_32GB)
+        t1 = gm.time(8192, 8192, 8192, Precision.TC_FP16)
+        t3 = gm.time(8192, 8192, 8192, Precision.TC_FP16_SPLIT3)
+        assert t3 == pytest.approx(3 * t1, rel=1e-6)
+
+    def test_split_still_faster_than_cuda_cores(self):
+        """The point of the technique: 3x TC work beats 8x-slower SGEMM."""
+        from repro.hw.gemm import GemmModel, Precision
+        from repro.hw.specs import V100_32GB
+
+        gm = GemmModel(V100_32GB)
+        t_split = gm.time(16384, 16384, 16384, Precision.TC_FP16_SPLIT3)
+        t_fp32 = gm.time(16384, 16384, 16384, Precision.FP32)
+        assert t_split < t_fp32
+
+    def test_ooc_qr_with_split_precision(self, rng):
+        from repro.bench.workloads import random_tall
+        from repro.config import SystemConfig
+        from repro.hw.gemm import Precision
+        from repro.qr.api import ooc_qr
+        from repro.qr.cgs import factorization_error
+        from tests.conftest import make_tiny_spec
+
+        a = random_tall(200, 96, seed=50)
+        cfg = SystemConfig(
+            gpu=make_tiny_spec(1 << 20), precision=Precision.TC_FP16_SPLIT3
+        )
+        res = ooc_qr(a, method="recursive", config=cfg, blocksize=32)
+        assert factorization_error(a, res.q, res.r) < 1e-5  # fp32-like

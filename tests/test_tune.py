@@ -1,0 +1,88 @@
+"""Tests for the simulation-driven autotuner."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.errors import PlanError, ValidationError
+from repro.hw.specs import V100_16GB
+from repro.tune import Candidate, TuneResult, default_candidates, tune
+
+SMALL = (16384, 16384)
+
+
+@pytest.fixture(scope="module")
+def small_result():
+    return tune(SMALL, kind="qr", candidates=[1024, 2048, 4096])
+
+
+class TestTune:
+    def test_sweeps_all_combinations(self, small_result):
+        assert len(small_result.candidates) == 6  # 2 methods x 3 blocksizes
+
+    def test_best_is_minimum_feasible(self, small_result):
+        best = small_result.best
+        assert best.feasible
+        assert all(
+            best.makespan <= c.makespan
+            for c in small_result.candidates
+            if c.feasible
+        )
+
+    def test_options_carry_winner(self, small_result):
+        assert small_result.options().blocksize == small_result.best_blocksize
+
+    def test_render_marks_winner(self, small_result):
+        out = small_result.render()
+        assert "->" in out
+        assert "tuning qr" in out
+
+    def test_candidates_clamped_to_shape(self):
+        res = tune((4096, 2048), kind="qr", candidates=[1024, 4096])
+        # 4096 > n is skipped
+        assert all(c.blocksize <= 2048 for c in res.candidates)
+
+    def test_recursive_wins_under_memory_pressure(self):
+        cfg = SystemConfig(gpu=V100_16GB)
+        res = tune((65536, 65536), kind="qr", config=cfg,
+                   candidates=[4096, 8192])
+        assert res.best_method == "recursive"
+
+    def test_lu_and_cholesky_kinds(self):
+        for kind in ("lu", "cholesky"):
+            res = tune(SMALL, kind=kind, candidates=[2048, 4096])
+            assert res.best.feasible
+
+    def test_cholesky_requires_square(self):
+        with pytest.raises(ValidationError):
+            tune((100, 50), kind="cholesky")
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValidationError):
+            tune(SMALL, kind="svd")
+
+    def test_infeasible_candidates_marked(self):
+        # a blocksize whose panel alone cannot fit
+        cfg = SystemConfig(
+            gpu=V100_16GB.with_memory(1 << 29, suffix="tiny")  # 512 MiB
+        )
+        res = tune((65536, 65536), kind="qr", config=cfg,
+                   candidates=[1024, 16384], methods=("recursive",))
+        marked = {c.blocksize: c.feasible for c in res.candidates}
+        assert marked[16384] is False  # 65536x16384x4 = 4 GB panel
+        assert res.best.blocksize == 1024
+
+
+class TestDefaultCandidates:
+    def test_powers_of_two_within_budget(self):
+        from repro.config import PAPER_SYSTEM
+
+        cands = default_candidates(PAPER_SYSTEM, 131072, 131072)
+        assert cands[0] == 1024
+        assert all(b2 == 2 * b1 for b1, b2 in zip(cands, cands[1:]))
+        # the panel must fit in a third of 31 GB: b <= ~20k -> max 16384
+        assert cands[-1] == 16384
+
+    def test_never_empty(self):
+        from repro.config import PAPER_SYSTEM
+
+        assert default_candidates(PAPER_SYSTEM, 10**7, 10**7)

@@ -1,0 +1,41 @@
+"""Unit tests for deterministic RNG helpers."""
+
+import numpy as np
+import pytest
+
+from repro.util.rng import DEFAULT_SEED, default_rng, spawn
+
+
+class TestDefaultRng:
+    def test_default_seed_is_reproducible(self):
+        a = default_rng().standard_normal(8)
+        b = default_rng().standard_normal(8)
+        np.testing.assert_array_equal(a, b)
+
+    def test_explicit_seed_differs_from_default(self):
+        a = default_rng().standard_normal(8)
+        b = default_rng(DEFAULT_SEED + 1).standard_normal(8)
+        assert not np.array_equal(a, b)
+
+    def test_none_means_default(self):
+        a = default_rng(None).standard_normal(4)
+        b = default_rng(DEFAULT_SEED).standard_normal(4)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestSpawn:
+    def test_children_are_independent_and_stable(self):
+        kids1 = spawn(default_rng(7), 3)
+        kids2 = spawn(default_rng(7), 3)
+        draws1 = [k.standard_normal(4) for k in kids1]
+        draws2 = [k.standard_normal(4) for k in kids2]
+        for d1, d2 in zip(draws1, draws2):
+            np.testing.assert_array_equal(d1, d2)
+        assert not np.array_equal(draws1[0], draws1[1])
+
+    def test_zero_children(self):
+        assert spawn(default_rng(), 0) == []
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            spawn(default_rng(), -1)

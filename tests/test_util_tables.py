@@ -1,0 +1,46 @@
+"""Unit tests for the ASCII table renderer."""
+
+import pytest
+
+from repro.util.tables import render_kv, render_table
+
+
+class TestRenderTable:
+    def test_basic_structure(self):
+        out = render_table(["name", "value"], [["a", 1], ["bb", 22]])
+        lines = out.splitlines()
+        assert lines[0].startswith("+")
+        assert "| name" in lines[1]
+        # all rows share the same width
+        assert len({len(line) for line in lines}) == 1
+
+    def test_title(self):
+        out = render_table(["h"], [["x"]], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+
+    def test_alignment_right_for_numbers(self):
+        out = render_table(["label", "n"], [["a", "5"], ["b", "500"]])
+        rows = [line for line in out.splitlines() if "| a" in line]
+        assert rows[0].endswith("  5 |")
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ValueError, match="row 0 has"):
+            render_table(["a", "b"], [["only-one"]])
+
+    def test_rejects_bad_align(self):
+        with pytest.raises(ValueError, match="align length"):
+            render_table(["a"], [["x"]], align=["l", "r"])
+
+    def test_empty_rows_ok(self):
+        out = render_table(["a"], [])
+        assert "| a |" in out
+
+
+class TestRenderKv:
+    def test_alignment(self):
+        out = render_kv([("short", 1), ("much longer key", 2)])
+        lines = out.splitlines()
+        assert lines[0].index(":") == lines[1].index(":")
+
+    def test_empty(self):
+        assert render_kv([], title="t") == "t"

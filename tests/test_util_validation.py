@@ -1,0 +1,118 @@
+"""Unit tests for repro.util.validation."""
+
+import pytest
+
+from repro.errors import ShapeError, ValidationError
+from repro.util.validation import (
+    check_divisible,
+    check_gemm_shapes,
+    check_shape_2d,
+    nonnegative_float,
+    nonnegative_int,
+    one_of,
+    positive_float,
+    positive_int,
+    require,
+)
+
+
+class TestRequire:
+    def test_passes_silently(self):
+        require(True, "never raised")
+
+    def test_raises_with_message(self):
+        with pytest.raises(ValidationError, match="broken invariant"):
+            require(False, "broken invariant")
+
+
+class TestPositiveInt:
+    def test_accepts_positive(self):
+        assert positive_int(7, "x") == 7
+
+    def test_accepts_numpy_like_int(self):
+        assert positive_int(True + 1, "x") == 2
+
+    @pytest.mark.parametrize("bad", [0, -1, -100])
+    def test_rejects_nonpositive(self, bad):
+        with pytest.raises(ValidationError, match="x must be a positive integer"):
+            positive_int(bad, "x")
+
+    def test_rejects_fractional(self):
+        with pytest.raises(ValidationError):
+            positive_int(1.5, "x")
+
+    def test_rejects_non_numeric(self):
+        with pytest.raises(ValidationError):
+            positive_int("three", "x")
+
+    def test_accepts_integral_float(self):
+        assert positive_int(4.0, "x") == 4
+
+
+class TestNonnegativeInt:
+    def test_accepts_zero(self):
+        assert nonnegative_int(0, "x") == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            nonnegative_int(-1, "x")
+
+
+class TestPositiveFloat:
+    def test_accepts_positive(self):
+        assert positive_float(2.5, "x") == 2.5
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0, float("nan"), float("inf")])
+    def test_rejects(self, bad):
+        with pytest.raises(ValidationError):
+            positive_float(bad, "x")
+
+
+class TestNonnegativeFloat:
+    def test_accepts_zero(self):
+        assert nonnegative_float(0.0, "x") == 0.0
+
+    @pytest.mark.parametrize("bad", [-0.001, float("inf")])
+    def test_rejects(self, bad):
+        with pytest.raises(ValidationError):
+            nonnegative_float(bad, "x")
+
+
+class TestOneOf:
+    def test_accepts_member(self):
+        assert one_of("a", ("a", "b"), "x") == "a"
+
+    def test_rejects_non_member(self):
+        with pytest.raises(ValidationError, match="must be one of"):
+            one_of("c", ("a", "b"), "x")
+
+
+class TestCheckShape2d:
+    def test_valid(self):
+        assert check_shape_2d((3, 4), "m") == (3, 4)
+
+    def test_rejects_1d(self):
+        with pytest.raises(ShapeError):
+            check_shape_2d((3,), "m")
+
+    def test_rejects_zero_dim(self):
+        with pytest.raises(ShapeError):
+            check_shape_2d((3, 0), "m")
+
+
+class TestCheckGemmShapes:
+    def test_valid(self):
+        assert check_gemm_shapes(2, 3, 4) == (2, 3, 4)
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValidationError):
+            check_gemm_shapes(2, 0, 4)
+
+
+class TestCheckDivisible:
+    def test_valid(self):
+        assert check_divisible(12, 4, "n") == 12
+
+    def test_rejects_remainder(self):
+        with pytest.raises(ValidationError, match="divisible"):
+            check_divisible(13, 4, "n")
