@@ -36,6 +36,16 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--timeline", action="store_true", help="print the Gantt chart")
     parser.add_argument("--sync", action="store_true", help="disable pipelining")
     parser.add_argument(
+        "--mode", choices=["sim", "numeric"], default="sim",
+        help="sim: data-free timing model; numeric: really compute on "
+        "random data (use small -m/-n; qr only)",
+    )
+    parser.add_argument(
+        "--concurrency", choices=["serial", "threads"], default="serial",
+        help="numeric mode: run ops serially or on per-engine worker "
+        "threads (real H2D/compute/D2H overlap)",
+    )
+    parser.add_argument(
         "--no-opts", action="store_true", help="disable the §4.2 optimizations"
     )
 
@@ -68,19 +78,36 @@ def _run_factorization(args, kind: str) -> int:
     if kind == "chol" and args.rows != args.cols:
         print("cholesky requires a square matrix", file=sys.stderr)
         return 2
+    if args.mode == "numeric" and kind != "qr":
+        print(f"--mode numeric supports qr only (got {kind})", file=sys.stderr)
+        return 2
 
     times = {}
     for method in methods:
-        result = run(shape, method=method, mode="sim", config=config, options=options)
+        if args.mode == "numeric":
+            import numpy as np
+
+            from repro.util.rng import default_rng
+
+            a = default_rng(0).standard_normal(shape).astype(np.float32)
+            result = run(
+                a, method=method, mode="numeric", config=config,
+                options=options, concurrency=args.concurrency,
+            )
+        else:
+            result = run(
+                shape, method=method, mode="sim", config=config, options=options
+            )
         times[method] = result.makespan
+        clock = "measured" if args.mode == "numeric" else "simulated"
         print(
             f"{kind} {method:10s} {shape[0]}x{shape[1]} b={options.blocksize} "
-            f"on {config.gpu.name}: {result.makespan:8.1f} s simulated, "
+            f"on {config.gpu.name}: {result.makespan:8.3f} s {clock}, "
             f"{result.achieved_tflops:6.1f} TFLOPS, "
             f"H2D {result.movement.h2d_bytes / 1e9:7.1f} GB, "
             f"D2H {result.movement.d2h_bytes / 1e9:7.1f} GB"
         )
-        if args.timeline:
+        if args.timeline and result.trace is not None:
             print(render_timeline(result.trace, width=100,
                                   title=f"{kind} {method}"))
             print(render_summary(result.trace))
@@ -123,6 +150,10 @@ def main(argv: list[str] | None = None) -> int:
     p_gemm.add_argument("--memory-gib", type=float, default=None)
     p_gemm.add_argument("--timeline", action="store_true")
     p_gemm.add_argument("--sync", action="store_true")
+    p_gemm.add_argument("--mode", choices=["sim", "numeric"], default="sim")
+    p_gemm.add_argument(
+        "--concurrency", choices=["serial", "threads"], default="serial"
+    )
 
     sub.add_parser("gpus", help="list built-in GPU specs")
 
@@ -215,7 +246,30 @@ def _run_gemm(args) -> int:
     from repro.sim.timeline import render_summary, render_timeline
 
     config = _config(args)
-    if args.kind == "inner":
+    if args.mode == "numeric":
+        import numpy as np
+
+        from repro.util.rng import default_rng
+
+        rng = default_rng(0)
+        if args.kind == "inner":
+            a = rng.standard_normal((args.K, args.M)).astype(np.float32)
+            b = rng.standard_normal((args.K, args.N)).astype(np.float32)
+            result = ooc_gemm(
+                a, b, trans_a=True, mode="numeric", config=config,
+                blocksize=args.blocksize, pipelined=not args.sync,
+                concurrency=args.concurrency,
+            )
+        else:
+            a = rng.standard_normal((args.M, args.K)).astype(np.float32)
+            b = rng.standard_normal((args.K, args.N)).astype(np.float32)
+            c = rng.standard_normal((args.M, args.N)).astype(np.float32)
+            result = ooc_gemm(
+                a, b, alpha=-1.0, beta=1.0, c=c, mode="numeric",
+                config=config, blocksize=args.blocksize,
+                pipelined=not args.sync, concurrency=args.concurrency,
+            )
+    elif args.kind == "inner":
         result = ooc_gemm(
             (args.K, args.M), (args.K, args.N), trans_a=True, mode="sim",
             config=config, blocksize=args.blocksize, pipelined=not args.sync,
@@ -226,14 +280,15 @@ def _run_gemm(args) -> int:
             c=(args.M, args.N), mode="sim", config=config,
             blocksize=args.blocksize, pipelined=not args.sync,
         )
+    clock = "measured" if args.mode == "numeric" else "simulated"
     print(
         f"gemm {args.kind} {args.M}x{args.N}x{args.K} b={args.blocksize} "
         f"({result.strategy}) on {config.gpu.name}: "
-        f"{result.makespan:7.2f} s simulated, "
+        f"{result.makespan:7.2f} s {clock}, "
         f"{result.achieved_tflops:6.1f} TFLOPS, "
         f"H2D {result.movement.h2d_bytes / 1e9:6.1f} GB"
     )
-    if args.timeline:
+    if args.timeline and result.trace is not None:
         print(render_timeline(result.trace, width=100, title=f"gemm {args.kind}"))
         print(render_summary(result.trace))
     return 0

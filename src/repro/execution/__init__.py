@@ -1,12 +1,14 @@
-"""Executor layer: one device-programming interface, three backends
-(numeric, simulated, hybrid)."""
+"""Executor layer: one device-programming interface, four backends
+(numeric serial, numeric concurrent, simulated, hybrid)."""
 
 from repro.execution.base import DeviceBuffer, DeviceView, Executor, RunStats, as_view
+from repro.execution.concurrent import ConcurrentNumericExecutor
 from repro.execution.hybrid import HybridExecutor
 from repro.execution.numeric import NumericExecutor
 from repro.execution.sim import SimExecutor
 
 __all__ = [
+    "ConcurrentNumericExecutor",
     "DeviceBuffer",
     "DeviceView",
     "Executor",

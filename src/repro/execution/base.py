@@ -129,6 +129,9 @@ class RunStats:
     n_panels: int = 0
     #: Simulated makespan in seconds (0 for pure numeric runs).
     makespan: float = 0.0
+    #: Measured wall-clock seconds from first issued op to the last
+    #: synchronize (0 until an executor that measures time synchronizes).
+    wall_s: float = 0.0
 
     @property
     def total_flops(self) -> int:
@@ -174,6 +177,14 @@ class Executor(abc.ABC):
     @abc.abstractmethod
     def synchronize(self) -> None:
         """Block until all submitted work completes."""
+
+    def close(self) -> None:
+        """Release executor resources (worker threads, etc). Idempotent.
+
+        The base implementation is a no-op; executors that own background
+        resources override it. Callers that may run a concurrent executor
+        should ``try/finally: ex.close()``.
+        """
 
     # -- data movement ----------------------------------------------------------------
 

@@ -1,9 +1,17 @@
 """Numeric executor: really computes, with TensorCore numerics emulation.
 
-Work executes eagerly in issue order (a legal serialization of any correct
-stream program), so numeric results are exact regardless of how the calling
-pipeline arranged its streams — stream correctness itself is validated by
-the simulator's causality checks and by the hybrid executor's cross-checks.
+By default work executes eagerly in issue order (a legal serialization of
+any correct stream program), so numeric results are exact regardless of how
+the calling pipeline arranged its streams. With ``record=True`` the
+executor additionally records the stream program — the same
+:class:`~repro.sim.scheduler.StreamProgram` happens-before graph the
+simulator builds — stamping every executed op with wall-clock times, which is
+what the differential test harness compares across backends and what the
+race detector consumes.
+
+:class:`~repro.execution.concurrent.ConcurrentNumericExecutor` subclasses
+this executor and overrides :meth:`NumericExecutor._issue` to dispatch op
+bodies onto per-engine worker threads instead of running them inline.
 
 Device buffers are numpy fp32 arrays, still accounted against the simulated
 device capacity through :class:`~repro.sim.memory.DeviceAllocator`, so
@@ -13,7 +21,8 @@ a scaled-down :class:`~repro.hw.specs.GpuSpec` for tests).
 
 from __future__ import annotations
 
-from typing import Any
+import time
+from typing import Any, Callable
 
 import numpy as np
 
@@ -21,14 +30,22 @@ from repro.config import SystemConfig
 from repro.errors import ExecutionError
 from repro.execution.base import DeviceBuffer, DeviceView, Executor, as_view
 from repro.host.tiled import HostRegion
-from repro.hw.gemm import Precision
 from repro.sim.memory import DeviceAllocator
+from repro.sim.ops import EngineKind, OpKind, SimOp
+from repro.sim.scheduler import (
+    StreamProgram,
+    copy_name,
+    device_access,
+    gemm_name,
+    panel_name,
+)
+from repro.sim.trace import Trace
 from repro.tc.gemm import tc_gemm
 from repro.util.units import gemm_flops
 
 
 class _NullStream:
-    """Streams are ordering hints only for the numeric executor."""
+    """Streams are ordering hints only for the eager numeric executor."""
 
     def __init__(self, name: str):
         self.name = name
@@ -39,12 +56,113 @@ class _NullEvent:
 
 
 class NumericExecutor(Executor):
-    """Eager numpy-backed executor (see module docstring)."""
+    """Eager numpy-backed executor (see module docstring).
 
-    def __init__(self, config: SystemConfig):
+    Parameters
+    ----------
+    config
+        The system configuration (device capacity, precision, models).
+    record
+        When true, streams/events are real (the shared
+        :class:`~repro.sim.scheduler.StreamProgram` wiring) and every op is
+        recorded with its dependency edges, device accesses and wall-clock
+        start/end stamps — see :meth:`recorded_trace`.
+    """
+
+    def __init__(self, config: SystemConfig, *, record: bool = False):
         super().__init__(config)
         self.allocator = DeviceAllocator(config.usable_device_bytes)
         self._input_format = config.precision.input_format
+        self.program: StreamProgram | None = StreamProgram() if record else None
+        self._t0: float | None = None
+
+    # -- issue machinery ---------------------------------------------------------
+
+    def _now(self) -> float:
+        """Seconds since the first issued op (wall clock)."""
+        return time.perf_counter() - self._t0 if self._t0 is not None else 0.0
+
+    def _issue(
+        self,
+        stream: Any,
+        *,
+        name: str,
+        engine: EngineKind,
+        kind: OpKind,
+        body: Callable[[], None],
+        nbytes: int = 0,
+        flops: int = 0,
+        tag: str | None = None,
+        accesses: list | None = None,
+        host_reads: tuple[HostRegion, ...] = (),
+        host_writes: tuple[HostRegion, ...] = (),
+    ) -> None:
+        """Run (or dispatch) one operation.
+
+        The serial executor executes *body* immediately; when recording it
+        also appends a :class:`~repro.sim.ops.SimOp` node to the program
+        with the op's stream/event dependency edges and wall-clock stamps.
+        Subclasses override this to schedule *body* elsewhere (the
+        concurrent executor sends it to the op's engine worker).
+        """
+        if self._t0 is None:
+            self._t0 = time.perf_counter()
+        if self.program is None:
+            body()
+            return
+        op = self._make_op(
+            name=name, engine=engine, kind=kind, nbytes=nbytes, flops=flops,
+            tag=tag, accesses=accesses,
+        )
+        self.program.append(op, stream)
+        op.start = self._now()
+        body()
+        op.end = self._now()
+        op.duration = op.end - op.start
+
+    @staticmethod
+    def _make_op(
+        *,
+        name: str,
+        engine: EngineKind,
+        kind: OpKind,
+        nbytes: int,
+        flops: int,
+        tag: str | None,
+        accesses: list | None,
+    ) -> SimOp:
+        """Build the recorded node for one numeric op (no duration model —
+        real durations are stamped at execution time)."""
+        tags: dict[str, Any] = {}
+        if tag is not None:
+            tags["tag"] = tag
+        if accesses is not None:
+            tags["accesses"] = accesses
+        return SimOp(
+            name=name, engine=engine, kind=kind, duration=0.0,
+            nbytes=nbytes, flops=flops, tags=tags,
+        )
+
+    def recorded_trace(self) -> Trace:
+        """The executed ops as a wall-clock :class:`~repro.sim.trace.Trace`.
+
+        Requires ``record=True``. Ops carry their real start/end times and
+        the stream/event dependency edges, so the simulator's causality
+        checks and the :mod:`repro.sim.race` detector run on it unchanged.
+        """
+        if self.program is None:
+            raise ExecutionError(
+                "recorded_trace() requires a recording executor "
+                "(NumericExecutor(config, record=True))"
+            )
+        trace = Trace()
+        for op in self.program.ops:
+            if op.scheduled:
+                trace.add(op)
+        return trace
+
+    def close(self) -> None:
+        """Release executor resources (worker threads in subclasses)."""
 
     # -- memory -----------------------------------------------------------------
 
@@ -69,16 +187,24 @@ class NumericExecutor(Executor):
     # -- streams -----------------------------------------------------------------
 
     def stream(self, name: str) -> Any:
+        if self.program is not None:
+            return self.program.stream(name)
         return _NullStream(name)
 
     def record_event(self, stream: Any) -> Any:
+        if self.program is not None:
+            return self.program.record_event(stream)
         return _NullEvent()
 
     def wait_event(self, stream: Any, event: Any) -> None:
-        pass
+        if self.program is not None:
+            self.program.wait_event(stream, event)
 
     def synchronize(self) -> None:
-        pass
+        # Eager execution has nothing to drain, but a sync is the natural
+        # point to refresh the measured wall-clock span of the run.
+        if self._t0 is not None:
+            self.stats.wall_s = time.perf_counter() - self._t0
 
     # -- views -------------------------------------------------------------------
 
@@ -95,28 +221,73 @@ class NumericExecutor(Executor):
             )
         return data[view.row0 : view.row1, view.col0 : view.col1]
 
+    def _check_live(self, *views: DeviceView) -> None:
+        """Fail fast (on the issuing thread) when an operand is dead."""
+        for view in views:
+            self._data(view)
+
     # -- data movement ------------------------------------------------------------
 
     def h2d(self, dst: DeviceBuffer | DeviceView, src: HostRegion, stream: Any) -> None:
         dst = as_view(dst)
         self._check_copy_shapes(dst.shape, src.shape)
-        np.copyto(self._data(dst), src.array)
+        self._check_live(dst)
         self.stats.h2d_bytes += src.nbytes
+
+        def body() -> None:
+            np.copyto(self._data(dst), src.array)
+
+        self._issue(
+            stream,
+            name=copy_name("h2d", src, dst),
+            engine=EngineKind.H2D,
+            kind=OpKind.COPY_H2D,
+            body=body,
+            nbytes=src.nbytes,
+            accesses=[device_access(dst, True)],
+            host_reads=(src,),
+        )
 
     def d2h(self, dst: HostRegion, src: DeviceBuffer | DeviceView, stream: Any) -> None:
         src = as_view(src)
         self._check_copy_shapes(dst.shape, src.shape)
-        np.copyto(dst.array, self._data(src))
+        self._check_live(src)
         self.stats.d2h_bytes += dst.nbytes
+
+        def body() -> None:
+            np.copyto(dst.array, self._data(src))
+
+        self._issue(
+            stream,
+            name=copy_name("d2h", src, dst),
+            engine=EngineKind.D2H,
+            kind=OpKind.COPY_D2H,
+            body=body,
+            nbytes=dst.nbytes,
+            accesses=[device_access(src, False)],
+            host_writes=(dst,),
+        )
 
     def d2d(
         self, dst: DeviceBuffer | DeviceView, src: DeviceBuffer | DeviceView, stream: Any
     ) -> None:
         dst, src = as_view(dst), as_view(src)
         self._check_copy_shapes(dst.shape, src.shape)
-        np.copyto(self._data(dst), self._data(src))
-        self.stats.d2d_bytes += (
-            dst.rows * dst.cols * self.config.element_bytes
+        self._check_live(dst, src)
+        nbytes = dst.rows * dst.cols * self.config.element_bytes
+        self.stats.d2d_bytes += nbytes
+
+        def body() -> None:
+            np.copyto(self._data(dst), self._data(src))
+
+        self._issue(
+            stream,
+            name=copy_name("d2d", src, dst),
+            engine=EngineKind.COMPUTE,
+            kind=OpKind.COPY_D2D,
+            body=body,
+            nbytes=nbytes,
+            accesses=[device_access(src, False), device_access(dst, True)],
         )
 
     # -- compute --------------------------------------------------------------------
@@ -136,20 +307,38 @@ class NumericExecutor(Executor):
     ) -> None:
         c, a, b = as_view(c), as_view(a), as_view(b)
         m, n, k = self._gemm_dims(c, a, b, trans_a, trans_b)
-        c_data = self._data(c)
-        tc_gemm(
-            self._data(a),
-            self._data(b),
-            alpha=alpha,
-            beta=beta,
-            c=c_data if beta != 0.0 else None,
-            trans_a=trans_a,
-            trans_b=trans_b,
-            input_format=self._input_format,
-            out=c_data,
-        )
+        self._check_live(c, a, b)
         self.stats.gemm_flops += gemm_flops(m, n, k)
         self.stats.n_gemms += 1
+
+        def body() -> None:
+            c_data = self._data(c)
+            tc_gemm(
+                self._data(a),
+                self._data(b),
+                alpha=alpha,
+                beta=beta,
+                c=c_data if beta != 0.0 else None,
+                trans_a=trans_a,
+                trans_b=trans_b,
+                input_format=self._input_format,
+                out=c_data,
+            )
+
+        self._issue(
+            stream,
+            name=gemm_name(tag, m, n, k),
+            engine=EngineKind.COMPUTE,
+            kind=OpKind.GEMM,
+            body=body,
+            flops=gemm_flops(m, n, k),
+            tag=tag,
+            accesses=[
+                device_access(a, False),
+                device_access(b, False),
+                device_access(c, True),
+            ],
+        )
 
     def panel_qr(
         self,
@@ -165,12 +354,27 @@ class NumericExecutor(Executor):
                 f"panel_qr: R is {r_out.shape}, expected "
                 f"{(panel.cols, panel.cols)}"
             )
-        a_data = self._data(panel)
-        q, r = self._factorize_panel(a_data)
-        np.copyto(a_data, q)
-        np.copyto(self._data(r_out), r)
-        self.stats.panel_flops += self.config.panel.flops(panel.rows, panel.cols)
+        self._check_live(panel, r_out)
+        flops = self.config.panel.flops(panel.rows, panel.cols)
+        self.stats.panel_flops += flops
         self.stats.n_panels += 1
+
+        def body() -> None:
+            a_data = self._data(panel)
+            q, r = self._factorize_panel(a_data)
+            np.copyto(a_data, q)
+            np.copyto(self._data(r_out), r)
+
+        self._issue(
+            stream,
+            name=panel_name(tag, panel.rows, panel.cols),
+            engine=EngineKind.COMPUTE,
+            kind=OpKind.PANEL,
+            body=body,
+            flops=flops,
+            tag=tag,
+            accesses=[device_access(panel, True), device_access(r_out, True)],
+        )
 
     def _factorize_panel(self, a_data: np.ndarray):
         """Dispatch on ``config.panel_algorithm``; imports are lazy because
@@ -214,18 +418,33 @@ class NumericExecutor(Executor):
             raise ExecutionError(
                 f"trsm: B has {b.rows} rows, triangle is {a_tri.rows}"
             )
-        b_data = self._data(b)
-        solved = scipy.linalg.solve_triangular(
-            self._data(a_tri),
-            b_data,
-            lower=lower,
-            unit_diagonal=unit_diag,
-            trans="T" if trans_a else "N",
-            check_finite=False,
-        )
-        np.copyto(b_data, solved.astype(np.float32, copy=False))
-        self.stats.gemm_flops += a_tri.rows * a_tri.rows * b.cols
+        self._check_live(a_tri, b)
+        flops = a_tri.rows * a_tri.rows * b.cols
+        self.stats.gemm_flops += flops
         self.stats.n_gemms += 1
+
+        def body() -> None:
+            b_data = self._data(b)
+            solved = scipy.linalg.solve_triangular(
+                self._data(a_tri),
+                b_data,
+                lower=lower,
+                unit_diagonal=unit_diag,
+                trans="T" if trans_a else "N",
+                check_finite=False,
+            )
+            np.copyto(b_data, solved.astype(np.float32, copy=False))
+
+        self._issue(
+            stream,
+            name=panel_name(tag, a_tri.rows, b.cols),
+            engine=EngineKind.COMPUTE,
+            kind=OpKind.GEMM,
+            body=body,
+            flops=flops,
+            tag=tag,
+            accesses=[device_access(a_tri, False), device_access(b, True)],
+        )
 
     def panel_lu(
         self,
@@ -243,13 +462,28 @@ class NumericExecutor(Executor):
                 f"panel_lu: U is {u_out.shape}, expected "
                 f"{(panel.cols, panel.cols)}"
             )
-        a_data = self._data(panel)
-        packed = incore_lu_nopivot(a_data, input_format=self._input_format)
-        np.copyto(a_data, packed)
-        np.copyto(self._data(u_out), np.triu(packed[: panel.cols]))
+        self._check_live(panel, u_out)
         # LU panel work is m b^2 — half of QR's 2 m b^2
-        self.stats.panel_flops += self.config.panel.flops(panel.rows, panel.cols) // 2
+        flops = self.config.panel.flops(panel.rows, panel.cols) // 2
+        self.stats.panel_flops += flops
         self.stats.n_panels += 1
+
+        def body() -> None:
+            a_data = self._data(panel)
+            packed = incore_lu_nopivot(a_data, input_format=self._input_format)
+            np.copyto(a_data, packed)
+            np.copyto(self._data(u_out), np.triu(packed[: panel.cols]))
+
+        self._issue(
+            stream,
+            name=panel_name(tag, panel.rows, panel.cols),
+            engine=EngineKind.COMPUTE,
+            kind=OpKind.PANEL,
+            body=body,
+            flops=flops,
+            tag=tag,
+            accesses=[device_access(panel, True), device_access(u_out, True)],
+        )
 
     def panel_cholesky(
         self,
@@ -268,19 +502,35 @@ class NumericExecutor(Executor):
             raise ExecutionError(
                 f"panel_cholesky: panel {panel.shape} shorter than its width"
             )
-        data = self._data(panel)
-        try:
-            chol = np.linalg.cholesky(data[:b].astype(np.float64))
-        except np.linalg.LinAlgError as exc:
-            raise ValidationError(
-                "panel_cholesky: diagonal block not positive definite"
-            ) from exc
-        data[:b] = np.triu(np.zeros((b, b), dtype=np.float32)) + np.tril(
-            chol.astype(np.float32)
-        )
-        if panel.rows > b:
-            data[b:] = scipy.linalg.solve_triangular(
-                chol, data[b:].astype(np.float64).T, lower=True, check_finite=False
-            ).T.astype(np.float32)
-        self.stats.panel_flops += b * b * b // 3 + (panel.rows - b) * b * b
+        self._check_live(panel)
+        flops = b * b * b // 3 + (panel.rows - b) * b * b
+        self.stats.panel_flops += flops
         self.stats.n_panels += 1
+
+        def body() -> None:
+            data = self._data(panel)
+            try:
+                chol = np.linalg.cholesky(data[:b].astype(np.float64))
+            except np.linalg.LinAlgError as exc:
+                raise ValidationError(
+                    "panel_cholesky: diagonal block not positive definite"
+                ) from exc
+            data[:b] = np.triu(np.zeros((b, b), dtype=np.float32)) + np.tril(
+                chol.astype(np.float32)
+            )
+            if panel.rows > b:
+                data[b:] = scipy.linalg.solve_triangular(
+                    chol, data[b:].astype(np.float64).T, lower=True,
+                    check_finite=False,
+                ).T.astype(np.float32)
+
+        self._issue(
+            stream,
+            name=panel_name(tag, panel.rows, panel.cols),
+            engine=EngineKind.COMPUTE,
+            kind=OpKind.PANEL,
+            body=body,
+            flops=flops,
+            tag=tag,
+            accesses=[device_access(panel, True)],
+        )

@@ -15,6 +15,7 @@ from repro.config import SystemConfig
 from repro.errors import ExecutionError
 from repro.execution.base import DeviceBuffer, DeviceView, Executor, as_view
 from repro.host.tiled import HostRegion
+from repro.sim.scheduler import copy_name, device_access, gemm_name, panel_name
 from repro.sim.simulator import GpuSimulator
 from repro.sim.stream import Event, Stream
 from repro.sim.trace import Trace
@@ -63,18 +64,12 @@ class SimExecutor(Executor):
     def _bytes_of(self, view: DeviceView | HostRegion) -> int:
         return view.rows * view.cols * self.config.element_bytes
 
-    @staticmethod
-    def _acc(view: DeviceView, write: bool) -> tuple:
-        """Access record for the race detector (buffer handle + region)."""
-        handle = view.buffer.payload["allocation"].handle
-        return (handle, view.row0, view.row1, view.col0, view.col1, write)
-
     def h2d(self, dst: DeviceBuffer | DeviceView, src: HostRegion, stream: Stream) -> None:
         dst = as_view(dst)
         self._check_copy_shapes(dst.shape, src.shape)
         nbytes = src.nbytes
-        op = self.sim.op_h2d(nbytes, name=f"h2d {src.label()}->{dst.label()}")
-        op.tags["accesses"] = [self._acc(dst, True)]
+        op = self.sim.op_h2d(nbytes, name=copy_name("h2d", src, dst))
+        op.tags["accesses"] = [device_access(dst, True)]
         self.sim.enqueue(op, stream)
         self.stats.h2d_bytes += nbytes
 
@@ -82,8 +77,8 @@ class SimExecutor(Executor):
         src = as_view(src)
         self._check_copy_shapes(dst.shape, src.shape)
         nbytes = dst.nbytes
-        op = self.sim.op_d2h(nbytes, name=f"d2h {src.label()}->{dst.label()}")
-        op.tags["accesses"] = [self._acc(src, False)]
+        op = self.sim.op_d2h(nbytes, name=copy_name("d2h", src, dst))
+        op.tags["accesses"] = [device_access(src, False)]
         self.sim.enqueue(op, stream)
         self.stats.d2h_bytes += nbytes
 
@@ -93,8 +88,8 @@ class SimExecutor(Executor):
         dst, src = as_view(dst), as_view(src)
         self._check_copy_shapes(dst.shape, src.shape)
         nbytes = self._bytes_of(dst)
-        op = self.sim.op_d2d(nbytes, name=f"d2d {src.label()}->{dst.label()}")
-        op.tags["accesses"] = [self._acc(src, False), self._acc(dst, True)]
+        op = self.sim.op_d2d(nbytes, name=copy_name("d2d", src, dst))
+        op.tags["accesses"] = [device_access(src, False), device_access(dst, True)]
         self.sim.enqueue(op, stream)
         self.stats.d2d_bytes += nbytes
 
@@ -115,11 +110,11 @@ class SimExecutor(Executor):
     ) -> None:
         c, a, b = as_view(c), as_view(a), as_view(b)
         m, n, k = self._gemm_dims(c, a, b, trans_a, trans_b)
-        op = self.sim.op_gemm(m, n, k, name=f"{tag} {m}x{n}x{k}", tag=tag)
+        op = self.sim.op_gemm(m, n, k, name=gemm_name(tag, m, n, k), tag=tag)
         op.tags["accesses"] = [
-            self._acc(a, False),
-            self._acc(b, False),
-            self._acc(c, True),
+            device_access(a, False),
+            device_access(b, False),
+            device_access(c, True),
         ]
         self.sim.enqueue(op, stream)
         self.stats.gemm_flops += op.flops
@@ -140,9 +135,9 @@ class SimExecutor(Executor):
                 f"{(panel.cols, panel.cols)}"
             )
         op = self.sim.op_panel(
-            panel.rows, panel.cols, name=f"{tag} {panel.rows}x{panel.cols}", tag=tag
+            panel.rows, panel.cols, name=panel_name(tag, panel.rows, panel.cols), tag=tag
         )
-        op.tags["accesses"] = [self._acc(panel, True), self._acc(r_out, True)]
+        op.tags["accesses"] = [device_access(panel, True), device_access(r_out, True)]
         self.sim.enqueue(op, stream)
         self.stats.panel_flops += op.flops
         self.stats.n_panels += 1
@@ -175,7 +170,7 @@ class SimExecutor(Executor):
         flops = k * k * n
         rate = self.config.gemm.rate(k, n, k, self.config.precision)
         op = SimOp(
-            name=f"{tag} {k}x{n}",
+            name=panel_name(tag, k, n),
             engine=EngineKind.COMPUTE,
             kind=OpKind.GEMM,
             duration=self.config.gpu.kernel_launch_s
@@ -183,7 +178,7 @@ class SimExecutor(Executor):
             flops=flops,
             tags={
                 "tag": tag,
-                "accesses": [self._acc(a_tri, False), self._acc(b, True)],
+                "accesses": [device_access(a_tri, False), device_access(b, True)],
             },
         )
         self.sim.enqueue(op, stream)
@@ -207,11 +202,11 @@ class SimExecutor(Executor):
         # LU panel work (m b^2 flops) is half of QR's 2 m b^2; charge it at
         # the same calibrated panel rate
         op = self.sim.op_panel(
-            panel.rows, panel.cols, name=f"{tag} {panel.rows}x{panel.cols}", tag=tag
+            panel.rows, panel.cols, name=panel_name(tag, panel.rows, panel.cols), tag=tag
         )
         op.duration /= 2.0
         op.flops //= 2
-        op.tags["accesses"] = [self._acc(panel, True), self._acc(u_out, True)]
+        op.tags["accesses"] = [device_access(panel, True), device_access(u_out, True)]
         self.sim.enqueue(op, stream)
         self.stats.panel_flops += op.flops
         self.stats.n_panels += 1
@@ -231,13 +226,13 @@ class SimExecutor(Executor):
         # b^3/3 for the diagonal block + m b^2 for the TRSM below, charged
         # at the calibrated panel rate
         op = self.sim.op_panel(
-            panel.rows, panel.cols, name=f"{tag} {panel.rows}x{panel.cols}", tag=tag
+            panel.rows, panel.cols, name=panel_name(tag, panel.rows, panel.cols), tag=tag
         )
         b = panel.cols
         flops = b * b * b // 3 + (panel.rows - b) * b * b
         op.duration *= flops / max(op.flops, 1)
         op.flops = flops
-        op.tags["accesses"] = [self._acc(panel, True)]
+        op.tags["accesses"] = [device_access(panel, True)]
         self.sim.enqueue(op, stream)
         self.stats.panel_flops += flops
         self.stats.n_panels += 1

@@ -24,6 +24,7 @@ import numpy as np
 from repro.config import PAPER_SYSTEM, SystemConfig
 from repro.errors import ShapeError, ValidationError
 from repro.execution.base import RunStats
+from repro.execution.concurrent import ConcurrentNumericExecutor
 from repro.execution.numeric import NumericExecutor
 from repro.execution.sim import SimExecutor
 from repro.host.tiled import HostMatrix
@@ -48,7 +49,11 @@ class GemmResult:
 
     @property
     def makespan(self) -> float:
-        return self.trace.makespan if self.trace is not None else 0.0
+        """Simulated makespan, or measured wall-clock seconds in numeric
+        mode (from :attr:`RunStats.wall_s`) when no trace was recorded."""
+        if self.trace is not None:
+            return self.trace.makespan
+        return self.stats.wall_s
 
     @property
     def achieved_tflops(self) -> float:
@@ -86,6 +91,7 @@ def ooc_gemm(
     mode: str | None = None,
     device_memory: int | None = None,
     pipelined: bool = True,
+    concurrency: str = "serial",
 ) -> GemmResult:
     """Out-of-core ``C = alpha op(A) B + beta C`` for host-resident operands.
 
@@ -99,6 +105,12 @@ def ooc_gemm(
 
     Operands are ndarrays / :class:`HostMatrix` (numeric) or shape tuples
     (simulated). Returns a :class:`GemmResult`.
+
+    ``concurrency="threads"`` (numeric mode only) runs the op stream on the
+    concurrent executor — per-engine worker threads overlapping H2D,
+    compute and D2H, see docs/concurrency.md — and attaches the recorded
+    wall-clock trace to the result. Results are bitwise identical to
+    ``"serial"``.
     """
     config = config or PAPER_SYSTEM
     if device_memory is not None:
@@ -117,8 +129,16 @@ def ooc_gemm(
     mode = one_of(mode, ("numeric", "sim"), "mode")
     if shape_only and mode != "sim":
         raise ValidationError("shape operands only support mode='sim'")
+    concurrency = one_of(concurrency, ("serial", "threads"), "concurrency")
+    if concurrency == "threads" and mode != "numeric":
+        raise ValidationError("concurrency='threads' requires mode='numeric'")
 
-    ex = NumericExecutor(config) if mode == "numeric" else SimExecutor(config)
+    if mode == "sim":
+        ex = SimExecutor(config)
+    elif concurrency == "threads":
+        ex = ConcurrentNumericExecutor(config)
+    else:
+        ex = NumericExecutor(config)
     budget = ex.allocator.free_bytes // config.element_bytes
 
     if trans_a:
@@ -184,7 +204,16 @@ def ooc_gemm(
             )
         strategy = "rowstream-outer"
 
-    trace = ex.finish() if mode == "sim" else None
+    if mode == "sim":
+        trace = ex.finish()
+    else:
+        ex.synchronize()
+        trace = (
+            ex.recorded_trace()
+            if isinstance(ex, ConcurrentNumericExecutor)
+            else None
+        )
+        ex.close()
     ex.allocator.check_balanced()
     return GemmResult(
         c=host_c.data if host_c.backed else None,

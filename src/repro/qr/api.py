@@ -26,6 +26,7 @@ from repro.config import PAPER_SYSTEM, SystemConfig
 from repro.errors import ValidationError
 from repro.execution.base import RunStats
 from repro.execution.hybrid import HybridExecutor
+from repro.execution.concurrent import ConcurrentNumericExecutor
 from repro.execution.numeric import NumericExecutor
 from repro.execution.sim import SimExecutor
 from repro.host.tiled import HostMatrix
@@ -57,12 +58,15 @@ class QrResult:
 
     @property
     def makespan(self) -> float:
-        """Simulated end-to-end seconds (0.0 for pure numeric runs)."""
-        return self.trace.makespan if self.trace is not None else 0.0
+        """Simulated end-to-end seconds, or measured wall-clock seconds
+        for numeric runs without a trace (:attr:`RunStats.wall_s`)."""
+        if self.trace is not None:
+            return self.trace.makespan
+        return self.stats.wall_s
 
     @property
     def achieved_tflops(self) -> float:
-        """End-to-end TFLOPS over the simulated makespan."""
+        """End-to-end TFLOPS over :attr:`makespan` (simulated or wall)."""
         span = self.makespan
         return self.stats.total_flops / span / 1e12 if span > 0 else 0.0
 
@@ -101,6 +105,7 @@ def ooc_qr(
     options: QrOptions | None = None,
     blocksize: int | None = None,
     device_memory: int | None = None,
+    concurrency: str = "serial",
 ) -> QrResult:
     """Out-of-core QR factorization ``A = QR`` (classic Gram-Schmidt).
 
@@ -125,6 +130,12 @@ def ooc_qr(
         Convenience cap on simulated device memory in bytes (the §5.2
         16 GB experiment, or small values to force OOC behaviour on small
         numeric problems).
+    concurrency
+        ``"serial"`` (default) or ``"threads"`` — numeric mode only. With
+        ``"threads"`` the op stream runs on per-engine worker threads
+        (H2D/compute/D2H overlap, see docs/concurrency.md), the result is
+        bitwise identical to serial, and ``trace`` holds the recorded
+        wall-clock schedule.
 
     Returns
     -------
@@ -165,8 +176,16 @@ def ooc_qr(
     else:
         host_r = HostMatrix.zeros(n, n, dtype=np.float32, name="R")
 
+    concurrency = one_of(concurrency, ("serial", "threads"), "concurrency")
+    if concurrency == "threads" and mode != "numeric":
+        raise ValidationError("concurrency='threads' requires mode='numeric'")
+
     if mode == "numeric":
-        ex = NumericExecutor(config)
+        ex = (
+            ConcurrentNumericExecutor(config)
+            if concurrency == "threads"
+            else NumericExecutor(config)
+        )
     elif mode == "sim":
         ex = SimExecutor(config)
     else:
@@ -177,10 +196,13 @@ def ooc_qr(
         run_info = driver(ex, host_a, host_r, options)
 
     trace: Trace | None = None
-    if mode == "sim":
+    if mode in ("sim", "hybrid"):
         trace = ex.finish()
-    elif mode == "hybrid":
-        trace = ex.finish()
+    else:
+        ex.synchronize()
+        if isinstance(ex, ConcurrentNumericExecutor):
+            trace = ex.recorded_trace()
+        ex.close()
     ex.allocator.check_balanced()
 
     return QrResult(

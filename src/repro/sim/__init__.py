@@ -5,6 +5,7 @@ from repro.sim.export import to_chrome_trace, to_csv, to_json, trace_rows
 from repro.sim.memory import Allocation, DeviceAllocator
 from repro.sim.ops import EngineKind, OpKind, SimOp
 from repro.sim.race import Race, assert_race_free, detect_races
+from repro.sim.scheduler import StreamProgram, happens_before_signature
 from repro.sim.simulator import GpuSimulator
 from repro.sim.stream import Event, Stream
 from repro.sim.timeline import Segment, render_summary, render_timeline, segments
@@ -21,9 +22,11 @@ __all__ = [
     "Segment",
     "SimOp",
     "Stream",
+    "StreamProgram",
     "Trace",
     "assert_race_free",
     "detect_races",
+    "happens_before_signature",
     "render_summary",
     "render_timeline",
     "segments",

@@ -28,6 +28,7 @@ from repro.errors import SimulationError
 from repro.errors import DeadlockError
 from repro.sim.memory import DeviceAllocator
 from repro.sim.ops import EngineKind, OpKind, SimOp
+from repro.sim.scheduler import StreamProgram
 from repro.sim.stream import Event, Stream
 from repro.sim.trace import Trace
 
@@ -38,40 +39,40 @@ class GpuSimulator:
 
     config: SystemConfig
     allocator: DeviceAllocator = field(init=False)
+    #: The recorded stream program (shared graph machinery with the
+    #: concurrent numeric executor — see :mod:`repro.sim.scheduler`).
+    program: StreamProgram = field(init=False)
     _queues: dict[EngineKind, deque[SimOp]] = field(init=False)
     _engine_free: dict[EngineKind, float] = field(init=False)
     _trace: Trace = field(init=False)
-    _streams: list[Stream] = field(init=False)
     _pending: int = field(init=False, default=0)
 
     def __post_init__(self) -> None:
         self.allocator = DeviceAllocator(self.config.usable_device_bytes)
+        self.program = StreamProgram()
         self._queues = {kind: deque() for kind in EngineKind}
         self._engine_free = {kind: 0.0 for kind in EngineKind}
         self._trace = Trace()
-        self._streams = []
 
     # -- stream / event API ---------------------------------------------------
 
     def stream(self, name: str) -> Stream:
         """Create a new stream."""
-        stream = Stream(name=name)
-        self._streams.append(stream)
-        return stream
+        return self.program.stream(name)
 
     def record_event(self, stream: Stream) -> Event:
         """Record an event on *stream* (captures prior work on the stream)."""
-        return stream.record()
+        return self.program.record_event(stream)
 
     def wait_event(self, stream: Stream, event: Event) -> None:
         """Future work on *stream* waits for *event*."""
-        stream.wait(event)
+        self.program.wait_event(stream, event)
 
     # -- enqueue ---------------------------------------------------------------
 
     def enqueue(self, op: SimOp, stream: Stream) -> SimOp:
         """Submit *op* on *stream*; it will execute when the simulator runs."""
-        stream.attach(op)
+        self.program.append(op, stream)
         self._queues[op.engine].append(op)
         self._pending += 1
         return op

@@ -3,8 +3,11 @@ out-of-core machinery (tiling, spills, capacity errors) on small matrices."""
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+from hypothesis import settings as hypothesis_settings
 
 from repro.config import SystemConfig
 from repro.execution.hybrid import HybridExecutor
@@ -13,6 +16,12 @@ from repro.execution.sim import SimExecutor
 from repro.hw.gemm import Precision
 from repro.hw.specs import GpuSpec
 from repro.util.rng import default_rng
+
+# Deterministic hypothesis runs in CI (HYPOTHESIS_PROFILE=ci); locally the
+# default profile keeps random exploration but drops the flaky deadline.
+hypothesis_settings.register_profile("ci", derandomize=True, deadline=None)
+hypothesis_settings.register_profile("dev", deadline=None)
+hypothesis_settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 
 
 def make_tiny_spec(mem_bytes: int = 1 << 20, name: str = "tiny") -> GpuSpec:

@@ -13,6 +13,7 @@ import numpy as np
 import pytest
 
 from repro.config import SystemConfig
+from repro.execution.concurrent import ConcurrentNumericExecutor
 from repro.execution.numeric import NumericExecutor
 from repro.factor.cholesky import ooc_recursive_cholesky
 from repro.factor.lu import ooc_blocking_lu
@@ -147,3 +148,77 @@ class TestEnginesUnwind:
         r = HostMatrix.zeros(32, 32)
         ooc_recursive_qr(ex, a, r, QrOptions(blocksize=16))
         assert factorization_error(a_np, a.data, r.data) < 1e-5
+
+
+class WorkerFaultyExecutor(ConcurrentNumericExecutor):
+    """Concurrent executor whose Nth op body raises *inside its worker
+    thread* — exercising cross-thread error propagation and pool drain."""
+
+    def __init__(self, config, fail_at: int | None = None):
+        super().__init__(config)
+        self.fail_at = fail_at
+        self.op_counter = 0
+
+    def _issue(self, stream, *, body, **kwargs):
+        self.op_counter += 1
+        if self.op_counter == self.fail_at:
+            original = body
+
+            def body():
+                raise InjectedFault(
+                    f"injected fault in worker at op {self.op_counter}"
+                ) from None
+
+            body.__wrapped__ = original
+        super()._issue(stream, body=body, **kwargs)
+
+
+@pytest.mark.parametrize("driver,needs_r", DRIVERS[:2],
+                         ids=[d.__name__ for d, _ in DRIVERS[:2]])
+class TestWorkerFaults:
+    """ISSUE satellite 3: faults fire inside worker threads; the error
+    reaches the caller, the pool shuts down cleanly, and the allocator
+    stays balanced."""
+
+    def test_worker_faults_propagate_and_unwind(self, driver, needs_r):
+        probe = WorkerFaultyExecutor(_config(), fail_at=None)
+        try:
+            _run(driver, needs_r, probe)
+            probe.synchronize()
+            probe.allocator.check_balanced()
+            total_ops = probe.op_counter
+        finally:
+            probe.close()
+        assert total_ops > 10
+
+        points = sorted({1, 2, total_ops // 4, total_ops // 2,
+                         3 * total_ops // 4, total_ops})
+        for fail_at in points:
+            ex = WorkerFaultyExecutor(_config(), fail_at=fail_at)
+            try:
+                with pytest.raises(InjectedFault):
+                    _run(driver, needs_r, ex)
+                    # late faults may only surface once the pipeline drains
+                    ex.synchronize()
+                # DeviceScope unwound across threads: nothing leaked
+                ex.allocator.check_balanced()
+                # the sticky failure keeps re-raising on further use
+                with pytest.raises(InjectedFault):
+                    ex.synchronize()
+            finally:
+                ex.close()
+            for worker in ex._workers:
+                worker.join(5.0)
+                assert not worker.is_alive()
+
+    def test_failed_ops_left_out_of_trace(self, driver, needs_r):
+        ex = WorkerFaultyExecutor(_config(), fail_at=4)
+        try:
+            with pytest.raises(InjectedFault):
+                _run(driver, needs_r, ex)
+                ex.synchronize()
+            trace = ex.recorded_trace()
+            assert len(trace.ops) < ex.op_counter
+            trace.check_causality()
+        finally:
+            ex.close()

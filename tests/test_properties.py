@@ -252,3 +252,119 @@ class TestGramSchmidtProperties:
         assert orthogonality_error(q) < 1e-10
         assert factorization_error(a, q, r) < 1e-10
         assert np.allclose(r, np.triu(r))
+
+
+class TestConcurrentExecutorProperties:
+    """Random stream/event programs of *real* numeric ops, replayed on the
+    serial-recording and concurrent executors (ISSUE satellite 2): the two
+    must emit identical happens-before graphs, the threaded schedule must
+    be causal and engine-serial, and — whenever the program is free of
+    device data races — the host-visible results must be bitwise equal."""
+
+    N_BUFS = 3
+    SIDE = 8
+
+    def _replay(self, ex, program, hosts):
+        from repro.host.tiled import HostMatrix
+
+        mats = [
+            HostMatrix.from_array(h.copy(), name=f"H{i}")
+            for i, h in enumerate(hosts)
+        ]
+        bufs = [
+            ex.alloc(self.SIDE, self.SIDE, f"buf{i}") for i in range(self.N_BUFS)
+        ]
+        streams = {}
+        events = []
+        try:
+            for instr in program:
+                op, args = instr[0], instr[1:]
+                if op == "wait":
+                    stream_id, event_id = args
+                    ex.wait_event(
+                        streams.setdefault(
+                            stream_id, ex.stream(f"s{stream_id}")
+                        ),
+                        events[event_id],
+                    )
+                    continue
+                stream = streams.setdefault(args[-1], ex.stream(f"s{args[-1]}"))
+                if op == "h2d":
+                    ex.h2d(bufs[args[0]], mats[args[1]].full(), stream)
+                elif op == "d2h":
+                    ex.d2h(mats[args[1]].full(), bufs[args[0]], stream)
+                elif op == "d2d":
+                    ex.d2d(bufs[args[0]], bufs[args[1]], stream)
+                elif op == "gemm":
+                    ex.gemm(
+                        bufs[args[0]], bufs[args[1]], bufs[args[2]], stream,
+                        beta=float(args[3]),
+                    )
+                elif op == "record":
+                    events.append(ex.record_event(stream))
+            ex.synchronize()
+        finally:
+            for buf in bufs:
+                ex.free(buf)
+            ex.close()
+        ex.allocator.check_balanced()
+        return [m.data.copy() for m in mats]
+
+    @given(data=st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_concurrent_matches_serial_recording(self, data):
+        from repro.execution import ConcurrentNumericExecutor, NumericExecutor
+        from repro.sim import detect_races, happens_before_signature
+
+        seed = data.draw(st.integers(0, 2**16))
+        hosts = [
+            (0.1 * np.random.default_rng(seed + i)
+             .standard_normal((self.SIDE, self.SIDE))).astype(np.float32)
+            for i in range(2)
+        ]
+        n_streams = data.draw(st.integers(1, 3))
+        program = []
+        n_events = 0
+        for _ in range(data.draw(st.integers(1, 20))):
+            stream_id = data.draw(st.integers(0, n_streams - 1))
+            if n_events and data.draw(st.booleans()):
+                program.append(
+                    ("wait", stream_id, data.draw(st.integers(0, n_events - 1)))
+                )
+            op = data.draw(st.sampled_from(["h2d", "d2h", "d2d", "gemm"]))
+            if op in ("h2d", "d2h"):
+                program.append(
+                    (op, data.draw(st.integers(0, self.N_BUFS - 1)),
+                     data.draw(st.integers(0, 1)), stream_id)
+                )
+            elif op == "d2d":
+                program.append(
+                    (op, data.draw(st.integers(0, self.N_BUFS - 1)),
+                     data.draw(st.integers(0, self.N_BUFS - 1)), stream_id)
+                )
+            else:
+                program.append(
+                    (op, data.draw(st.integers(0, self.N_BUFS - 1)),
+                     data.draw(st.integers(0, self.N_BUFS - 1)),
+                     data.draw(st.integers(0, self.N_BUFS - 1)),
+                     data.draw(st.integers(0, 1)), stream_id)
+                )
+            if data.draw(st.booleans()):
+                program.append(("record", stream_id))
+                n_events += 1
+
+        config = SystemConfig(gpu=make_tiny_spec(), precision=Precision.FP32)
+        serial_ex = NumericExecutor(config, record=True)
+        serial_out = self._replay(serial_ex, program, hosts)
+        conc_ex = ConcurrentNumericExecutor(config)
+        conc_out = self._replay(conc_ex, program, hosts)
+
+        assert happens_before_signature(
+            serial_ex.program.ops
+        ) == happens_before_signature(conc_ex.program.ops)
+        trace = conc_ex.recorded_trace()
+        trace.check_causality()
+        trace.check_engine_serial()
+        if not detect_races(serial_ex.recorded_trace()):
+            for s, c in zip(serial_out, conc_out):
+                assert np.array_equal(s, c, equal_nan=True)
