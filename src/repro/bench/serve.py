@@ -1,0 +1,197 @@
+"""Wall-clock benchmark of the factorization service (docs/serve.md).
+
+Drives a synthetic mixed QR/GEMM/LU/Cholesky workload through
+:class:`~repro.serve.service.FactorService` at several worker counts and
+compares against the serial baseline (the same jobs run back-to-back with
+no service at all). Reports throughput and p50/p99 latencies straight from
+the service's metrics registry. numpy kernels release the GIL, so worker
+threads genuinely overlap on a multi-core host.
+
+Used by ``tests/test_bench_serve.py`` (smoke + the REPRO_PERF-gated
+speedup assertion) and runnable directly::
+
+    PYTHONPATH=src python -m repro.bench.serve
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.bench.concurrency import bench_spec
+from repro.config import SystemConfig
+from repro.hw.gemm import Precision
+from repro.qr.options import QrOptions
+from repro.serve.job import JobSpec
+from repro.serve.service import FactorService, run_job
+from repro.util.rng import default_rng
+from repro.util.tables import render_table
+
+
+def synthetic_workload(
+    n_jobs: int,
+    *,
+    size: int = 96,
+    blocksize: int = 32,
+    seed: int = 0,
+) -> list[JobSpec]:
+    """A deterministic mixed stream of numeric jobs, round-robin over all
+    four kinds, with shapes jittered around *size* so footprints differ."""
+    from repro.factor.incore import diagonally_dominant, spd_matrix
+
+    rng = default_rng(seed)
+    opts = QrOptions(blocksize=blocksize)
+    specs: list[JobSpec] = []
+    for i in range(n_jobs):
+        kind = ("qr", "gemm", "lu", "cholesky")[i % 4]
+        n = size + 16 * (i % 3)
+        m = n + (16 * (i % 2) if kind in ("qr", "gemm") else 0)
+        if kind == "qr":
+            a = rng.standard_normal((m, n)).astype(np.float32)
+            operands = (a,)
+        elif kind == "gemm":
+            a = rng.standard_normal((m, n)).astype(np.float32)
+            b = rng.standard_normal((m, max(n // 2, 8))).astype(np.float32)
+            operands = (a, b)
+        elif kind == "lu":
+            operands = (diagonally_dominant(n, n, seed=seed + i),)
+        else:
+            operands = (spd_matrix(n, seed=seed + i),)
+        specs.append(
+            JobSpec(
+                kind, operands, options=opts, priority=i % 3,
+                name=f"{kind}-{i}",
+            )
+        )
+    return specs
+
+
+@dataclass
+class ServeLevelResult:
+    """One service run at a fixed worker count."""
+
+    n_workers: int
+    wall_s: float
+    throughput_jobs_s: float
+    p50_turnaround_s: float
+    p99_turnaround_s: float
+    p50_wait_s: float
+    peak_admitted_bytes: int
+
+
+@dataclass
+class ServeBenchResult:
+    """Serial baseline vs the service at each worker count."""
+
+    n_jobs: int
+    budget_bytes: int
+    serial_s: float                     # back-to-back run, no service
+    levels: list[ServeLevelResult] = field(default_factory=list)
+
+    def level(self, n_workers: int) -> ServeLevelResult:
+        for lv in self.levels:
+            if lv.n_workers == n_workers:
+                return lv
+        raise KeyError(f"no level with n_workers={n_workers}")
+
+    def speedup(self, n_workers: int) -> float:
+        """Serial wall time over the service's (>1 means the service won)."""
+        lv = self.level(n_workers)
+        return self.serial_s / lv.wall_s if lv.wall_s > 0 else 0.0
+
+    def render(self) -> str:
+        rows = [
+            [
+                "serial", f"{self.serial_s * 1e3:8.1f}",
+                f"{self.n_jobs / self.serial_s:6.1f}" if self.serial_s else "-",
+                "-", "-", "1.00x",
+            ]
+        ]
+        for lv in self.levels:
+            rows.append([
+                f"workers={lv.n_workers}",
+                f"{lv.wall_s * 1e3:8.1f}",
+                f"{lv.throughput_jobs_s:6.1f}",
+                f"{lv.p50_turnaround_s * 1e3:7.1f}",
+                f"{lv.p99_turnaround_s * 1e3:7.1f}",
+                f"{self.speedup(lv.n_workers):.2f}x",
+            ])
+        header = (
+            f"serve-bench: {self.n_jobs} mixed jobs, "
+            f"budget {self.budget_bytes >> 20} MiB\n"
+        )
+        return header + render_table(
+            ["run", "wall ms", "jobs/s", "p50 ms", "p99 ms", "speedup"], rows
+        )
+
+
+def bench_serve(
+    n_jobs: int = 24,
+    *,
+    workers: tuple[int, ...] = (1, 2, 4),
+    size: int = 96,
+    blocksize: int = 32,
+    seed: int = 0,
+    job_concurrency: str = "serial",
+    config: SystemConfig | None = None,
+) -> ServeBenchResult:
+    """Benchmark the service against the serial baseline.
+
+    The baseline runs every job back-to-back under the exact per-job
+    capped config the service would grant, so both sides do identical
+    numeric work; the service's edge is pure scheduling overlap.
+    """
+    config = config or SystemConfig(gpu=bench_spec(), precision=Precision.FP32)
+    specs = synthetic_workload(n_jobs, size=size, blocksize=blocksize, seed=seed)
+
+    # serial baseline: no queue, no threads, no cache
+    probe = FactorService(config, n_workers=1, cache=None)
+    try:
+        capped = [probe.job_config(spec) for spec in specs]
+    finally:
+        probe.close()
+    t0 = time.perf_counter()
+    for spec, job_config in zip(specs, capped):
+        run_job(spec, job_config, "serial")
+    serial_s = time.perf_counter() - t0
+
+    result = ServeBenchResult(
+        n_jobs=n_jobs,
+        budget_bytes=config.usable_device_bytes,
+        serial_s=serial_s,
+    )
+    for n_workers in workers:
+        svc = FactorService(
+            config,
+            n_workers=n_workers,
+            queue_limit=max(n_jobs, 1),
+            cache=None,  # every job must really run
+            job_concurrency=job_concurrency,
+        )
+        try:
+            t0 = time.perf_counter()
+            handles = [svc.submit(spec) for spec in specs]
+            for h in handles:
+                h.result(timeout=600)
+            wall_s = time.perf_counter() - t0
+            snap = svc.snapshot_metrics()
+            result.levels.append(
+                ServeLevelResult(
+                    n_workers=n_workers,
+                    wall_s=wall_s,
+                    throughput_jobs_s=n_jobs / wall_s if wall_s else 0.0,
+                    p50_turnaround_s=snap["turnaround_s"]["p50"],
+                    p99_turnaround_s=snap["turnaround_s"]["p99"],
+                    p50_wait_s=snap["queue_wait_s"]["p50"],
+                    peak_admitted_bytes=int(snap["admitted_bytes"]["max"]),
+                )
+            )
+        finally:
+            svc.close()
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover - manual benchmark entry
+    print(bench_serve().render())

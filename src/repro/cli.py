@@ -4,8 +4,13 @@ Commands
 --------
 ``experiments``   run the paper's evaluation (all, or selected ids)
 ``qr``            simulated (or numeric) OOC QR with a timeline
-``lu``/``chol``   the §6 extension factorizations, simulated
+``lu``/``chol``   the §6 extension factorizations, simulated or numeric
+``gemm``          out-of-core GEMM (cuBLASXt-style)
+``serve-bench``   benchmark the multi-tenant factorization service
 ``gpus``          list built-in GPU specs and their §3.3 thresholds
+
+Domain failures (bad shapes, unknown GPUs, unplannable configs) exit with
+code 2 and a one-line ``error:`` message instead of a traceback.
 """
 
 from __future__ import annotations
@@ -14,6 +19,7 @@ import argparse
 import sys
 
 from repro.config import SystemConfig
+from repro.errors import ReproError
 from repro.hw.specs import KNOWN_GPUS, V100_32GB, get_gpu
 from repro.qr.options import QrOptions
 from repro.util.tables import render_table
@@ -38,7 +44,7 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--mode", choices=["sim", "numeric"], default="sim",
         help="sim: data-free timing model; numeric: really compute on "
-        "random data (use small -m/-n; qr only)",
+        "random data (use small -m/-n)",
     )
     parser.add_argument(
         "--concurrency", choices=["serial", "threads"], default="serial",
@@ -78,8 +84,8 @@ def _run_factorization(args, kind: str) -> int:
     if kind == "chol" and args.rows != args.cols:
         print("cholesky requires a square matrix", file=sys.stderr)
         return 2
-    if args.mode == "numeric" and kind != "qr":
-        print(f"--mode numeric supports qr only (got {kind})", file=sys.stderr)
+    if kind == "lu" and args.mode == "numeric" and args.rows != args.cols:
+        print("numeric lu (unpivoted) requires a square matrix", file=sys.stderr)
         return 2
 
     times = {}
@@ -89,7 +95,18 @@ def _run_factorization(args, kind: str) -> int:
 
             from repro.util.rng import default_rng
 
-            a = default_rng(0).standard_normal(shape).astype(np.float32)
+            # inputs the kind can factor: LU needs diagonal dominance
+            # (no pivoting), Cholesky needs SPD
+            if kind == "lu":
+                from repro.factor.incore import diagonally_dominant
+
+                a = diagonally_dominant(*shape, seed=0)
+            elif kind == "chol":
+                from repro.factor.incore import spd_matrix
+
+                a = spd_matrix(shape[0], seed=0)
+            else:
+                a = default_rng(0).standard_normal(shape).astype(np.float32)
             result = run(
                 a, method=method, mode="numeric", config=config,
                 options=options, concurrency=args.concurrency,
@@ -118,7 +135,12 @@ def _run_factorization(args, kind: str) -> int:
 
 
 def main(argv: list[str] | None = None) -> int:
-    """CLI entry point; returns a process exit code."""
+    """CLI entry point; returns a process exit code.
+
+    Domain errors (:class:`~repro.errors.ReproError`: bad shapes, unknown
+    GPUs or configs, simulation failures) become a one-line ``error:``
+    message on stderr and exit code 2 — no traceback.
+    """
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Recursive out-of-core TensorCore QR (ICPP'21) reproduction",
@@ -155,10 +177,40 @@ def main(argv: list[str] | None = None) -> int:
         "--concurrency", choices=["serial", "threads"], default="serial"
     )
 
+    p_serve = sub.add_parser(
+        "serve-bench",
+        help="benchmark the factorization service vs the serial baseline",
+    )
+    p_serve.add_argument("--jobs", type=int, default=24,
+                         help="synthetic mixed QR/GEMM/LU/Cholesky jobs")
+    p_serve.add_argument("--size", type=int, default=96,
+                         help="base matrix dimension of the workload")
+    p_serve.add_argument("-b", "--blocksize", type=int, default=32)
+    p_serve.add_argument(
+        "--workers", type=int, nargs="+", default=[1, 2, 4],
+        help="worker counts to benchmark (each vs the serial baseline)",
+    )
+    p_serve.add_argument("--seed", type=int, default=0)
+    p_serve.add_argument(
+        "--job-concurrency", choices=["serial", "threads"], default="serial",
+        help="executor flavour inside each job (docs/concurrency.md)",
+    )
+    p_serve.add_argument(
+        "--metrics", action="store_true",
+        help="also print the final run's metrics snapshot as JSON",
+    )
+
     sub.add_parser("gpus", help="list built-in GPU specs")
 
     args = parser.parse_args(argv)
+    try:
+        return _dispatch(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
+
+def _dispatch(args) -> int:
     if args.command == "gpus":
         from repro.models.overlap import machine_balance, overlap_threshold
 
@@ -238,7 +290,51 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "gemm":
         return _run_gemm(args)
 
+    if args.command == "serve-bench":
+        return _run_serve_bench(args)
+
     return _run_factorization(args, args.command)
+
+
+def _run_serve_bench(args) -> int:
+    from repro.bench.serve import bench_serve
+
+    result = bench_serve(
+        args.jobs,
+        workers=tuple(args.workers),
+        size=args.size,
+        blocksize=args.blocksize,
+        seed=args.seed,
+        job_concurrency=args.job_concurrency,
+    )
+    print(result.render())
+    if args.metrics:
+        import json
+
+        from repro.bench.concurrency import bench_spec
+        from repro.hw.gemm import Precision
+        from repro.serve import FactorService, JobSpec  # noqa: F401
+
+        # re-run one service pass to expose a full metrics snapshot
+        from repro.bench.serve import synthetic_workload
+
+        config = SystemConfig(gpu=bench_spec(), precision=Precision.FP32)
+        svc = FactorService(config, n_workers=max(args.workers),
+                            queue_limit=max(args.jobs, 1))
+        try:
+            handles = [
+                svc.submit(s)
+                for s in synthetic_workload(
+                    args.jobs, size=args.size, blocksize=args.blocksize,
+                    seed=args.seed,
+                )
+            ]
+            for h in handles:
+                h.result(timeout=600)
+            print(json.dumps(svc.snapshot_metrics(), indent=2))
+        finally:
+            svc.close()
+    return 0
 
 
 def _run_gemm(args) -> int:

@@ -86,6 +86,16 @@ class PlanError(ReproError):
     set that can never fit in device memory)."""
 
 
+class AdmissionError(ReproError):
+    """The factorization service refused a job (queue saturated, footprint
+    over budget, service shutting down). ``reason`` is a short machine-
+    readable tag; the message carries the details."""
+
+    def __init__(self, reason: str, detail: str = ""):
+        self.reason = reason
+        super().__init__(f"{reason}{': ' + detail if detail else ''}")
+
+
 class ExecutionError(ReproError):
     """An executor was driven through an invalid sequence of operations."""
 

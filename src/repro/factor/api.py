@@ -9,6 +9,7 @@ import numpy as np
 from repro.config import PAPER_SYSTEM, SystemConfig
 from repro.errors import ValidationError
 from repro.execution.base import RunStats
+from repro.execution.concurrent import ConcurrentNumericExecutor
 from repro.execution.numeric import NumericExecutor
 from repro.execution.sim import SimExecutor
 from repro.factor.cholesky import ooc_blocking_cholesky, ooc_recursive_cholesky
@@ -39,7 +40,11 @@ class FactorResult:
 
     @property
     def makespan(self) -> float:
-        return self.trace.makespan if self.trace is not None else 0.0
+        """Simulated (or recorded wall-clock) schedule length; falls back
+        to the executor's measured wall seconds for serial numeric runs."""
+        if self.trace is not None:
+            return self.trace.makespan
+        return self.stats.wall_s
 
     @property
     def achieved_tflops(self) -> float:
@@ -78,6 +83,7 @@ def _run(
     options: QrOptions | None,
     blocksize: int | None,
     device_memory: int | None,
+    concurrency: str,
 ) -> FactorResult:
     method = one_of(method, ("recursive", "blocking"), "method")
     config = config or PAPER_SYSTEM
@@ -99,10 +105,31 @@ def _run(
         host_a.rows * host_a.cols, what=f"OOC {kind} (A, factored in place)"
     )
 
-    ex = NumericExecutor(config) if mode == "numeric" else SimExecutor(config)
+    concurrency = one_of(concurrency, ("serial", "threads"), "concurrency")
+    if concurrency == "threads" and mode != "numeric":
+        raise ValidationError("concurrency='threads' requires mode='numeric'")
+
+    if mode == "numeric":
+        ex = (
+            ConcurrentNumericExecutor(config)
+            if concurrency == "threads"
+            else NumericExecutor(config)
+        )
+    else:
+        ex = SimExecutor(config)
     with track(ex) as moved:
         run_info = drivers[method](ex, host_a, options)
-    trace = ex.finish() if mode == "sim" else None
+    trace: Trace | None
+    if mode == "sim":
+        trace = ex.finish()
+    else:
+        ex.synchronize()
+        trace = (
+            ex.recorded_trace()
+            if isinstance(ex, ConcurrentNumericExecutor)
+            else None
+        )
+        ex.close()
     ex.allocator.check_balanced()
     return FactorResult(
         kind=kind,
@@ -127,11 +154,14 @@ def ooc_lu(
     options: QrOptions | None = None,
     blocksize: int | None = None,
     device_memory: int | None = None,
+    concurrency: str = "serial",
 ) -> FactorResult:
     """Out-of-core unpivoted LU: ``A = L U`` packed in place.
 
-    Same calling convention as :func:`repro.qr.api.ooc_qr`; the input must
-    be stable without pivoting (e.g. diagonally dominant).
+    Same calling convention as :func:`repro.qr.api.ooc_qr` — including
+    ``concurrency="threads"`` for per-engine worker threads in numeric
+    mode (bitwise identical to serial, see docs/concurrency.md); the
+    input must be stable without pivoting (e.g. diagonally dominant).
     """
     return _run(
         "lu",
@@ -143,6 +173,7 @@ def ooc_lu(
         options=options,
         blocksize=blocksize,
         device_memory=device_memory,
+        concurrency=concurrency,
     )
 
 
@@ -155,9 +186,13 @@ def ooc_cholesky(
     options: QrOptions | None = None,
     blocksize: int | None = None,
     device_memory: int | None = None,
+    concurrency: str = "serial",
 ) -> FactorResult:
     """Out-of-core Cholesky: lower factor L of a symmetric positive
-    definite matrix, written into the lower triangle in place."""
+    definite matrix, written into the lower triangle in place.
+
+    ``concurrency="threads"`` overlaps H2D/compute/D2H on worker threads
+    in numeric mode; results stay bitwise identical to serial."""
     return _run(
         "cholesky",
         {"recursive": ooc_recursive_cholesky, "blocking": ooc_blocking_cholesky},
@@ -168,4 +203,5 @@ def ooc_cholesky(
         options=options,
         blocksize=blocksize,
         device_memory=device_memory,
+        concurrency=concurrency,
     )

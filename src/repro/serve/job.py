@@ -1,0 +1,224 @@
+"""Job descriptions and future-like handles for the factorization service.
+
+A :class:`JobSpec` is an immutable description of one factorization or
+GEMM — the operation kind, its operands (real arrays for numeric jobs,
+shape tuples for simulated capacity-planning jobs), the algorithm options
+and a scheduling priority. Submitting a spec to
+:class:`~repro.serve.service.FactorService` returns a :class:`JobHandle`,
+the future the caller blocks on; the service resolves it with a
+:class:`JobResult` (or the job's exception) once the job retires.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.qr.options import QrOptions
+from repro.util.validation import one_of
+
+#: Operation kinds the service knows how to run.
+JOB_KINDS = ("qr", "gemm", "lu", "cholesky")
+
+
+@dataclass(frozen=True, eq=False)
+class JobSpec:
+    """One unit of work for the service.
+
+    Parameters
+    ----------
+    kind
+        ``"qr"``, ``"gemm"``, ``"lu"`` or ``"cholesky"``.
+    operands
+        For ``qr``/``lu``/``cholesky``: one matrix (ndarray, or an
+        ``(m, n)`` shape tuple for ``mode="sim"``). For ``gemm``: the two
+        input matrices A and B (the service runs the inner-product form
+        ``C = AᵀB`` when ``trans_a`` is set, else ``C = A B``).
+    method
+        ``"recursive"`` or ``"blocking"`` (ignored for GEMM).
+    options
+        :class:`~repro.qr.options.QrOptions` — blocksize, buffering and
+        the §4.2 optimization toggles, shared by all job kinds.
+    mode
+        ``"numeric"`` (really compute) or ``"sim"`` (data-free
+        capacity-planning run through the event simulator).
+    priority
+        Smaller runs earlier; ties dispatch in submission order.
+    device_memory
+        Optional explicit device-footprint request in bytes; when unset
+        the admission controller estimates one from the tiling plans.
+    name
+        Optional label carried into metrics and handle reprs.
+    """
+
+    kind: str
+    operands: tuple[Any, ...]
+    method: str = "recursive"
+    options: QrOptions = QrOptions()
+    trans_a: bool = True
+    mode: str = "numeric"
+    priority: int = 0
+    device_memory: int | None = None
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        one_of(self.kind, JOB_KINDS, "kind")
+        one_of(self.mode, ("numeric", "sim"), "mode")
+        one_of(self.method, ("recursive", "blocking"), "method")
+        expected = 2 if self.kind == "gemm" else 1
+        if len(self.operands) != expected:
+            raise ValidationError(
+                f"{self.kind} jobs take {expected} operand(s), "
+                f"got {len(self.operands)}"
+            )
+        for op in self.operands:
+            if isinstance(op, np.ndarray):
+                if self.mode == "sim":
+                    raise ValidationError(
+                        "sim jobs take (rows, cols) shape operands, not arrays"
+                    )
+            elif isinstance(op, tuple) and len(op) == 2:
+                if self.mode == "numeric":
+                    raise ValidationError(
+                        "numeric jobs take ndarray operands, not shapes"
+                    )
+            else:
+                raise ValidationError(
+                    f"operands must be ndarrays or (rows, cols) tuples, "
+                    f"got {type(op).__name__}"
+                )
+        if self.device_memory is not None and self.device_memory <= 0:
+            raise ValidationError("device_memory must be positive or None")
+
+    def shapes(self) -> tuple[tuple[int, int], ...]:
+        """The (rows, cols) of every operand, data or shape-only."""
+        out = []
+        for op in self.operands:
+            if isinstance(op, np.ndarray):
+                if op.ndim != 2:
+                    raise ValidationError(
+                        f"operands must be 2-D, got ndim={op.ndim}"
+                    )
+                out.append((int(op.shape[0]), int(op.shape[1])))
+            else:
+                out.append((int(op[0]), int(op[1])))
+        return tuple(out)
+
+    def label(self) -> str:
+        """Short human-readable identity for logs and metrics."""
+        dims = "x".join(str(d) for d in self.shapes()[0])
+        return self.name or f"{self.kind}-{self.method}-{dims}"
+
+
+class JobState(enum.Enum):
+    """Lifecycle of a submitted job."""
+
+    PENDING = "pending"      # admitted, waiting in the priority queue
+    RUNNING = "running"      # dispatched to a worker
+    DONE = "done"            # completed (possibly served from cache)
+    FAILED = "failed"        # all retries exhausted; exception() is set
+
+
+@dataclass
+class JobResult:
+    """What one completed job produced.
+
+    ``arrays`` maps output names to (read-only) ndarrays: ``q``/``r`` for
+    QR, ``c`` for GEMM, ``packed`` for LU and Cholesky. Simulated jobs
+    carry no arrays but a simulated ``makespan``.
+    """
+
+    kind: str
+    arrays: dict[str, np.ndarray] = field(default_factory=dict)
+    #: Simulated seconds (sim jobs) or measured wall seconds (numeric).
+    makespan: float = 0.0
+    #: PCIe traffic of the run, both directions, in bytes.
+    moved_bytes: int = 0
+    #: True when this result was served from the content-addressed cache.
+    cache_hit: bool = False
+
+    def freeze(self) -> "JobResult":
+        """Mark all result arrays read-only (shared safely via the cache)."""
+        for arr in self.arrays.values():
+            arr.setflags(write=False)
+        return self
+
+
+class JobHandle:
+    """Future-like handle returned by :meth:`FactorService.submit`.
+
+    Thread-safe: the service resolves it exactly once; any number of
+    threads may block in :meth:`result` / :meth:`wait`.
+    """
+
+    def __init__(self, job_id: int, spec: JobSpec, footprint_bytes: int):
+        self.job_id = job_id
+        self.spec = spec
+        #: Device bytes the admission controller charged for this job.
+        self.footprint_bytes = footprint_bytes
+        self.state = JobState.PENDING
+        self.attempts = 0
+        #: Seconds spent queued before the first dispatch.
+        self.wait_s = 0.0
+        #: Seconds of the final (successful or last) execution attempt.
+        self.run_s = 0.0
+        self._done = threading.Event()
+        self._result: JobResult | None = None
+        self._exception: BaseException | None = None
+
+    # -- resolution (service side) ------------------------------------------------
+
+    def _resolve(self, result: JobResult) -> None:
+        self._result = result
+        self.state = JobState.DONE
+        self._done.set()
+
+    def _fail(self, exc: BaseException) -> None:
+        self._exception = exc
+        self.state = JobState.FAILED
+        self._done.set()
+
+    # -- caller side ---------------------------------------------------------------
+
+    def done(self) -> bool:
+        """Whether the job has retired (completed or failed)."""
+        return self._done.is_set()
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Block until the job retires; returns False on timeout."""
+        return self._done.wait(timeout)
+
+    def result(self, timeout: float | None = None) -> JobResult:
+        """The job's :class:`JobResult`; re-raises the job's exception on
+        failure, :class:`TimeoutError` if it does not retire in time."""
+        if not self._done.wait(timeout):
+            raise TimeoutError(
+                f"job {self.job_id} ({self.spec.label()}) not done after "
+                f"{timeout} s"
+            )
+        if self._exception is not None:
+            raise self._exception
+        assert self._result is not None
+        return self._result
+
+    def exception(self, timeout: float | None = None) -> BaseException | None:
+        """The job's exception (None on success)."""
+        if not self._done.wait(timeout):
+            raise TimeoutError(f"job {self.job_id} not done after {timeout} s")
+        return self._exception
+
+    @property
+    def cache_hit(self) -> bool:
+        """Whether the job was served from the result cache."""
+        return self._result is not None and self._result.cache_hit
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"JobHandle(#{self.job_id} {self.spec.label()} "
+            f"{self.state.value}, {self.footprint_bytes >> 10} KiB)"
+        )

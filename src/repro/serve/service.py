@@ -1,0 +1,464 @@
+"""`FactorService`: a multi-tenant out-of-core factorization service.
+
+One service owns one (simulated) device and serves a stream of QR / GEMM /
+LU / Cholesky jobs under a device-memory budget:
+
+* :meth:`FactorService.submit` validates a :class:`~repro.serve.job.JobSpec`,
+  prices its device footprint (:mod:`repro.serve.admission`), consults the
+  content-addressed result cache, and either resolves the returned
+  :class:`~repro.serve.job.JobHandle` immediately (cache hit), enqueues it,
+  or rejects it with a reasoned :class:`~repro.errors.AdmissionError`
+  (backpressure: bounded queue, footprint over budget);
+* a scheduler thread dispatches the highest-priority queued job whose
+  footprint fits the remaining budget onto a pool of worker threads —
+  smaller jobs may overtake a too-large queue head (first-fit packing);
+* each job runs on its own executor (serial or per-engine-threaded
+  :class:`~repro.execution.numeric.NumericExecutor`, or a
+  :class:`~repro.execution.sim.SimExecutor` for data-free capacity
+  planning) whose allocator capacity *is* the admitted footprint, so the
+  budget is enforced by construction;
+* worker faults retry with exponential backoff (the concurrent executor's
+  fault-drain semantics guarantee a failed pipeline unwinds cleanly
+  first); deterministic input errors fail fast;
+* everything observable lands in a :class:`~repro.serve.metrics.MetricsRegistry`
+  (queue depth, admitted bytes, wait/run latencies, cache hit rate,
+  rejections, retries) exposable as a JSON snapshot.
+
+See docs/serve.md for the architecture discussion.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import queue
+import threading
+import time
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable
+
+from repro.config import PAPER_SYSTEM, SystemConfig
+from repro.errors import (
+    AdmissionError,
+    ConfigError,
+    OutOfDeviceMemoryError,
+    OutOfHostMemoryError,
+    PlanError,
+    ShapeError,
+    ValidationError,
+)
+from repro.serve.admission import AdmissionController, estimate_footprint_bytes
+from repro.serve.cache import ResultCache, job_cache_key
+from repro.serve.job import JobHandle, JobResult, JobSpec, JobState
+from repro.serve.metrics import MetricsRegistry
+from repro.util.validation import one_of
+
+#: Exception types never worth retrying: the same inputs will fail again.
+DETERMINISTIC_ERRORS = (
+    ValidationError,
+    ShapeError,
+    PlanError,
+    ConfigError,
+    AdmissionError,
+    OutOfDeviceMemoryError,
+    OutOfHostMemoryError,
+)
+
+
+def run_job(spec: JobSpec, config: SystemConfig, concurrency: str) -> JobResult:
+    """Execute one job on *config* and package its outputs.
+
+    This is the default runner; the service accepts a replacement (same
+    signature) for fault injection and capacity experiments.
+    """
+    opts = spec.options
+    if spec.kind == "gemm":
+        from repro.ooc.api import ooc_gemm
+
+        a, b = spec.operands
+        res = ooc_gemm(
+            a, b, trans_a=spec.trans_a, mode=spec.mode, config=config,
+            blocksize=opts.blocksize, pipelined=opts.pipelined,
+            concurrency=concurrency if spec.mode == "numeric" else "serial",
+        )
+        arrays = {} if res.c is None else {"c": res.c}
+        return JobResult(
+            kind=spec.kind, arrays=arrays, makespan=res.makespan,
+            moved_bytes=res.stats.moved_bytes,
+        )
+
+    kwargs: dict[str, Any] = dict(
+        method=spec.method, mode=spec.mode, config=config, options=opts,
+    )
+    if spec.mode == "numeric":
+        kwargs["concurrency"] = concurrency
+    if spec.kind == "qr":
+        from repro.qr.api import ooc_qr
+
+        res = ooc_qr(spec.operands[0], **kwargs)
+        arrays = {} if res.q is None else {"q": res.q, "r": res.r}
+    else:
+        from repro.factor.api import ooc_cholesky, ooc_lu
+
+        run = ooc_lu if spec.kind == "lu" else ooc_cholesky
+        res = run(spec.operands[0], **kwargs)
+        arrays = {} if res.packed is None else {"packed": res.packed}
+    return JobResult(
+        kind=spec.kind, arrays=arrays, makespan=res.makespan,
+        moved_bytes=res.stats.moved_bytes,
+    )
+
+
+@dataclass(order=True)
+class _QueueEntry:
+    """Heap entry: priority first, then submission order."""
+
+    priority: int
+    seq: int
+    job: "_Job" = field(compare=False, default=None)  # type: ignore[assignment]
+
+
+@dataclass(eq=False)
+class _Job:
+    spec: JobSpec
+    handle: JobHandle
+    cache_key: str | None
+    submitted_at: float
+
+
+class FactorService:
+    """Multi-tenant factorization service (see module docstring).
+
+    Parameters
+    ----------
+    config
+        The device being served; defaults to the paper's V100 testbed.
+        Tests pass memory-starved configs so tiny jobs exercise real
+        queueing and packing.
+    device_budget
+        Total device bytes concurrently admitted jobs may hold; defaults
+        to the config's usable device bytes (one whole device).
+    n_workers
+        Worker threads (= maximum concurrently running jobs).
+    queue_limit
+        Bound on *queued* (admitted but not yet running) jobs; submissions
+        beyond it are rejected with reason ``queue-saturated``.
+    cache
+        A :class:`~repro.serve.cache.ResultCache` to share, True for a
+        fresh private 128-entry cache (the default), or None/False to
+        disable result caching.
+    max_retries / backoff_base_s / backoff_max_s
+        Per-job retry policy for transient worker faults: attempt N sleeps
+        ``min(backoff_max_s, backoff_base_s * 2**N)`` before re-running.
+    job_concurrency
+        Executor flavour for numeric jobs: ``"serial"`` or ``"threads"``
+        (per-engine worker threads inside each job, docs/concurrency.md).
+    metrics
+        A shared :class:`~repro.serve.metrics.MetricsRegistry`; defaults
+        to a private one.
+    runner
+        Replacement for :func:`run_job` (fault injection, test doubles).
+    """
+
+    def __init__(
+        self,
+        config: SystemConfig | None = None,
+        *,
+        device_budget: int | None = None,
+        n_workers: int = 2,
+        queue_limit: int = 64,
+        cache: ResultCache | None | bool = True,
+        max_retries: int = 2,
+        backoff_base_s: float = 0.02,
+        backoff_max_s: float = 1.0,
+        job_concurrency: str = "serial",
+        metrics: MetricsRegistry | None = None,
+        runner: Callable[[JobSpec, SystemConfig, str], JobResult] | None = None,
+    ):
+        self.config = config or PAPER_SYSTEM
+        if n_workers < 1:
+            raise ValidationError(f"n_workers must be >= 1, got {n_workers}")
+        if max_retries < 0:
+            raise ValidationError(f"max_retries must be >= 0, got {max_retries}")
+        self.job_concurrency = one_of(
+            job_concurrency, ("serial", "threads"), "job_concurrency"
+        )
+        self.n_workers = n_workers
+        self.max_retries = max_retries
+        self.backoff_base_s = backoff_base_s
+        self.backoff_max_s = backoff_max_s
+        if cache is True:
+            cache = ResultCache()
+        elif cache is False:
+            cache = None
+        self.cache = cache
+        self.metrics = metrics or MetricsRegistry()
+        self.admission = AdmissionController(
+            budget_bytes=(
+                device_budget
+                if device_budget is not None
+                else self.config.usable_device_bytes
+            ),
+            max_pending=queue_limit,
+        )
+        self._runner = runner or run_job
+
+        m = self.metrics
+        self._submitted_c = m.counter("jobs_submitted", "jobs accepted by submit()")
+        self._completed_c = m.counter("jobs_completed", "jobs finished successfully")
+        self._failed_c = m.counter("jobs_failed", "jobs that exhausted retries")
+        self._rejected_c = m.counter("jobs_rejected", "submissions refused by admission")
+        self._retries_c = m.counter("job_retries", "re-executions after worker faults")
+        self._cache_hits_c = m.counter("cache_hits", "submissions served from cache")
+        self._cache_misses_c = m.counter("cache_misses", "submissions that had to run")
+        self._queue_depth_g = m.gauge("queue_depth", "jobs waiting to be dispatched")
+        self._running_g = m.gauge("jobs_running", "jobs currently executing")
+        self._admitted_g = m.gauge("admitted_bytes", "device bytes charged to running jobs")
+        self._wait_h = m.histogram("queue_wait_s", "submit-to-dispatch latency")
+        self._run_h = m.histogram("run_s", "execution time of the final attempt")
+        self._turnaround_h = m.histogram("turnaround_s", "submit-to-done latency")
+
+        self._cv = threading.Condition()
+        self._pending: list[_QueueEntry] = []
+        self._seq = itertools.count()
+        self._free_workers = n_workers
+        self._active = 0
+        self._closed = False
+        self._run_queue: "queue.SimpleQueue[_Job | None]" = queue.SimpleQueue()
+        self._workers = [
+            threading.Thread(
+                target=self._worker_loop, name=f"serve-worker-{i}", daemon=True
+            )
+            for i in range(n_workers)
+        ]
+        for w in self._workers:
+            w.start()
+        self._scheduler = threading.Thread(
+            target=self._scheduler_loop, name="serve-scheduler", daemon=True
+        )
+        self._scheduler.start()
+
+    # -- public API ---------------------------------------------------------------
+
+    def job_config(self, spec: JobSpec) -> SystemConfig:
+        """The exact capped config a job runs under (admitted footprint as
+        allocator capacity) — submit-independent, so a direct
+        ``ooc_qr``/``ooc_gemm``/``ooc_lu`` call on this config reproduces
+        the service's result bit for bit."""
+        return self._capped_config(estimate_footprint_bytes(spec, self.config))
+
+    def submit(self, spec: JobSpec) -> JobHandle:
+        """Admit one job; returns its future-like handle.
+
+        Raises :class:`~repro.errors.AdmissionError` (with a ``reason``
+        tag) when the job can never fit the budget, the queue is
+        saturated, or the service is closed.
+        """
+        footprint = estimate_footprint_bytes(spec, self.config)
+        key = None
+        if self.cache is not None and spec.mode == "numeric":
+            key = job_cache_key(spec, self.config, footprint)
+            cached = self.cache.get(key)
+            if cached is not None:
+                self._cache_hits_c.inc()
+                handle = JobHandle(next(self._seq), spec, footprint)
+                handle._resolve(
+                    JobResult(
+                        kind=cached.kind, arrays=cached.arrays,
+                        makespan=cached.makespan,
+                        moved_bytes=cached.moved_bytes, cache_hit=True,
+                    )
+                )
+                return handle
+            self._cache_misses_c.inc()
+
+        with self._cv:
+            if self._closed:
+                self._rejected_c.inc()
+                raise AdmissionError("service-closed", "submit after close()")
+            try:
+                self.admission.check_submittable(footprint, spec.label())
+            except AdmissionError:
+                self._rejected_c.inc()
+                raise
+            handle = JobHandle(next(self._seq), spec, footprint)
+            job = _Job(
+                spec=spec, handle=handle, cache_key=key,
+                submitted_at=time.perf_counter(),
+            )
+            heapq.heappush(
+                self._pending,
+                _QueueEntry(priority=spec.priority, seq=handle.job_id, job=job),
+            )
+            self.admission.enqueue()
+            self._submitted_c.inc()
+            self._queue_depth_g.set(len(self._pending))
+            self._cv.notify_all()
+        return handle
+
+    def drain(self, timeout: float | None = None) -> bool:
+        """Block until every accepted job has retired; False on timeout."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cv:
+            while self._pending or self._active:
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return False
+                self._cv.wait(remaining)
+        return True
+
+    def snapshot_metrics(self) -> dict[str, Any]:
+        """JSON-able view of every counter/gauge/histogram."""
+        return self.metrics.snapshot()
+
+    def close(self, wait: bool = True) -> None:
+        """Stop the service. Still-queued jobs are rejected (their handles
+        fail with ``service-closed``); running jobs finish. Idempotent."""
+        with self._cv:
+            if self._closed:
+                if wait:
+                    self._join(self._scheduler)
+                    for w in self._workers:
+                        self._join(w)
+                return
+            self._closed = True
+            self._cv.notify_all()
+        if wait:
+            self._join(self._scheduler)
+            for w in self._workers:
+                self._join(w)
+
+    @staticmethod
+    def _join(thread: threading.Thread, timeout: float = 60.0) -> None:
+        thread.join(timeout)
+
+    def __enter__(self) -> "FactorService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close(wait=True)
+
+    # -- scheduling ---------------------------------------------------------------
+
+    def _capped_config(self, footprint: int) -> SystemConfig:
+        """The service config with the allocator capacity set to exactly
+        *footprint* bytes (zero reserve: the reserve was already taken out
+        of the service-level usable bytes)."""
+        return replace(
+            self.config,
+            gpu=self.config.gpu.with_memory(footprint, suffix="job"),
+            mem_reserve_fraction=0.0,
+        )
+
+    def _pick_locked(self) -> _Job | None:
+        """Highest-priority queued job whose footprint fits right now.
+
+        Skipped entries (too big for the current remaining budget) are
+        pushed back — smaller, later jobs may overtake them, which is what
+        keeps the device packed.
+        """
+        skipped: list[_QueueEntry] = []
+        picked: _Job | None = None
+        while self._pending:
+            entry = heapq.heappop(self._pending)
+            if self.admission.fits(entry.job.handle.footprint_bytes):
+                picked = entry.job
+                break
+            skipped.append(entry)
+        for entry in skipped:
+            heapq.heappush(self._pending, entry)
+        return picked
+
+    def _scheduler_loop(self) -> None:
+        while True:
+            with self._cv:
+                job: _Job | None = None
+                while not self._closed:
+                    if self._free_workers > 0:
+                        job = self._pick_locked()
+                        if job is not None:
+                            break
+                    self._cv.wait()
+                if job is None and self._closed:
+                    # reject whatever is still queued, then stop the pool
+                    while self._pending:
+                        entry = heapq.heappop(self._pending)
+                        self.admission.drop_pending()
+                        self._rejected_c.inc()
+                        entry.job.handle._fail(
+                            AdmissionError(
+                                "service-closed",
+                                f"{entry.job.spec.label()} still queued at close",
+                            )
+                        )
+                    self._queue_depth_g.set(0)
+                    self._cv.notify_all()
+                    for _ in self._workers:
+                        self._run_queue.put(None)
+                    return
+                assert job is not None
+                self.admission.acquire(
+                    job.handle.job_id, job.handle.footprint_bytes
+                )
+                self._free_workers -= 1
+                self._active += 1
+                self._queue_depth_g.set(len(self._pending))
+                self._admitted_g.set(self.admission.in_use_bytes)
+                self._running_g.set(self._active)
+            self._run_queue.put(job)
+
+    # -- execution ----------------------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        while True:
+            job = self._run_queue.get()
+            if job is None:
+                return
+            try:
+                self._execute(job)
+            finally:
+                with self._cv:
+                    self.admission.release(job.handle.job_id)
+                    self._free_workers += 1
+                    self._active -= 1
+                    self._admitted_g.set(self.admission.in_use_bytes)
+                    self._running_g.set(self._active)
+                    self._cv.notify_all()
+
+    def _execute(self, job: _Job) -> None:
+        handle = job.handle
+        spec = job.spec
+        handle.state = JobState.RUNNING
+        handle.wait_s = time.perf_counter() - job.submitted_at
+        self._wait_h.observe(handle.wait_s)
+        job_config = self._capped_config(handle.footprint_bytes)
+
+        for attempt in range(self.max_retries + 1):
+            handle.attempts = attempt + 1
+            t0 = time.perf_counter()
+            try:
+                result = self._runner(spec, job_config, self.job_concurrency)
+            except Exception as exc:  # noqa: BLE001 - job isolation boundary
+                handle.run_s = time.perf_counter() - t0
+                retryable = not isinstance(exc, DETERMINISTIC_ERRORS)
+                if retryable and attempt < self.max_retries:
+                    self._retries_c.inc()
+                    time.sleep(
+                        min(self.backoff_max_s, self.backoff_base_s * 2**attempt)
+                    )
+                    continue
+                self._failed_c.inc()
+                handle._fail(exc)
+                return
+            handle.run_s = time.perf_counter() - t0
+            self._run_h.observe(handle.run_s)
+            self._turnaround_h.observe(time.perf_counter() - job.submitted_at)
+            if result.makespan == 0.0:
+                result.makespan = handle.run_s
+            if self.cache is not None and job.cache_key is not None:
+                self.cache.put(job.cache_key, result)
+            self._completed_c.inc()
+            handle._resolve(result)
+            return

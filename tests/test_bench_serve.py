@@ -1,0 +1,49 @@
+"""serve-bench: smoke always; the throughput assertion (service at
+concurrency 4 beats the serial baseline) is gated behind REPRO_PERF so
+tier-1 stays deterministic on small single-core CI boxes."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.bench.serve import ServeBenchResult, bench_serve, synthetic_workload
+
+
+class TestSyntheticWorkload:
+    def test_mixed_and_deterministic(self):
+        specs = synthetic_workload(8, size=48, blocksize=16, seed=1)
+        assert len(specs) == 8
+        assert {s.kind for s in specs} == {"qr", "gemm", "lu", "cholesky"}
+        again = synthetic_workload(8, size=48, blocksize=16, seed=1)
+        for s1, s2 in zip(specs, again):
+            assert s1.kind == s2.kind
+            assert s1.shapes() == s2.shapes()
+
+
+class TestBenchServe:
+    def test_smoke(self):
+        res = bench_serve(n_jobs=6, workers=(2,), size=48, blocksize=16)
+        assert isinstance(res, ServeBenchResult)
+        assert res.serial_s > 0
+        lv = res.level(2)
+        assert lv.wall_s > 0
+        assert lv.throughput_jobs_s > 0
+        assert lv.p99_turnaround_s >= lv.p50_turnaround_s
+        assert 0 < lv.peak_admitted_bytes <= res.budget_bytes
+        assert res.speedup(2) > 0
+        out = res.render()
+        assert "serial" in out and "workers=2" in out
+        with pytest.raises(KeyError):
+            res.level(99)
+
+    @pytest.mark.skipif(
+        not os.environ.get("REPRO_PERF") or (os.cpu_count() or 1) < 4,
+        reason="perf assertion needs REPRO_PERF=1 and >=4 cores",
+    )
+    def test_concurrency4_beats_serial(self):
+        # the ISSUE acceptance criterion: higher throughput at 4 workers
+        # than the serial baseline on a multi-core runner
+        res = bench_serve(n_jobs=16, workers=(4,), size=384, blocksize=128)
+        assert res.speedup(4) > 1.0

@@ -1,7 +1,5 @@
 """Tests for the command-line interface."""
 
-import pytest
-
 from repro.cli import main
 
 
@@ -59,11 +57,26 @@ class TestFactorizations:
         ])
         assert rc == 0
 
-    def test_unknown_gpu(self):
-        from repro.errors import ConfigError
+    def test_unknown_gpu_maps_to_exit_code(self, capsys):
+        # domain errors surface as one-line messages, not tracebacks
+        rc = main(["qr", "--gpu", "H100-SXM"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "H100-SXM" in err
 
-        with pytest.raises(ConfigError):
-            main(["qr", "--gpu", "H100-SXM"])
+    def test_numeric_lu_and_chol(self, capsys):
+        for cmd in ("lu", "chol"):
+            rc = main([cmd, "-m", "64", "-n", "64", "-b", "16",
+                       "--mode", "numeric", "--method", "recursive",
+                       "--concurrency", "threads"])
+            assert rc == 0
+        assert "measured" in capsys.readouterr().out
+
+    def test_numeric_lu_rejects_rectangular(self, capsys):
+        rc = main(["lu", "-m", "128", "-n", "64", "--mode", "numeric"])
+        assert rc == 2
+        assert "square" in capsys.readouterr().err
 
 
 class TestGemm:
@@ -76,6 +89,17 @@ class TestGemm:
         assert "ksplit-inner" in out
         assert "rowstream-outer" in out
         assert "legend:" in out
+
+
+class TestServeBench:
+    def test_smoke(self, capsys):
+        rc = main(["serve-bench", "--jobs", "4", "--size", "48",
+                   "-b", "16", "--workers", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "serve-bench" in out
+        assert "workers=2" in out
+        assert "speedup" in out
 
 
 class TestExperiments:
