@@ -79,6 +79,9 @@ class ServeLevelResult:
     p99_turnaround_s: float
     p50_wait_s: float
     peak_admitted_bytes: int
+    #: Full metrics snapshot taken from the service that actually ran the
+    #: benchmark jobs (``FactorService.snapshot_metrics()``).
+    metrics: dict = field(default_factory=dict)
 
 
 @dataclass
@@ -186,6 +189,7 @@ def bench_serve(
                     p99_turnaround_s=snap["turnaround_s"]["p99"],
                     p50_wait_s=snap["queue_wait_s"]["p50"],
                     peak_admitted_bytes=int(snap["admitted_bytes"]["max"]),
+                    metrics=snap,
                 )
             )
         finally:

@@ -1,0 +1,392 @@
+"""Crash-consistent checkpoint storage for out-of-core factorizations.
+
+A checkpoint captures everything a factorization driver needs to resume
+after a crash: how many steps completed, the finalized-column *frontier*,
+and the mutated host-matrix state. The on-disk layout is
+
+    <directory>/
+        manifest.json           # committed last, atomically
+        step-000005/            # payload dir named by completed-step count
+            a.bin               # raw region bytes, one file per matrix
+            r.bin
+
+and the commit protocol makes it crash-consistent: payload files are
+written and fsynced first, the manifest is written to a temp file, fsynced
+and atomically renamed over ``manifest.json``, and the directory is
+fsynced. A crash anywhere mid-save leaves the *previous* manifest intact
+and pointing at its own complete payload; a reader never observes a
+half-written checkpoint. Stale payload dirs are pruned only after the new
+manifest is durable.
+
+Two storage modes per matrix:
+
+* **copy** (default) — the full matrix is copied into the payload. Needed
+  for RAM-backed matrices, whose finalized columns exist nowhere else.
+* **inplace** (``numpy.memmap``-backed matrices) — the memmap file itself
+  is durable storage for the finalized columns ``[0, frontier)``: the
+  checkpoint just flushes it and records the step (zero-copy). Only the
+  still-mutable tail ``[frontier, cols)`` is copied out, because a crash
+  mid-step can corrupt it; the tail shrinks to nothing as the run
+  progresses. See docs/checkpoint.md for the frontier argument.
+
+Every payload carries a sha256 content digest and the manifest carries a
+fingerprint of the run configuration (shape, method, options, precision,
+device budget — everything the step schedule and floating-point summation
+order depend on). Corrupt or mismatched checkpoints are refused with a
+typed :class:`~repro.errors.CheckpointError` rather than silently
+producing wrong numbers.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import shutil
+import time
+from dataclasses import dataclass, fields
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import CheckpointError, ValidationError
+from repro.host.tiled import HostMatrix
+
+MANIFEST_NAME = "manifest.json"
+FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class CheckpointPolicy:
+    """When to actually persist at a step boundary.
+
+    A checkpoint is taken when *either* trigger fires: ``every_steps``
+    completed steps since the last save, or ``every_seconds`` of wall
+    time (None disables the time trigger).
+    """
+
+    every_steps: int = 1
+    every_seconds: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.every_steps < 1:
+            raise ValidationError(
+                f"every_steps must be >= 1, got {self.every_steps}"
+            )
+        if self.every_seconds is not None and self.every_seconds <= 0:
+            raise ValidationError(
+                f"every_seconds must be positive or None, got {self.every_seconds}"
+            )
+
+    def due(self, steps_since_save: int, seconds_since_save: float) -> bool:
+        """Whether a boundary with this much progress should persist."""
+        if steps_since_save >= self.every_steps:
+            return True
+        return (
+            self.every_seconds is not None
+            and seconds_since_save >= self.every_seconds
+        )
+
+
+@dataclass(frozen=True)
+class CheckpointConfig:
+    """User-facing checkpoint request: where to store it and how often."""
+
+    directory: str | Path
+    policy: CheckpointPolicy = CheckpointPolicy()
+
+    @property
+    def path(self) -> Path:
+        return Path(self.directory)
+
+
+@dataclass
+class CheckpointStats:
+    """Counters one checkpointed run accumulates (mirrored into the serve
+    metrics registry as ``checkpoints_written`` / ``checkpoint_bytes`` /
+    ``resumes`` / ``steps_skipped_on_resume``)."""
+
+    checkpoints_written: int = 0
+    checkpoint_bytes: int = 0
+    resumes: int = 0
+    steps_skipped: int = 0
+
+
+def run_fingerprint(
+    kind: str,
+    method: str,
+    rows: int,
+    cols: int,
+    config,
+    options,
+) -> str:
+    """Digest of everything the step schedule and the bitwise result
+    depend on: operation, method, shape, every option field, numeric
+    precision, panel algorithm, element size and the device budget (tiling
+    plans — and therefore summation order — depend on free device bytes).
+    """
+    h = hashlib.sha256()
+    h.update(f"{kind}|{method}|{rows}x{cols}".encode())
+    h.update(
+        f"|{config.precision.name}|{config.panel_algorithm}"
+        f"|{config.element_bytes}|{config.usable_device_bytes}".encode()
+    )
+    for f in fields(options):
+        h.update(f"|{f.name}={getattr(options, f.name)!r}".encode())
+    return h.hexdigest()
+
+
+def _fsync_dir(path: Path) -> None:
+    fd = os.open(str(path), os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def _write_durable(path: Path, data: bytes) -> None:
+    """Write *data* to *path* via temp file + fsync + atomic rename."""
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "wb") as f:
+        f.write(data)
+        f.flush()
+        os.fsync(f.fileno())
+    os.replace(tmp, path)
+    _fsync_dir(path.parent)
+
+
+class CheckpointManager:
+    """Atomic save/restore of factorization progress (module docstring).
+
+    One manager serves one run identity (the *fingerprint*); loading a
+    manifest written under a different fingerprint is refused.
+    """
+
+    def __init__(self, config: CheckpointConfig, *, fingerprint: str):
+        self.config = config
+        self.fingerprint = fingerprint
+        self.directory = config.path
+
+    # -- reading -----------------------------------------------------------------
+
+    def load_manifest(self) -> dict | None:
+        """The committed manifest, or None when no checkpoint exists yet.
+
+        Raises :class:`~repro.errors.CheckpointError` on a corrupt
+        manifest or a configuration-fingerprint mismatch.
+        """
+        path = self.directory / MANIFEST_NAME
+        if not path.exists():
+            return None
+        try:
+            manifest = json.loads(path.read_text())
+        except (OSError, ValueError) as exc:
+            raise CheckpointError(
+                "corrupt-manifest", f"{path}: {exc}"
+            ) from exc
+        if not isinstance(manifest, dict):
+            raise CheckpointError(
+                "corrupt-manifest", f"{path}: not a JSON object"
+            )
+        missing = {
+            "format", "fingerprint", "step", "payload_dir", "matrices"
+        } - manifest.keys()
+        if missing:
+            raise CheckpointError(
+                "corrupt-manifest", f"{path}: missing keys {sorted(missing)}"
+            )
+        if manifest["format"] != FORMAT_VERSION:
+            raise CheckpointError(
+                "format-mismatch",
+                f"checkpoint format {manifest['format']}, "
+                f"this library writes {FORMAT_VERSION}",
+            )
+        if manifest["fingerprint"] != self.fingerprint:
+            raise CheckpointError(
+                "config-mismatch",
+                "checkpoint was written by a run with different "
+                "shape/method/options/config; refusing to resume "
+                f"({manifest['fingerprint'][:12]} != {self.fingerprint[:12]})",
+            )
+        return manifest
+
+    def restore(self, matrices: dict[str, HostMatrix]) -> int:
+        """Apply the latest checkpoint to *matrices*; returns the number
+        of completed steps (0 when no checkpoint exists — fresh start).
+
+        Copy-mode payloads overwrite the whole matrix; inplace-mode
+        payloads overwrite the mutable tail and trust the memmap file for
+        the finalized prefix. Digest or size mismatches raise
+        :class:`~repro.errors.CheckpointError`.
+        """
+        manifest = self.load_manifest()
+        if manifest is None:
+            return 0
+        payload_dir = self.directory / manifest["payload_dir"]
+        entries = manifest["matrices"]
+        if set(entries) != set(matrices):
+            raise CheckpointError(
+                "matrix-mismatch",
+                f"checkpoint holds {sorted(entries)}, "
+                f"run expects {sorted(matrices)}",
+            )
+        for role, entry in entries.items():
+            self._restore_matrix(role, entry, matrices[role], payload_dir)
+        return int(manifest["step"])
+
+    def _restore_matrix(
+        self, role: str, entry: dict, matrix: HostMatrix, payload_dir: Path
+    ) -> None:
+        if not matrix.backed:
+            raise CheckpointError(
+                "matrix-mismatch", f"matrix {role!r} has no backing data"
+            )
+        if [matrix.rows, matrix.cols] != list(entry["shape"]):
+            raise CheckpointError(
+                "matrix-mismatch",
+                f"matrix {role!r} is {matrix.rows}x{matrix.cols}, "
+                f"checkpoint holds {entry['shape']}",
+            )
+        if str(matrix.data.dtype) != entry["dtype"]:
+            raise CheckpointError(
+                "matrix-mismatch",
+                f"matrix {role!r} dtype {matrix.data.dtype} != "
+                f"checkpoint {entry['dtype']}",
+            )
+        if entry["mode"] == "inplace" and not isinstance(
+            matrix.data, np.memmap
+        ):
+            raise CheckpointError(
+                "matrix-mismatch",
+                f"matrix {role!r} was checkpointed in place from a memmap; "
+                "resume must reopen the same memmap file",
+            )
+        if entry["region"] is None:
+            return  # fully finalized in the memmap; nothing to copy back
+        path = payload_dir / entry["file"]
+        if not path.exists():
+            raise CheckpointError("missing-payload", str(path))
+        data = path.read_bytes()
+        if len(data) != entry["nbytes"]:
+            raise CheckpointError(
+                "corrupt-payload",
+                f"{path}: {len(data)} bytes, manifest records {entry['nbytes']}",
+            )
+        digest = hashlib.sha256(data).hexdigest()
+        if digest != entry["sha256"]:
+            raise CheckpointError(
+                "corrupt-payload", f"{path}: content digest mismatch"
+            )
+        r0, r1, c0, c1 = entry["region"]
+        region = np.frombuffer(data, dtype=matrix.data.dtype).reshape(
+            r1 - r0, c1 - c0
+        )
+        matrix.data[r0:r1, c0:c1] = region
+
+    # -- writing -----------------------------------------------------------------
+
+    def save(
+        self,
+        step: int,
+        frontier: int,
+        matrices: dict[str, HostMatrix],
+        frontiers: dict[str, int] | None = None,
+    ) -> int:
+        """Persist a checkpoint after *step* completed steps; returns the
+        payload bytes written.
+
+        *frontiers* maps matrix roles to their finalized-column frontier;
+        a memmap-backed matrix with a frontier is saved in place (flush +
+        tail copy), everything else is copied whole. The caller must have
+        quiesced the executor first (no in-flight host writes).
+        """
+        self.directory.mkdir(parents=True, exist_ok=True)
+        frontiers = frontiers or {}
+        payload_name = f"step-{step:06d}"
+        payload_dir = self.directory / payload_name
+        if payload_dir.exists():  # leftover from a crashed save at this step
+            shutil.rmtree(payload_dir)
+        payload_dir.mkdir()
+
+        total_bytes = 0
+        entries: dict[str, dict] = {}
+        for role, matrix in matrices.items():
+            entry, nbytes = self._save_matrix(
+                role, matrix, frontiers.get(role), payload_dir
+            )
+            entries[role] = entry
+            total_bytes += nbytes
+        _fsync_dir(payload_dir)
+        _fsync_dir(self.directory)
+
+        manifest = {
+            "format": FORMAT_VERSION,
+            "fingerprint": self.fingerprint,
+            "step": int(step),
+            "frontier": int(frontier),
+            "payload_dir": payload_name,
+            "written_at": time.time(),
+            "matrices": entries,
+        }
+        _write_durable(
+            self.directory / MANIFEST_NAME,
+            json.dumps(manifest, indent=1).encode(),
+        )
+        self._prune(keep=payload_name)
+        return total_bytes
+
+    def _save_matrix(
+        self,
+        role: str,
+        matrix: HostMatrix,
+        frontier: int | None,
+        payload_dir: Path,
+    ) -> tuple[dict, int]:
+        if not matrix.backed:
+            raise CheckpointError(
+                "matrix-mismatch",
+                f"cannot checkpoint shape-only matrix {role!r}",
+            )
+        inplace = isinstance(matrix.data, np.memmap) and frontier is not None
+        if inplace:
+            matrix.data.flush()  # finalized columns become durable in place
+            region = (
+                (0, matrix.rows, frontier, matrix.cols)
+                if frontier < matrix.cols
+                else None
+            )
+        else:
+            region = (0, matrix.rows, 0, matrix.cols)
+
+        entry = {
+            "mode": "inplace" if inplace else "copy",
+            "shape": [matrix.rows, matrix.cols],
+            "dtype": str(matrix.data.dtype),
+            "region": list(region) if region else None,
+            "file": None,
+            "nbytes": 0,
+            "sha256": None,
+        }
+        if region is None:
+            return entry, 0
+        r0, r1, c0, c1 = region
+        data = np.ascontiguousarray(matrix.data[r0:r1, c0:c1]).tobytes()
+        path = payload_dir / f"{role}.bin"
+        with open(path, "wb") as f:
+            f.write(data)
+            f.flush()
+            os.fsync(f.fileno())
+        entry["file"] = path.name
+        entry["nbytes"] = len(data)
+        entry["sha256"] = hashlib.sha256(data).hexdigest()
+        return entry, len(data)
+
+    def _prune(self, keep: str) -> None:
+        """Delete payload dirs other than *keep* (now-stale checkpoints)."""
+        for child in self.directory.iterdir():
+            if (
+                child.is_dir()
+                and child.name.startswith("step-")
+                and child.name != keep
+            ):
+                shutil.rmtree(child, ignore_errors=True)

@@ -1,0 +1,134 @@
+"""Driver-facing checkpoint protocol.
+
+The factorization drivers see checkpointing as three calls at their
+natural boundaries (one per blocking panel step / recursive node):
+
+    ck.start()                      # restore host state, learn resume point
+    if ck.should_skip(step): ...    # completed in a previous session
+    ck.step_complete(step, frontier)  # maybe persist (policy-driven)
+
+:class:`CheckpointSession` implements them against a
+:class:`~repro.ckpt.manager.CheckpointManager`; :data:`NULL_CHECKPOINT`
+is the no-op used when checkpointing is off, so drivers never branch on
+None. ``step_complete`` quiesces the executor (``synchronize``) before
+persisting, which is what makes the saved host state a consistent cut:
+every op of steps ``<= step`` has retired, no op of a later step has been
+issued.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.ckpt.manager import CheckpointManager, CheckpointStats
+from repro.errors import CheckpointError
+from repro.host.tiled import HostMatrix
+
+
+class CheckpointSession:
+    """Binds a manager to one run: its executor and host matrices.
+
+    Parameters
+    ----------
+    manager
+        Storage and policy (the manager's config carries both).
+    ex
+        The executor driving the run; synchronized before every save.
+    matrices
+        Role-keyed host matrices (``{"a": ..., "r": ...}`` for QR,
+        ``{"a": ...}`` for LU/Cholesky). The frontier-based tail save
+        applies to role ``"a"``; other matrices are always copied whole.
+    clock
+        Injectable monotonic clock (tests drive the time trigger).
+    """
+
+    #: Role whose finalized-column frontier enables the in-place tail save.
+    FRONTIER_ROLE = "a"
+
+    def __init__(
+        self,
+        manager: CheckpointManager,
+        ex,
+        matrices: dict[str, HostMatrix],
+        *,
+        clock=time.monotonic,
+    ):
+        self.manager = manager
+        self.ex = ex
+        self.matrices = matrices
+        self.stats = CheckpointStats()
+        self._clock = clock
+        self._policy = manager.config.policy
+        self.resume_step = 0
+        self._last_saved_step = 0
+        self._last_saved_time = clock()
+        self._started = False
+
+    # -- driver protocol ---------------------------------------------------------
+
+    def start(self) -> int:
+        """Restore the latest checkpoint (if any); returns the index of
+        the first step that still needs to run. Idempotent."""
+        if self._started:
+            return self.resume_step
+        self._started = True
+        self.resume_step = self.manager.restore(self.matrices)
+        if self.resume_step > 0:
+            self.stats.resumes += 1
+        self._last_saved_step = self.resume_step
+        self._last_saved_time = self._clock()
+        return self.resume_step
+
+    def should_skip(self, step: int) -> bool:
+        """Whether *step* already completed in a previous session."""
+        if not self._started:
+            raise CheckpointError(
+                "protocol", "should_skip() before start()"
+            )
+        if step < self.resume_step:
+            self.stats.steps_skipped += 1
+            return True
+        return False
+
+    def step_complete(self, step: int, frontier: int) -> None:
+        """Record that 0-indexed *step* finished with the finalized-column
+        *frontier*; persists a checkpoint when the policy says so."""
+        completed = step + 1
+        if not self._policy.due(
+            completed - self._last_saved_step,
+            self._clock() - self._last_saved_time,
+        ):
+            return
+        # quiesce: every issued op retires, the host matrices are a
+        # consistent cut of the factorization at this boundary
+        self.ex.synchronize()
+        written = self.manager.save(
+            completed,
+            frontier,
+            self.matrices,
+            frontiers={self.FRONTIER_ROLE: frontier},
+        )
+        self.stats.checkpoints_written += 1
+        self.stats.checkpoint_bytes += written
+        self._last_saved_step = completed
+        self._last_saved_time = self._clock()
+
+
+class _NullCheckpoint:
+    """No-op stand-in when checkpointing is disabled."""
+
+    resume_step = 0
+    stats = CheckpointStats()
+
+    def start(self) -> int:
+        return 0
+
+    def should_skip(self, step: int) -> bool:
+        return False
+
+    def step_complete(self, step: int, frontier: int) -> None:
+        pass
+
+
+#: Shared no-op session (stateless; its stats stay zero by construction).
+NULL_CHECKPOINT = _NullCheckpoint()

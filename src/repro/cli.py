@@ -54,6 +54,15 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--no-opts", action="store_true", help="disable the §4.2 optimizations"
     )
+    parser.add_argument(
+        "--checkpoint-dir", default=None, metavar="DIR",
+        help="numeric mode: persist progress to DIR and resume from it "
+        "(rerun the same command after a crash; see docs/checkpoint.md)",
+    )
+    parser.add_argument(
+        "--checkpoint-every", type=int, default=1, metavar="N",
+        help="checkpoint every N completed steps (default 1)",
+    )
 
 
 def _config(args) -> SystemConfig:
@@ -87,6 +96,21 @@ def _run_factorization(args, kind: str) -> int:
     if kind == "lu" and args.mode == "numeric" and args.rows != args.cols:
         print("numeric lu (unpivoted) requires a square matrix", file=sys.stderr)
         return 2
+    checkpoint = None
+    if args.checkpoint_dir is not None:
+        if args.mode != "numeric":
+            print("--checkpoint-dir requires --mode numeric", file=sys.stderr)
+            return 2
+        if args.method == "both":
+            print("--checkpoint-dir requires a single --method "
+                  "(a checkpoint belongs to one run)", file=sys.stderr)
+            return 2
+        from repro.ckpt import CheckpointConfig, CheckpointPolicy
+
+        checkpoint = CheckpointConfig(
+            args.checkpoint_dir,
+            policy=CheckpointPolicy(every_steps=args.checkpoint_every),
+        )
 
     times = {}
     for method in methods:
@@ -110,6 +134,7 @@ def _run_factorization(args, kind: str) -> int:
             result = run(
                 a, method=method, mode="numeric", config=config,
                 options=options, concurrency=args.concurrency,
+                checkpoint=checkpoint,
             )
         else:
             result = run(
@@ -124,6 +149,13 @@ def _run_factorization(args, kind: str) -> int:
             f"H2D {result.movement.h2d_bytes / 1e9:7.1f} GB, "
             f"D2H {result.movement.d2h_bytes / 1e9:7.1f} GB"
         )
+        if result.ckpt is not None:
+            c = result.ckpt
+            print(
+                f"  checkpoint: {c.checkpoints_written} written "
+                f"({c.checkpoint_bytes >> 10} KiB), resumes {c.resumes}, "
+                f"steps skipped {c.steps_skipped}"
+            )
         if args.timeline and result.trace is not None:
             print(render_timeline(result.trace, width=100,
                                   title=f"{kind} {method}"))
@@ -311,29 +343,11 @@ def _run_serve_bench(args) -> int:
     if args.metrics:
         import json
 
-        from repro.bench.concurrency import bench_spec
-        from repro.hw.gemm import Precision
-        from repro.serve import FactorService, JobSpec  # noqa: F401
-
-        # re-run one service pass to expose a full metrics snapshot
-        from repro.bench.serve import synthetic_workload
-
-        config = SystemConfig(gpu=bench_spec(), precision=Precision.FP32)
-        svc = FactorService(config, n_workers=max(args.workers),
-                            queue_limit=max(args.jobs, 1))
-        try:
-            handles = [
-                svc.submit(s)
-                for s in synthetic_workload(
-                    args.jobs, size=args.size, blocksize=args.blocksize,
-                    seed=args.seed,
-                )
-            ]
-            for h in handles:
-                h.result(timeout=600)
-            print(json.dumps(svc.snapshot_metrics(), indent=2))
-        finally:
-            svc.close()
+        # snapshots captured from the benchmark runs themselves — no
+        # second service pass
+        for level in result.levels:
+            print(f"metrics (workers={level.n_workers}):")
+            print(json.dumps(level.metrics, indent=2))
     return 0
 
 

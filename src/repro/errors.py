@@ -100,5 +100,17 @@ class ExecutionError(ReproError):
     """An executor was driven through an invalid sequence of operations."""
 
 
+class CheckpointError(ReproError):
+    """A checkpoint could not be trusted or applied (corrupt manifest or
+    payload, config fingerprint mismatch, wrong backing storage).
+    ``reason`` is a short machine-readable tag; the message carries the
+    details. Never raised for a merely *absent* checkpoint — that is a
+    normal fresh start."""
+
+    def __init__(self, reason: str, detail: str = ""):
+        self.reason = reason
+        super().__init__(f"{reason}{': ' + detail if detail else ''}")
+
+
 class ValidationError(ReproError, ValueError):
     """Invalid argument value (non-positive dimension, bad enum string...)."""

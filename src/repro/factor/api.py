@@ -6,6 +6,13 @@ from dataclasses import dataclass, replace
 
 import numpy as np
 
+from repro.ckpt import (
+    CheckpointConfig,
+    CheckpointManager,
+    CheckpointSession,
+    CheckpointStats,
+    run_fingerprint,
+)
 from repro.config import PAPER_SYSTEM, SystemConfig
 from repro.errors import ValidationError
 from repro.execution.base import RunStats
@@ -37,6 +44,7 @@ class FactorResult:
     trace: Trace | None
     config: SystemConfig
     options: QrOptions
+    ckpt: CheckpointStats | None = None
 
     @property
     def makespan(self) -> float:
@@ -84,6 +92,7 @@ def _run(
     blocksize: int | None,
     device_memory: int | None,
     concurrency: str,
+    checkpoint: CheckpointConfig | None = None,
 ) -> FactorResult:
     method = one_of(method, ("recursive", "blocking"), "method")
     config = config or PAPER_SYSTEM
@@ -108,6 +117,8 @@ def _run(
     concurrency = one_of(concurrency, ("serial", "threads"), "concurrency")
     if concurrency == "threads" and mode != "numeric":
         raise ValidationError("concurrency='threads' requires mode='numeric'")
+    if checkpoint is not None and mode != "numeric":
+        raise ValidationError("checkpoint= requires mode='numeric'")
 
     if mode == "numeric":
         ex = (
@@ -117,8 +128,19 @@ def _run(
         )
     else:
         ex = SimExecutor(config)
+
+    session = None
+    if checkpoint is not None:
+        fp = run_fingerprint(
+            kind, method, host_a.rows, host_a.cols, config, options
+        )
+        session = CheckpointSession(
+            CheckpointManager(checkpoint, fingerprint=fp),
+            ex,
+            {"a": host_a},
+        )
     with track(ex) as moved:
-        run_info = drivers[method](ex, host_a, options)
+        run_info = drivers[method](ex, host_a, options, checkpoint=session)
     trace: Trace | None
     if mode == "sim":
         trace = ex.finish()
@@ -142,6 +164,7 @@ def _run(
         trace=trace,
         config=config,
         options=options,
+        ckpt=session.stats if session is not None else None,
     )
 
 
@@ -155,12 +178,14 @@ def ooc_lu(
     blocksize: int | None = None,
     device_memory: int | None = None,
     concurrency: str = "serial",
+    checkpoint: CheckpointConfig | None = None,
 ) -> FactorResult:
     """Out-of-core unpivoted LU: ``A = L U`` packed in place.
 
     Same calling convention as :func:`repro.qr.api.ooc_qr` — including
     ``concurrency="threads"`` for per-engine worker threads in numeric
-    mode (bitwise identical to serial, see docs/concurrency.md); the
+    mode (bitwise identical to serial, see docs/concurrency.md) and
+    ``checkpoint=`` for resumable runs (see docs/checkpoint.md); the
     input must be stable without pivoting (e.g. diagonally dominant).
     """
     return _run(
@@ -174,6 +199,7 @@ def ooc_lu(
         blocksize=blocksize,
         device_memory=device_memory,
         concurrency=concurrency,
+        checkpoint=checkpoint,
     )
 
 
@@ -187,12 +213,14 @@ def ooc_cholesky(
     blocksize: int | None = None,
     device_memory: int | None = None,
     concurrency: str = "serial",
+    checkpoint: CheckpointConfig | None = None,
 ) -> FactorResult:
     """Out-of-core Cholesky: lower factor L of a symmetric positive
     definite matrix, written into the lower triangle in place.
 
     ``concurrency="threads"`` overlaps H2D/compute/D2H on worker threads
-    in numeric mode; results stay bitwise identical to serial."""
+    in numeric mode; results stay bitwise identical to serial.
+    ``checkpoint=`` makes the run resumable (see docs/checkpoint.md)."""
     return _run(
         "cholesky",
         {"recursive": ooc_recursive_cholesky, "blocking": ooc_blocking_cholesky},
@@ -204,4 +232,5 @@ def ooc_cholesky(
         blocksize=blocksize,
         device_memory=device_memory,
         concurrency=concurrency,
+        checkpoint=checkpoint,
     )

@@ -24,6 +24,7 @@ minimal SYRK flops — the standard simplicity/optimality trade, recorded in
 
 from __future__ import annotations
 
+from repro.ckpt.session import NULL_CHECKPOINT
 from repro.execution.base import Executor
 from repro.factor.common import FactorRunInfo, check_cholesky_inputs
 from repro.host.tiled import HostMatrix
@@ -40,29 +41,35 @@ def ooc_blocking_cholesky(
     ex: Executor,
     a: HostMatrix,
     options: QrOptions = QrOptions(),
+    checkpoint=None,
 ) -> FactorRunInfo:
     """Blocking OOC Cholesky of the symmetric host matrix *a* (in place)."""
     n = check_cholesky_inputs(a, options)
     b = min(options.blocksize, n)
     info = FactorRunInfo(method="blocking")
     info.notes.append("full-rectangle trailing updates (2x SYRK flops)")
+    ck = checkpoint if checkpoint is not None else NULL_CHECKPOINT
+    if ck.start() > 0:
+        info.notes.append(f"resumed at panel step {ck.resume_step}")
     s = StreamBundle.create(ex, "chol-blk")
     ebytes = ex.config.element_bytes
 
     with DeviceScope(ex) as scope:
         panel_buf = scope.alloc(n, b, "chol-panel")
-        _blocking_cholesky_body(ex, a, options, n, b, info, s, panel_buf)
+        _blocking_cholesky_body(ex, a, options, n, b, info, s, panel_buf, ck)
     ex.synchronize()
     return info
 
 
-def _blocking_cholesky_body(ex, a, options, n, b, info, s, panel_buf):
+def _blocking_cholesky_body(ex, a, options, n, b, info, s, panel_buf, ck):
     ebytes = ex.config.element_bytes
     panel_free: object | None = None
 
-    for col0, width in uniform_schedule(n, b):
+    for p, (col0, width) in enumerate(uniform_schedule(n, b)):
         col1 = col0 + width
         height = n - col0
+        if ck.should_skip(p):
+            continue
         panel_view = panel_buf.view(0, height, 0, width)
 
         if panel_free is not None:
@@ -83,6 +90,7 @@ def _blocking_cholesky_body(ex, a, options, n, b, info, s, panel_buf):
         trailing = n - col1
         if trailing == 0:
             panel_free = written
+            ck.step_complete(p, frontier=col1)
             break
 
         # trailing SYRK: A22 -= L21 L21ᵀ with L21 resident in the panel
@@ -117,33 +125,47 @@ def _blocking_cholesky_body(ex, a, options, n, b, info, s, panel_buf):
         if not options.qr_level_overlap:
             ex.synchronize()
 
+        ck.step_complete(p, frontier=col1)
+
 
 def ooc_recursive_cholesky(
     ex: Executor,
     a: HostMatrix,
     options: QrOptions = QrOptions(),
+    checkpoint=None,
 ) -> FactorRunInfo:
     """Recursive OOC Cholesky of the symmetric host matrix *a* (in place)."""
     n = check_cholesky_inputs(a, options)
     b = min(options.blocksize, n)
     info = FactorRunInfo(method="recursive")
     info.notes.append("full-rectangle trailing updates (2x SYRK flops)")
+    ck = checkpoint if checkpoint is not None else NULL_CHECKPOINT
+    if ck.start() > 0:
+        info.notes.append(f"resumed at recursion event {ck.resume_step}")
     s = StreamBundle.create(ex, "chol-rec")
     ebytes = ex.config.element_bytes
 
     with DeviceScope(ex) as scope:
         panel_buf = scope.alloc(n, b, "chol-panel")
-        _recursive_cholesky_body(ex, a, options, n, b, info, s, panel_buf)
+        _recursive_cholesky_body(ex, a, options, n, b, info, s, panel_buf, ck)
     ex.synchronize()
     return info
 
 
-def _recursive_cholesky_body(ex, a, options, n, b, info, s, panel_buf):
+def _recursive_cholesky_body(ex, a, options, n, b, info, s, panel_buf, ck):
     ebytes = ex.config.element_bytes
-    state = {"panel_free": None}
+    state = {"panel_free": None, "step": 0}
+
+    def next_step() -> int:
+        step = state["step"]
+        state["step"] = step + 1
+        return step
 
     def leaf(col0: int, width: int) -> None:
         col1 = col0 + width
+        step = next_step()
+        if ck.should_skip(step):
+            return
         height = n - col0
         panel_view = panel_buf.view(0, height, 0, width)
         if state["panel_free"] is not None:
@@ -159,6 +181,7 @@ def _recursive_cholesky_body(ex, a, options, n, b, info, s, panel_buf):
         info.n_panels += 1
         if not options.qr_level_overlap:
             ex.synchronize()
+        ck.step_complete(step, frontier=col1)
 
     def recurse(col0: int, width: int) -> None:
         if width <= b:
@@ -170,6 +193,10 @@ def _recursive_cholesky_body(ex, a, options, n, b, info, s, panel_buf):
         col1 = col0 + width
 
         recurse(col0, wl)
+        step = next_step()
+        if ck.should_skip(step):
+            recurse(mid, wr)
+            return
 
         # this node's trailing SYRK: A[mid:, mid:col1] -= L21 L21(top)ᵀ
         host_ready = ex.record_event(s.d2h)
@@ -199,6 +226,8 @@ def _recursive_cholesky_body(ex, a, options, n, b, info, s, panel_buf):
         info.outer_flops += gemm_flops(n - mid, wr, wl)
         if not options.qr_level_overlap:
             ex.synchronize()
+
+        ck.step_complete(step, frontier=mid)
 
         recurse(mid, wr)
 

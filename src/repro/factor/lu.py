@@ -22,6 +22,7 @@ pivoted LU"); inputs must be stable without pivoting — see
 
 from __future__ import annotations
 
+from repro.ckpt.session import NULL_CHECKPOINT
 from repro.errors import PlanError
 from repro.execution.base import Executor
 from repro.factor.common import FactorRunInfo, check_lu_inputs
@@ -44,11 +45,15 @@ def ooc_blocking_lu(
     ex: Executor,
     a: HostMatrix,
     options: QrOptions = QrOptions(),
+    checkpoint=None,
 ) -> FactorRunInfo:
     """Blocking OOC unpivoted LU of host matrix *a*, packed in place."""
     m, n = check_lu_inputs(a, options)
     b = min(options.blocksize, n)
     info = FactorRunInfo(method="blocking")
+    ck = checkpoint if checkpoint is not None else NULL_CHECKPOINT
+    if ck.start() > 0:
+        info.notes.append(f"resumed at panel step {ck.resume_step}")
     s = StreamBundle.create(ex, "lu-blk")
     ebytes = ex.config.element_bytes
 
@@ -56,13 +61,13 @@ def ooc_blocking_lu(
         panel_buf = scope.alloc(m, b, "lu-panel")
         u_tile = scope.alloc(b, b, "lu-utile")
         _blocking_lu_body(ex, a, options, m, n, b, info, s, scope,
-                          panel_buf, u_tile)
+                          panel_buf, u_tile, ck)
     ex.synchronize()
     return info
 
 
 def _blocking_lu_body(ex, a, options, m, n, b, info, s, scope,
-                      panel_buf, u_tile):
+                      panel_buf, u_tile, ck):
     ebytes = ex.config.element_bytes
     panel_free: object | None = None
     u_free: object | None = None
@@ -71,6 +76,8 @@ def _blocking_lu_body(ex, a, options, m, n, b, info, s, scope,
         col1 = col0 + width
         height = m - col0
         trailing = n - col1
+        if ck.should_skip(p):
+            continue
         panel_view = panel_buf.view(0, height, 0, width)
         u_view = u_tile.view(0, width, 0, width)
 
@@ -94,6 +101,7 @@ def _blocking_lu_body(ex, a, options, m, n, b, info, s, scope,
 
         if trailing == 0:
             panel_free = written
+            ck.step_complete(p, frontier=col1)
             break
 
         # 2. U12 = L11^{-1} A12: triangle resident (top of the panel),
@@ -180,16 +188,22 @@ def _blocking_lu_body(ex, a, options, m, n, b, info, s, scope,
         if not options.qr_level_overlap:
             ex.synchronize()
 
+        ck.step_complete(p, frontier=col1)
+
 
 def ooc_recursive_lu(
     ex: Executor,
     a: HostMatrix,
     options: QrOptions = QrOptions(),
+    checkpoint=None,
 ) -> FactorRunInfo:
     """Recursive OOC unpivoted LU of host matrix *a*, packed in place."""
     m, n = check_lu_inputs(a, options)
     b = min(options.blocksize, n)
     info = FactorRunInfo(method="recursive")
+    ck = checkpoint if checkpoint is not None else NULL_CHECKPOINT
+    if ck.start() > 0:
+        info.notes.append(f"resumed at recursion event {ck.resume_step}")
     s = StreamBundle.create(ex, "lu-rec")
     ebytes = ex.config.element_bytes
 
@@ -198,18 +212,26 @@ def ooc_recursive_lu(
         panel_buf = scope.alloc(m, b, "lu-panel")
         u_tile = scope.alloc(b, b, "lu-utile")
         _recursive_lu_body(ex, a, options, m, n, b, info, s, scope,
-                           panel_buf, u_tile)
+                           panel_buf, u_tile, ck)
     ex.synchronize()
     return info
 
 
 def _recursive_lu_body(ex, a, options, m, n, b, info, s, scope,
-                       panel_buf, u_tile):
+                       panel_buf, u_tile, ck):
     ebytes = ex.config.element_bytes
-    state = {"panel_free": None, "u_free": None}
+    state = {"panel_free": None, "u_free": None, "step": 0}
+
+    def next_step() -> int:
+        step = state["step"]
+        state["step"] = step + 1
+        return step
 
     def leaf(col0: int, width: int) -> None:
         col1 = col0 + width
+        step = next_step()
+        if ck.should_skip(step):
+            return
         height = m - col0
         panel_view = panel_buf.view(0, height, 0, width)
         u_view = u_tile.view(0, width, 0, width)
@@ -228,6 +250,7 @@ def _recursive_lu_body(ex, a, options, m, n, b, info, s, scope,
         info.n_panels += 1
         if not options.qr_level_overlap:
             ex.synchronize()
+        ck.step_complete(step, frontier=col1)
 
     def recurse(col0: int, width: int) -> None:
         if width <= b:
@@ -239,6 +262,10 @@ def _recursive_lu_body(ex, a, options, m, n, b, info, s, scope,
         col1 = col0 + width
 
         recurse(col0, wl)
+        step = next_step()
+        if ck.should_skip(step):
+            recurse(mid, wr)
+            return
 
         budget = ex.allocator.free_bytes // ebytes
         host_ready = ex.record_event(s.d2h)
@@ -339,6 +366,8 @@ def _recursive_lu_body(ex, a, options, m, n, b, info, s, scope,
 
         if not options.qr_level_overlap:
             ex.synchronize()
+
+        ck.step_complete(step, frontier=mid)
 
         recurse(mid, wr)
 

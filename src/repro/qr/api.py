@@ -22,6 +22,13 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.ckpt import (
+    CheckpointConfig,
+    CheckpointManager,
+    CheckpointSession,
+    CheckpointStats,
+    run_fingerprint,
+)
 from repro.config import PAPER_SYSTEM, SystemConfig
 from repro.errors import ValidationError
 from repro.execution.base import RunStats
@@ -55,6 +62,7 @@ class QrResult:
     trace: Trace | None
     config: SystemConfig
     options: QrOptions
+    ckpt: CheckpointStats | None = None
 
     @property
     def makespan(self) -> float:
@@ -106,6 +114,7 @@ def ooc_qr(
     blocksize: int | None = None,
     device_memory: int | None = None,
     concurrency: str = "serial",
+    checkpoint: CheckpointConfig | None = None,
 ) -> QrResult:
     """Out-of-core QR factorization ``A = QR`` (classic Gram-Schmidt).
 
@@ -136,6 +145,13 @@ def ooc_qr(
         (H2D/compute/D2H overlap, see docs/concurrency.md), the result is
         bitwise identical to serial, and ``trace`` holds the recorded
         wall-clock schedule.
+    checkpoint
+        Optional :class:`~repro.ckpt.CheckpointConfig` making the run
+        resumable (numeric mode only): progress is persisted at panel /
+        recursion-node boundaries per the config's policy, and a rerun
+        pointed at the same directory restores state, skips completed
+        steps and produces a bitwise-identical result. See
+        docs/checkpoint.md.
 
     Returns
     -------
@@ -179,6 +195,8 @@ def ooc_qr(
     concurrency = one_of(concurrency, ("serial", "threads"), "concurrency")
     if concurrency == "threads" and mode != "numeric":
         raise ValidationError("concurrency='threads' requires mode='numeric'")
+    if checkpoint is not None and mode != "numeric":
+        raise ValidationError("checkpoint= requires mode='numeric'")
 
     if mode == "numeric":
         ex = (
@@ -191,9 +209,20 @@ def ooc_qr(
     else:
         ex = HybridExecutor(config)
 
+    session = None
+    if checkpoint is not None:
+        fp = run_fingerprint(
+            "qr", method, host_a.rows, host_a.cols, config, options
+        )
+        session = CheckpointSession(
+            CheckpointManager(checkpoint, fingerprint=fp),
+            ex,
+            {"a": host_a, "r": host_r},
+        )
+
     driver = ooc_recursive_qr if method == "recursive" else ooc_blocking_qr
     with track(ex) as moved:
-        run_info = driver(ex, host_a, host_r, options)
+        run_info = driver(ex, host_a, host_r, options, checkpoint=session)
 
     trace: Trace | None = None
     if mode in ("sim", "hybrid"):
@@ -216,4 +245,5 @@ def ooc_qr(
         trace=trace,
         config=config,
         options=options,
+        ckpt=session.stats if session is not None else None,
     )

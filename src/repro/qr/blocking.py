@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.ckpt.session import NULL_CHECKPOINT
 from repro.execution.base import DeviceBuffer, Executor
 from repro.host.tiled import HostMatrix
 from repro.ooc.gradual import uniform_schedule
@@ -57,14 +58,21 @@ def ooc_blocking_qr(
     a: HostMatrix,
     r: HostMatrix,
     options: QrOptions = QrOptions(),
+    checkpoint=None,
 ) -> QrRunInfo:
     """Factorize host matrix *a* in place (A ← Q) with blocking OOC CGS QR.
 
     *r* (n-by-n host matrix, zero-initialized by the caller) receives R.
+    *checkpoint* is an optional :class:`~repro.ckpt.CheckpointSession`;
+    each panel step is a checkpoint boundary, and a session holding a
+    prior checkpoint restores A/R and skips the completed panels.
     """
     m, n = check_qr_inputs(a, r, options)
     b = min(options.blocksize, n)
     info = QrRunInfo(method="blocking")
+    ck = checkpoint if checkpoint is not None else NULL_CHECKPOINT
+    if ck.start() > 0:
+        info.notes.append(f"resumed at panel step {ck.resume_step}")
     s = StreamBundle.create(ex, "qr-blk")
     ebytes = ex.config.element_bytes
 
@@ -72,13 +80,13 @@ def ooc_blocking_qr(
         panel_buf = scope.alloc(m, b, "qr-panel")
         r_tile = scope.alloc(b, b, "qr-rtile")
         _blocking_qr_body(ex, a, r, options, m, n, b, info, s, scope,
-                          panel_buf, r_tile)
+                          panel_buf, r_tile, ck)
     ex.synchronize()
     return info
 
 
 def _blocking_qr_body(ex, a, r, options, m, n, b, info, s, scope,
-                      panel_buf, r_tile):
+                      panel_buf, r_tile, ck):
     ebytes = ex.config.element_bytes
     panel_free: object | None = None  # last consumer of the panel buffer
     r_free: object | None = None      # last writeback of the R11 tile
@@ -86,6 +94,8 @@ def _blocking_qr_body(ex, a, r, options, m, n, b, info, s, scope,
     for p, (col0, width) in enumerate(uniform_schedule(n, b)):
         col1 = col0 + width
         trailing = n - col1
+        if ck.should_skip(p):
+            continue
         panel_view = panel_buf.view(0, m, 0, width)
         r_view = r_tile.view(0, width, 0, width)
 
@@ -115,6 +125,7 @@ def _blocking_qr_body(ex, a, r, options, m, n, b, info, s, scope,
 
         if trailing == 0:
             panel_free = q_written
+            ck.step_complete(p, frontier=col1)
             break
 
         # 4. inner product R12 = Q1ᵀ A_rest (Fig 4)
@@ -202,3 +213,5 @@ def _blocking_qr_body(ex, a, r, options, m, n, b, info, s, scope,
 
         if not options.qr_level_overlap:
             ex.synchronize()
+
+        ck.step_complete(p, frontier=col1)

@@ -33,6 +33,7 @@ QR-level optimizations (§4.2), all toggleable via
 
 from __future__ import annotations
 
+from repro.ckpt.session import NULL_CHECKPOINT
 from repro.errors import PlanError
 from repro.execution.base import DeviceView, Executor
 from repro.host.tiled import HostMatrix
@@ -57,14 +58,21 @@ def ooc_recursive_qr(
     a: HostMatrix,
     r: HostMatrix,
     options: QrOptions = QrOptions(),
+    checkpoint=None,
 ) -> QrRunInfo:
     """Factorize host matrix *a* in place (A ← Q) with recursive OOC CGS QR.
 
     *r* (n-by-n host matrix, zero-initialized by the caller) receives R.
+    *checkpoint* is an optional :class:`~repro.ckpt.CheckpointSession`;
+    the recursion's events (leaf factorizations and internal-node
+    updates) are the checkpoint boundaries, numbered in execution order.
     """
     m, n = check_qr_inputs(a, r, options)
     b = min(options.blocksize, n)
     info = QrRunInfo(method="recursive")
+    ck = checkpoint if checkpoint is not None else NULL_CHECKPOINT
+    if ck.start() > 0:
+        info.notes.append(f"resumed at recursion event {ck.resume_step}")
     s = StreamBundle.create(ex, "qr-rec")
     ebytes = ex.config.element_bytes
 
@@ -73,15 +81,24 @@ def ooc_recursive_qr(
         panel_buf = scope.alloc(m, b, "qr-panel")
         r_tile = scope.alloc(b, b, "qr-rtile")
         _recursive_qr_body(ex, a, r, options, m, n, b, info, s, scope,
-                           panel_buf, r_tile)
+                           panel_buf, r_tile, ck)
     ex.synchronize()
     return info
 
 
 def _recursive_qr_body(ex, a, r, options, m, n, b, info, s, scope,
-                       panel_buf, r_tile):
+                       panel_buf, r_tile, ck):
     ebytes = ex.config.element_bytes
-    state = {"panel_free": None, "r_free": None}
+    # panel_holds: which host columns the panel buffer currently mirrors.
+    # On resume it starts empty, so the §4.2 panel-resident inner product
+    # reloads Q1 before trusting the buffer (same bits as the leaf wrote).
+    state = {"panel_free": None, "r_free": None, "panel_holds": None,
+             "step": 0}
+
+    def next_step() -> int:
+        step = state["step"]
+        state["step"] = step + 1
+        return step
 
     def leaf(col0: int, width: int) -> tuple[DeviceView, object]:
         """OOC panel factorization of columns [col0, col0+width).
@@ -89,6 +106,10 @@ def _recursive_qr_body(ex, a, r, options, m, n, b, info, s, scope,
         Returns the device view still holding Q and the writeback event.
         """
         col1 = col0 + width
+        step = next_step()
+        if ck.should_skip(step):
+            state["panel_holds"] = None
+            return panel_buf.view(0, m, 0, width), None
         panel_view = panel_buf.view(0, m, 0, width)
         r_view = r_tile.view(0, width, 0, width)
         if state["panel_free"] is not None:
@@ -105,9 +126,11 @@ def _recursive_qr_body(ex, a, r, options, m, n, b, info, s, scope,
         ex.d2h(r.region(col0, col1, col0, col1), r_view, s.d2h)
         written = ex.record_event(s.d2h)
         state["panel_free"] = state["r_free"] = written
+        state["panel_holds"] = (col0, width)
         info.n_panels += 1
         if not options.qr_level_overlap:
             ex.synchronize()
+        ck.step_complete(step, frontier=col1)
         return panel_view, written
 
     def recurse(col0: int, width: int) -> None:
@@ -120,6 +143,10 @@ def _recursive_qr_body(ex, a, r, options, m, n, b, info, s, scope,
 
         recurse(col0, wl)
         left_is_leaf = wl <= b
+        step = next_step()
+        if ck.should_skip(step):
+            recurse(mid, wr)
+            return
 
         budget = ex.allocator.free_bytes // ebytes
         # every prior writeback (Q columns, R blocks) is covered by one
@@ -134,6 +161,16 @@ def _recursive_qr_body(ex, a, r, options, m, n, b, info, s, scope,
         if left_is_leaf and options.reuse_inner_result:
             # §4.2 small-GEMM path: Q1 is the panel still on the device
             panel_view = panel_buf.view(0, m, 0, wl)
+            if state["panel_holds"] != (col0, wl):
+                # resumed past the left leaf: reload Q1 into the panel
+                # buffer so this update takes the same engine path (and
+                # the same summation order) as an uninterrupted run
+                if state["panel_free"] is not None:
+                    ex.wait_event(s.h2d, state["panel_free"])
+                ex.h2d(panel_view, q1_region, s.h2d)
+                reloaded = ex.record_event(s.h2d)
+                ex.wait_event(s.compute, reloaded)
+                state["panel_holds"] = (col0, wl)
             iplan = plan_panel_inner(
                 K=m,
                 M=wl,
@@ -281,6 +318,8 @@ def _recursive_qr_body(ex, a, r, options, m, n, b, info, s, scope,
 
         if not options.qr_level_overlap:
             ex.synchronize()
+
+        ck.step_complete(step, frontier=mid)
 
         recurse(mid, wr)
 

@@ -54,6 +54,14 @@ class JobSpec:
         the admission controller estimates one from the tiling plans.
     name
         Optional label carried into metrics and handle reprs.
+    checkpoint_dir
+        Optional directory making the job resumable (numeric
+        factorizations only): progress is persisted there, and a retry
+        after a worker fault — or a resubmission pointed at the same
+        directory — restores state and skips completed steps. See
+        docs/checkpoint.md.
+    checkpoint_every
+        Persist every N completed steps (default 1: every boundary).
     """
 
     kind: str
@@ -65,11 +73,22 @@ class JobSpec:
     priority: int = 0
     device_memory: int | None = None
     name: str = ""
+    checkpoint_dir: str | None = None
+    checkpoint_every: int = 1
 
     def __post_init__(self) -> None:
         one_of(self.kind, JOB_KINDS, "kind")
         one_of(self.mode, ("numeric", "sim"), "mode")
         one_of(self.method, ("recursive", "blocking"), "method")
+        if self.checkpoint_every < 1:
+            raise ValidationError(
+                f"checkpoint_every must be >= 1, got {self.checkpoint_every}"
+            )
+        if self.checkpoint_dir is not None:
+            if self.kind == "gemm":
+                raise ValidationError("gemm jobs do not support checkpointing")
+            if self.mode != "numeric":
+                raise ValidationError("checkpoint_dir requires mode='numeric'")
         expected = 2 if self.kind == "gemm" else 1
         if len(self.operands) != expected:
             raise ValidationError(
@@ -141,6 +160,9 @@ class JobResult:
     moved_bytes: int = 0
     #: True when this result was served from the content-addressed cache.
     cache_hit: bool = False
+    #: :class:`~repro.ckpt.CheckpointStats` when the job ran with a
+    #: checkpoint directory; None otherwise (including cache hits).
+    ckpt: Any | None = None
 
     def freeze(self) -> "JobResult":
         """Mark all result arrays read-only (shared safely via the cache)."""

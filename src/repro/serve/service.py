@@ -40,6 +40,7 @@ from typing import Any, Callable
 from repro.config import PAPER_SYSTEM, SystemConfig
 from repro.errors import (
     AdmissionError,
+    CheckpointError,
     ConfigError,
     OutOfDeviceMemoryError,
     OutOfHostMemoryError,
@@ -60,6 +61,7 @@ DETERMINISTIC_ERRORS = (
     PlanError,
     ConfigError,
     AdmissionError,
+    CheckpointError,
     OutOfDeviceMemoryError,
     OutOfHostMemoryError,
 )
@@ -92,6 +94,13 @@ def run_job(spec: JobSpec, config: SystemConfig, concurrency: str) -> JobResult:
     )
     if spec.mode == "numeric":
         kwargs["concurrency"] = concurrency
+    if spec.checkpoint_dir is not None:
+        from repro.ckpt import CheckpointConfig, CheckpointPolicy
+
+        kwargs["checkpoint"] = CheckpointConfig(
+            spec.checkpoint_dir,
+            policy=CheckpointPolicy(every_steps=spec.checkpoint_every),
+        )
     if spec.kind == "qr":
         from repro.qr.api import ooc_qr
 
@@ -105,7 +114,7 @@ def run_job(spec: JobSpec, config: SystemConfig, concurrency: str) -> JobResult:
         arrays = {} if res.packed is None else {"packed": res.packed}
     return JobResult(
         kind=spec.kind, arrays=arrays, makespan=res.makespan,
-        moved_bytes=res.stats.moved_bytes,
+        moved_bytes=res.stats.moved_bytes, ckpt=res.ckpt,
     )
 
 
@@ -217,6 +226,18 @@ class FactorService:
         self._wait_h = m.histogram("queue_wait_s", "submit-to-dispatch latency")
         self._run_h = m.histogram("run_s", "execution time of the final attempt")
         self._turnaround_h = m.histogram("turnaround_s", "submit-to-done latency")
+        self._ckpt_written_c = m.counter(
+            "checkpoints_written", "checkpoints persisted by jobs"
+        )
+        self._ckpt_bytes_c = m.counter(
+            "checkpoint_bytes", "payload bytes written to checkpoints"
+        )
+        self._resumes_c = m.counter(
+            "resumes", "job executions that resumed from a checkpoint"
+        )
+        self._steps_skipped_c = m.counter(
+            "steps_skipped_on_resume", "steps skipped by resumed jobs"
+        )
 
         self._cv = threading.Condition()
         self._pending: list[_QueueEntry] = []
@@ -455,6 +476,11 @@ class FactorService:
             handle.run_s = time.perf_counter() - t0
             self._run_h.observe(handle.run_s)
             self._turnaround_h.observe(time.perf_counter() - job.submitted_at)
+            if result.ckpt is not None:
+                self._ckpt_written_c.inc(result.ckpt.checkpoints_written)
+                self._ckpt_bytes_c.inc(result.ckpt.checkpoint_bytes)
+                self._resumes_c.inc(result.ckpt.resumes)
+                self._steps_skipped_c.inc(result.ckpt.steps_skipped)
             if result.makespan == 0.0:
                 result.makespan = handle.run_s
             if self.cache is not None and job.cache_key is not None:

@@ -1,0 +1,298 @@
+"""Unit tests for the repro.ckpt subsystem: policy triggers, the atomic
+manifest commit, save/restore roundtrips, the memmap in-place mode, and
+the typed refusal of corrupt or mismatched checkpoints."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.ckpt import (
+    CheckpointConfig,
+    CheckpointManager,
+    CheckpointPolicy,
+    CheckpointSession,
+    run_fingerprint,
+)
+from repro.ckpt.manager import MANIFEST_NAME
+from repro.config import SystemConfig
+from repro.errors import CheckpointError, ValidationError
+from repro.host.tiled import HostMatrix
+from repro.hw.gemm import Precision
+from repro.qr.options import QrOptions
+from tests.conftest import make_tiny_spec
+
+
+def _manager(tmp_path, fingerprint="fp", **policy_kw):
+    cfg = CheckpointConfig(tmp_path, policy=CheckpointPolicy(**policy_kw))
+    return CheckpointManager(cfg, fingerprint=fingerprint)
+
+
+def _matrices(rows=8, cols=6, seed=0):
+    rng = np.random.default_rng(seed)
+    return {
+        "a": HostMatrix.from_array(
+            rng.standard_normal((rows, cols)).astype(np.float32)
+        )
+    }
+
+
+class TestPolicy:
+    def test_defaults_fire_every_step(self):
+        p = CheckpointPolicy()
+        assert p.due(1, 0.0)
+        assert not p.due(0, 1e9)  # no time trigger by default
+
+    def test_step_trigger(self):
+        p = CheckpointPolicy(every_steps=3)
+        assert not p.due(2, 0.0)
+        assert p.due(3, 0.0)
+
+    def test_time_trigger(self):
+        p = CheckpointPolicy(every_steps=1000, every_seconds=5.0)
+        assert not p.due(1, 4.9)
+        assert p.due(1, 5.0)
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ValidationError):
+            CheckpointPolicy(every_steps=0)
+        with pytest.raises(ValidationError):
+            CheckpointPolicy(every_seconds=0.0)
+
+
+class TestRoundtrip:
+    def test_no_checkpoint_is_fresh_start(self, tmp_path):
+        mgr = _manager(tmp_path)
+        assert mgr.load_manifest() is None
+        assert mgr.restore(_matrices()) == 0
+
+    def test_save_then_restore_bitwise(self, tmp_path):
+        mgr = _manager(tmp_path)
+        mats = _matrices(seed=1)
+        saved = mats["a"].data.copy()
+        mgr.save(3, 4, mats)
+
+        fresh = _matrices(seed=2)  # different contents, same shape
+        assert mgr.restore(fresh) == 3
+        np.testing.assert_array_equal(fresh["a"].data, saved)
+
+    def test_newer_save_wins_and_prunes(self, tmp_path):
+        mgr = _manager(tmp_path)
+        mats = _matrices()
+        mgr.save(1, 2, mats)
+        mats["a"].data[:] += 1.0
+        mgr.save(2, 4, mats)
+        step_dirs = [p.name for p in tmp_path.iterdir() if p.is_dir()]
+        assert step_dirs == ["step-000002"]
+        fresh = _matrices(seed=9)
+        assert mgr.restore(fresh) == 2
+        np.testing.assert_array_equal(fresh["a"].data, mats["a"].data)
+
+    def test_memmap_inplace_saves_only_the_tail(self, tmp_path):
+        rows, cols, frontier = 8, 6, 4
+        mat = HostMatrix.memmap(tmp_path / "a.dat", rows, cols)
+        mat.data[:] = np.arange(rows * cols, dtype=np.float32).reshape(
+            rows, cols
+        )
+        mgr = _manager(tmp_path / "ck")
+        nbytes = mgr.save(2, frontier, {"a": mat}, frontiers={"a": frontier})
+        # only the mutable tail [frontier, cols) was copied out
+        assert nbytes == rows * (cols - frontier) * 4
+        entry = mgr.load_manifest()["matrices"]["a"]
+        assert entry["mode"] == "inplace"
+        assert entry["region"] == [0, rows, frontier, cols]
+
+        # corrupt the tail in the memmap (simulating a mid-step crash),
+        # then restore: prefix comes from the file, tail from the payload
+        expect = mat.data.copy()
+        mat.data[:, frontier:] = -1.0
+        assert mgr.restore({"a": mat}) == 2
+        np.testing.assert_array_equal(np.asarray(mat.data), expect)
+
+    def test_memmap_full_frontier_is_zero_copy(self, tmp_path):
+        mat = HostMatrix.memmap(tmp_path / "a.dat", 4, 4)
+        mat.data[:] = 7.0
+        mgr = _manager(tmp_path / "ck")
+        nbytes = mgr.save(4, 4, {"a": mat}, frontiers={"a": 4})
+        assert nbytes == 0  # everything finalized: flush only
+        assert mgr.restore({"a": mat}) == 4
+
+    def test_inplace_checkpoint_requires_memmap_on_restore(self, tmp_path):
+        mat = HostMatrix.memmap(tmp_path / "a.dat", 4, 4)
+        mat.data[:] = 1.0
+        mgr = _manager(tmp_path / "ck")
+        mgr.save(1, 2, {"a": mat}, frontiers={"a": 2})
+        ram = _matrices(4, 4)
+        with pytest.raises(CheckpointError) as exc:
+            mgr.restore(ram)
+        assert exc.value.reason == "matrix-mismatch"
+
+
+class TestRefusals:
+    """Corrupt or mismatched checkpoints raise typed errors, never
+    silently produce wrong numbers."""
+
+    def _saved(self, tmp_path, **kw):
+        mgr = _manager(tmp_path, **kw)
+        mgr.save(2, 3, _matrices())
+        return mgr
+
+    def test_corrupt_manifest_json(self, tmp_path):
+        self._saved(tmp_path)
+        (tmp_path / MANIFEST_NAME).write_text("{not json")
+        with pytest.raises(CheckpointError) as exc:
+            _manager(tmp_path).load_manifest()
+        assert exc.value.reason == "corrupt-manifest"
+
+    def test_manifest_missing_keys(self, tmp_path):
+        self._saved(tmp_path)
+        (tmp_path / MANIFEST_NAME).write_text(json.dumps({"step": 2}))
+        with pytest.raises(CheckpointError) as exc:
+            _manager(tmp_path).load_manifest()
+        assert exc.value.reason == "corrupt-manifest"
+
+    def test_format_mismatch(self, tmp_path):
+        mgr = self._saved(tmp_path)
+        manifest = mgr.load_manifest()
+        manifest["format"] = 999
+        (tmp_path / MANIFEST_NAME).write_text(json.dumps(manifest))
+        with pytest.raises(CheckpointError) as exc:
+            _manager(tmp_path).load_manifest()
+        assert exc.value.reason == "format-mismatch"
+
+    def test_fingerprint_mismatch(self, tmp_path):
+        self._saved(tmp_path, fingerprint="fp-one")
+        with pytest.raises(CheckpointError) as exc:
+            _manager(tmp_path, fingerprint="fp-two").load_manifest()
+        assert exc.value.reason == "config-mismatch"
+
+    def test_truncated_payload(self, tmp_path):
+        mgr = self._saved(tmp_path)
+        payload = tmp_path / "step-000002" / "a.bin"
+        payload.write_bytes(payload.read_bytes()[:-8])
+        with pytest.raises(CheckpointError) as exc:
+            mgr.restore(_matrices())
+        assert exc.value.reason == "corrupt-payload"
+
+    def test_flipped_payload_bits(self, tmp_path):
+        mgr = self._saved(tmp_path)
+        payload = tmp_path / "step-000002" / "a.bin"
+        data = bytearray(payload.read_bytes())
+        data[0] ^= 0xFF
+        payload.write_bytes(bytes(data))
+        with pytest.raises(CheckpointError) as exc:
+            mgr.restore(_matrices())
+        assert exc.value.reason == "corrupt-payload"
+
+    def test_missing_payload_file(self, tmp_path):
+        mgr = self._saved(tmp_path)
+        (tmp_path / "step-000002" / "a.bin").unlink()
+        with pytest.raises(CheckpointError) as exc:
+            mgr.restore(_matrices())
+        assert exc.value.reason == "missing-payload"
+
+    def test_matrix_role_mismatch(self, tmp_path):
+        mgr = self._saved(tmp_path)
+        with pytest.raises(CheckpointError) as exc:
+            mgr.restore({"b": _matrices()["a"]})
+        assert exc.value.reason == "matrix-mismatch"
+
+    def test_shape_mismatch(self, tmp_path):
+        mgr = self._saved(tmp_path)
+        with pytest.raises(CheckpointError) as exc:
+            mgr.restore(_matrices(rows=9, cols=6))
+        assert exc.value.reason == "matrix-mismatch"
+
+    def test_crashed_save_leaves_previous_checkpoint_valid(self, tmp_path):
+        """A leftover payload dir without a committed manifest (crash
+        between payload write and manifest rename) must not shadow the
+        previous checkpoint."""
+        mgr = self._saved(tmp_path)
+        good = mgr.load_manifest()
+        # fake a crash during save(3): payload dir exists, manifest not
+        # replaced
+        (tmp_path / "step-000003").mkdir()
+        (tmp_path / "step-000003" / "a.bin").write_bytes(b"partial")
+        assert mgr.load_manifest() == good
+        fresh = _matrices(seed=5)
+        assert mgr.restore(fresh) == 2
+
+
+class TestSession:
+    def _session(self, tmp_path, mats=None, clock=None, **policy_kw):
+        from repro.execution.numeric import NumericExecutor
+
+        ex = NumericExecutor(
+            SystemConfig(gpu=make_tiny_spec(1 << 20), precision=Precision.FP32)
+        )
+        mgr = _manager(tmp_path, **policy_kw)
+        kwargs = {} if clock is None else {"clock": clock}
+        return CheckpointSession(mgr, ex, mats or _matrices(), **kwargs)
+
+    def test_should_skip_requires_start(self, tmp_path):
+        session = self._session(tmp_path)
+        with pytest.raises(CheckpointError) as exc:
+            session.should_skip(0)
+        assert exc.value.reason == "protocol"
+
+    def test_skip_counts_and_stats(self, tmp_path):
+        mats = _matrices()
+        first = self._session(tmp_path, mats)
+        assert first.start() == 0
+        first.step_complete(0, frontier=2)
+        first.step_complete(1, frontier=4)
+
+        second = self._session(tmp_path, mats)
+        assert second.start() == 2
+        assert second.stats.resumes == 1
+        assert second.should_skip(0) and second.should_skip(1)
+        assert not second.should_skip(2)
+        assert second.stats.steps_skipped == 2
+
+    def test_every_steps_policy_batches_saves(self, tmp_path):
+        session = self._session(tmp_path, every_steps=3)
+        session.start()
+        for step in range(7):
+            session.step_complete(step, frontier=step + 1)
+        # saves at completed=3 and completed=6; step 7 pending
+        assert session.stats.checkpoints_written == 2
+        assert session.manager.load_manifest()["step"] == 6
+
+    def test_time_policy_uses_injected_clock(self, tmp_path):
+        now = [0.0]
+        session = self._session(
+            tmp_path, clock=lambda: now[0],
+            every_steps=10**6, every_seconds=30.0,
+        )
+        session.start()
+        session.step_complete(0, frontier=1)
+        assert session.stats.checkpoints_written == 0
+        now[0] = 31.0
+        session.step_complete(1, frontier=2)
+        assert session.stats.checkpoints_written == 1
+
+
+class TestFingerprint:
+    def test_sensitive_to_everything_that_matters(self):
+        cfg = SystemConfig(gpu=make_tiny_spec(1 << 20), precision=Precision.FP32)
+        base = run_fingerprint("qr", "recursive", 96, 96, cfg, QrOptions())
+        assert base == run_fingerprint(
+            "qr", "recursive", 96, 96, cfg, QrOptions()
+        )
+        others = [
+            run_fingerprint("lu", "recursive", 96, 96, cfg, QrOptions()),
+            run_fingerprint("qr", "blocking", 96, 96, cfg, QrOptions()),
+            run_fingerprint("qr", "recursive", 96, 128, cfg, QrOptions()),
+            run_fingerprint(
+                "qr", "recursive", 96, 96, cfg, QrOptions(blocksize=64)
+            ),
+            run_fingerprint(
+                "qr", "recursive", 96, 96,
+                SystemConfig(gpu=make_tiny_spec(2 << 20),
+                             precision=Precision.FP32),
+                QrOptions(),
+            ),
+        ]
+        assert len({base, *others}) == len(others) + 1

@@ -15,8 +15,8 @@ import pytest
 from repro.config import SystemConfig
 from repro.execution.concurrent import ConcurrentNumericExecutor
 from repro.execution.numeric import NumericExecutor
-from repro.factor.cholesky import ooc_recursive_cholesky
-from repro.factor.lu import ooc_blocking_lu
+from repro.factor.cholesky import ooc_blocking_cholesky, ooc_recursive_cholesky
+from repro.factor.lu import ooc_blocking_lu, ooc_recursive_lu
 from repro.host.tiled import HostMatrix
 from repro.hw.gemm import Precision
 from repro.qr.blocking import ooc_blocking_qr
@@ -56,17 +56,19 @@ for _name in FaultyExecutor.COUNTED:
     setattr(FaultyExecutor, _name, _wrap(_name))
 
 
-def _config():
-    return SystemConfig(gpu=make_tiny_spec(1 << 20), precision=Precision.FP32)
+def _config(**overrides):
+    return SystemConfig(
+        gpu=make_tiny_spec(1 << 20), precision=Precision.FP32, **overrides
+    )
 
 
 def _run(driver, needs_r: bool, ex):
     rng = np.random.default_rng(0)
-    if driver in (ooc_blocking_lu,):
+    if driver in (ooc_blocking_lu, ooc_recursive_lu):
         from repro.factor.incore import diagonally_dominant
 
         a_np = diagonally_dominant(96, 96, seed=1)
-    elif driver is ooc_recursive_cholesky:
+    elif driver in (ooc_blocking_cholesky, ooc_recursive_cholesky):
         from repro.factor.incore import spd_matrix
 
         a_np = spd_matrix(96, seed=1)
@@ -84,6 +86,8 @@ DRIVERS = [
     (ooc_recursive_qr, True),
     (ooc_blocking_qr, True),
     (ooc_blocking_lu, False),
+    (ooc_recursive_lu, False),
+    (ooc_blocking_cholesky, False),
     (ooc_recursive_cholesky, False),
 ]
 
@@ -147,6 +151,43 @@ class TestEnginesUnwind:
         a = HostMatrix.from_array(a_np.copy())
         r = HostMatrix.zeros(32, 32)
         ooc_recursive_qr(ex, a, r, QrOptions(blocksize=16))
+        assert factorization_error(a_np, a.data, r.data) < 1e-5
+
+
+class TestTsqrPanelPath:
+    """Faults inside the TSQR panel algorithm (panel_algorithm="tsqr")
+    must unwind just like the default recursive-CGS panels."""
+
+    def _tsqr_config(self):
+        return _config(panel_algorithm="tsqr")
+
+    @pytest.mark.parametrize("driver,needs_r", DRIVERS[:2],
+                             ids=[d.__name__ for d, _ in DRIVERS[:2]])
+    def test_tsqr_faults_leave_allocator_balanced(self, driver, needs_r):
+        probe = FaultyExecutor(self._tsqr_config(), fail_at=None)
+        _run(driver, needs_r, probe)
+        probe.allocator.check_balanced()
+        total_ops = probe.op_counter
+        assert total_ops > 10
+
+        points = sorted({1, 3, total_ops // 4, total_ops // 2,
+                         3 * total_ops // 4, total_ops})
+        for fail_at in points:
+            ex = FaultyExecutor(self._tsqr_config(), fail_at=fail_at)
+            with pytest.raises(InjectedFault):
+                _run(driver, needs_r, ex)
+            ex.allocator.check_balanced()
+
+    def test_tsqr_fault_free_run_is_correct(self):
+        from repro.qr.cgs import factorization_error
+
+        a_np = np.random.default_rng(3).standard_normal((96, 96)).astype(
+            np.float32
+        )
+        ex = FaultyExecutor(self._tsqr_config(), fail_at=None)
+        a = HostMatrix.from_array(a_np.copy())
+        r = HostMatrix.zeros(96, 96)
+        ooc_recursive_qr(ex, a, r, QrOptions(blocksize=32))
         assert factorization_error(a_np, a.data, r.data) < 1e-5
 
 
