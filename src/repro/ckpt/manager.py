@@ -291,6 +291,7 @@ class CheckpointManager:
         frontier: int,
         matrices: dict[str, HostMatrix],
         frontiers: dict[str, int] | None = None,
+        extra: dict | None = None,
     ) -> int:
         """Persist a checkpoint after *step* completed steps; returns the
         payload bytes written.
@@ -298,7 +299,10 @@ class CheckpointManager:
         *frontiers* maps matrix roles to their finalized-column frontier;
         a memmap-backed matrix with a frontier is saved in place (flush +
         tail copy), everything else is copied whole. The caller must have
-        quiesced the executor first (no in-flight host writes).
+        quiesced the executor first (no in-flight host writes). *extra* is
+        an optional JSON-serializable side-state dict stored verbatim in
+        the manifest (e.g. the health sentinel's escalation state, which
+        must survive a restart for bitwise-identical resume).
         """
         self.directory.mkdir(parents=True, exist_ok=True)
         frontiers = frontiers or {}
@@ -328,6 +332,8 @@ class CheckpointManager:
             "written_at": time.time(),
             "matrices": entries,
         }
+        if extra:
+            manifest["extra"] = extra
         _write_durable(
             self.directory / MANIFEST_NAME,
             json.dumps(manifest, indent=1).encode(),

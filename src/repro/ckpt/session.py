@@ -75,6 +75,13 @@ class CheckpointSession:
         self.resume_step = self.manager.restore(self.matrices)
         if self.resume_step > 0:
             self.stats.resumes += 1
+            # Restore the health sentinel's escalation state: a resumed
+            # run must make the same escalation decisions (e.g. keep the
+            # fp32 GEMM override) or it would not be bitwise identical.
+            manifest = self.manager.load_manifest() or {}
+            health_state = (manifest.get("extra") or {}).get("health")
+            if health_state is not None and self.ex.health.enabled:
+                self.ex.health.load_state(health_state)
         self._last_saved_step = self.resume_step
         self._last_saved_time = self._clock()
         return self.resume_step
@@ -100,13 +107,20 @@ class CheckpointSession:
         ):
             return
         # quiesce: every issued op retires, the host matrices are a
-        # consistent cut of the factorization at this boundary
+        # consistent cut of the factorization at this boundary — and the
+        # sentinel's probe/escalation state is settled enough to persist
         self.ex.synchronize()
+        extra = (
+            {"health": self.ex.health.state_dict()}
+            if self.ex.health.enabled
+            else None
+        )
         written = self.manager.save(
             completed,
             frontier,
             self.matrices,
             frontiers={self.FRONTIER_ROLE: frontier},
+            extra=extra,
         )
         self.stats.checkpoints_written += 1
         self.stats.checkpoint_bytes += written

@@ -63,6 +63,16 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         "--checkpoint-every", type=int, default=1, metavar="N",
         help="checkpoint every N completed steps (default 1)",
     )
+    parser.add_argument(
+        "--health", choices=["off", "monitor", "escalate"], default="off",
+        help="numeric mode: numerical-health sentinel — monitor records "
+        "NaN/Inf and loss-of-orthogonality probes, escalate also repairs "
+        "drifted panels and raises GEMM precision (see docs/health.md)",
+    )
+    parser.add_argument(
+        "--health-stride", type=int, default=1, metavar="N",
+        help="probe 1-in-N h2d transfers / GEMM outputs (default 1: all)",
+    )
 
 
 def _config(args) -> SystemConfig:
@@ -76,6 +86,15 @@ def _options(args) -> QrOptions:
     opts = QrOptions(blocksize=args.blocksize, pipelined=not args.sync)
     if args.no_opts:
         opts = opts.all_optimizations_off()
+    if getattr(args, "health", "off") != "off":
+        from dataclasses import replace
+
+        from repro.health import HealthOptions
+
+        opts = replace(
+            opts,
+            health=HealthOptions(mode=args.health, stride=args.health_stride),
+        )
     return opts
 
 
@@ -95,6 +114,9 @@ def _run_factorization(args, kind: str) -> int:
         return 2
     if kind == "lu" and args.mode == "numeric" and args.rows != args.cols:
         print("numeric lu (unpivoted) requires a square matrix", file=sys.stderr)
+        return 2
+    if args.health != "off" and args.mode != "numeric":
+        print("--health requires --mode numeric", file=sys.stderr)
         return 2
     checkpoint = None
     if args.checkpoint_dir is not None:
@@ -156,6 +178,8 @@ def _run_factorization(args, kind: str) -> int:
                 f"({c.checkpoint_bytes >> 10} KiB), resumes {c.resumes}, "
                 f"steps skipped {c.steps_skipped}"
             )
+        if result.health is not None:
+            print(f"  health: {result.health.summary()}")
         if args.timeline and result.trace is not None:
             print(render_timeline(result.trace, width=100,
                                   title=f"{kind} {method}"))

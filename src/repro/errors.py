@@ -114,3 +114,46 @@ class CheckpointError(ReproError):
 
 class ValidationError(ReproError, ValueError):
     """Invalid argument value (non-positive dimension, bad enum string...)."""
+
+
+class NumericalError(ReproError, ArithmeticError):
+    """A factorization went numerically bad and no recovery remains.
+
+    Deterministic by construction: re-running the same job on the same
+    data reproduces the failure, so the serve layer quarantines instead
+    of retrying. ``reason`` is a short machine-readable tag; ``report``
+    (when present) is the :class:`repro.health.HealthReport` accumulated
+    up to the failure point.
+    """
+
+    def __init__(self, reason: str, detail: str = "", report=None):
+        self.reason = reason
+        self.detail = detail
+        self.report = report
+        super().__init__(f"{reason}{': ' + detail if detail else ''}")
+
+
+class NonFiniteError(NumericalError):
+    """A NaN/Inf was detected in an operand, transfer, or result."""
+
+    def __init__(self, detail: str = "", report=None):
+        super().__init__("non-finite", detail, report)
+
+
+class BreakdownError(NumericalError, ValidationError):
+    """Rank-deficiency / norm collapse: a panel column became (numerically)
+    dependent on earlier columns, so no orthonormal basis exists.
+
+    Also a :class:`ValidationError` so pre-existing callers that treated
+    dependent columns as invalid input keep catching it."""
+
+    def __init__(self, detail: str = "", report=None):
+        super().__init__("breakdown", detail, report)
+
+
+class EscalationExhaustedError(NumericalError):
+    """Every rung of the escalation ladder was tried and the panel is
+    still numerically unhealthy."""
+
+    def __init__(self, detail: str = "", report=None):
+        super().__init__("escalation-exhausted", detail, report)

@@ -149,6 +149,12 @@ class Executor(abc.ABC):
     def __init__(self, config: SystemConfig):
         self.config = config
         self.stats = RunStats()
+        # Every executor carries a health sentinel so drivers can notify
+        # panel boundaries unconditionally; only numeric executors swap in
+        # a live one (probes are meaningless without real numbers).
+        from repro.health.sentinel import NULL_SENTINEL
+
+        self.health = NULL_SENTINEL
 
     # -- memory -----------------------------------------------------------------
 

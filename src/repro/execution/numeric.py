@@ -29,6 +29,7 @@ import numpy as np
 from repro.config import SystemConfig
 from repro.errors import ExecutionError
 from repro.execution.base import DeviceBuffer, DeviceView, Executor, as_view
+from repro.health.sentinel import NULL_SENTINEL, HealthSentinel
 from repro.host.tiled import HostRegion
 from repro.sim.memory import DeviceAllocator
 from repro.sim.ops import EngineKind, OpKind, SimOp
@@ -75,6 +76,10 @@ class NumericExecutor(Executor):
         self._input_format = config.precision.input_format
         self.program: StreamProgram | None = StreamProgram() if record else None
         self._t0: float | None = None
+        #: Numerical-health sentinel; the api layer swaps in a live one
+        #: when ``options.health`` enables probing. Op bodies consult it,
+        #: so it must be attached before any op is issued.
+        self.health: HealthSentinel = NULL_SENTINEL
 
     # -- issue machinery ---------------------------------------------------------
 
@@ -233,13 +238,17 @@ class NumericExecutor(Executor):
         self._check_copy_shapes(dst.shape, src.shape)
         self._check_live(dst)
         self.stats.h2d_bytes += src.nbytes
+        op_name = copy_name("h2d", src, dst)
 
         def body() -> None:
-            np.copyto(self._data(dst), src.array)
+            data = self._data(dst)
+            np.copyto(data, src.array)
+            if self.health.enabled:
+                self.health.check_h2d(data, op_name)
 
         self._issue(
             stream,
-            name=copy_name("h2d", src, dst),
+            name=op_name,
             engine=EngineKind.H2D,
             kind=OpKind.COPY_H2D,
             body=body,
@@ -253,13 +262,19 @@ class NumericExecutor(Executor):
         self._check_copy_shapes(dst.shape, src.shape)
         self._check_live(src)
         self.stats.d2h_bytes += dst.nbytes
+        op_name = copy_name("d2h", src, dst)
 
         def body() -> None:
-            np.copyto(dst.array, self._data(src))
+            data = self._data(src)
+            # writeback scan: the last probed boundary before results reach
+            # the host — device-side NaNs must never land silently
+            if self.health.enabled:
+                self.health.check_d2h(data, op_name)
+            np.copyto(dst.array, data)
 
         self._issue(
             stream,
-            name=copy_name("d2h", src, dst),
+            name=op_name,
             engine=EngineKind.D2H,
             kind=OpKind.COPY_D2H,
             body=body,
@@ -310,9 +325,24 @@ class NumericExecutor(Executor):
         self._check_live(c, a, b)
         self.stats.gemm_flops += gemm_flops(m, n, k)
         self.stats.n_gemms += 1
+        op_name = gemm_name(tag, m, n, k)
 
         def body() -> None:
+            health = self.health
             c_data = self._data(c)
+            # The sentinel may have escalated trailing updates to fp32;
+            # in escalate mode keep the accumulator so a non-finite
+            # output can be recomputed instead of refused.
+            fmt = (
+                health.gemm_format(self._input_format)
+                if health.enabled
+                else self._input_format
+            )
+            c_prev = (
+                c_data.copy()
+                if health.enabled and health.escalating and beta != 0.0
+                else None
+            )
             tc_gemm(
                 self._data(a),
                 self._data(b),
@@ -321,13 +351,33 @@ class NumericExecutor(Executor):
                 c=c_data if beta != 0.0 else None,
                 trans_a=trans_a,
                 trans_b=trans_b,
-                input_format=self._input_format,
+                input_format=fmt,
                 out=c_data,
+                quant_stats=health.quant_stats,
             )
+            if health.enabled:
+
+                def retry_fp32() -> None:
+                    tc_gemm(
+                        self._data(a),
+                        self._data(b),
+                        alpha=alpha,
+                        beta=beta,
+                        c=c_prev,
+                        trans_a=trans_a,
+                        trans_b=trans_b,
+                        input_format="fp32",
+                        out=c_data,
+                    )
+
+                health.check_gemm(
+                    c_data, op_name,
+                    retry_fp32 if (beta == 0.0 or c_prev is not None) else None,
+                )
 
         self._issue(
             stream,
-            name=gemm_name(tag, m, n, k),
+            name=op_name,
             engine=EngineKind.COMPUTE,
             kind=OpKind.GEMM,
             body=body,
@@ -361,7 +411,13 @@ class NumericExecutor(Executor):
 
         def body() -> None:
             a_data = self._data(panel)
+            # Keep the pre-factorization panel for the sentinel: breakdown
+            # probes compare diag(R) against original column norms, and
+            # the TSQR escalation rung refactorizes from it.
+            orig = a_data.copy() if self.health.enabled else None
             q, r = self._factorize_panel(a_data)
+            if self.health.enabled:
+                q, r = self.health.after_panel(orig, q, r, self._factorize_panel)
             np.copyto(a_data, q)
             np.copyto(self._data(r_out), r)
 
@@ -423,6 +479,8 @@ class NumericExecutor(Executor):
         self.stats.gemm_flops += flops
         self.stats.n_gemms += 1
 
+        op_name = panel_name(tag, a_tri.rows, b.cols)
+
         def body() -> None:
             b_data = self._data(b)
             solved = scipy.linalg.solve_triangular(
@@ -434,10 +492,12 @@ class NumericExecutor(Executor):
                 check_finite=False,
             )
             np.copyto(b_data, solved.astype(np.float32, copy=False))
+            if self.health.enabled:
+                self.health.check_output(b_data, op_name)
 
         self._issue(
             stream,
-            name=panel_name(tag, a_tri.rows, b.cols),
+            name=op_name,
             engine=EngineKind.COMPUTE,
             kind=OpKind.GEMM,
             body=body,
@@ -468,15 +528,19 @@ class NumericExecutor(Executor):
         self.stats.panel_flops += flops
         self.stats.n_panels += 1
 
+        op_name = panel_name(tag, panel.rows, panel.cols)
+
         def body() -> None:
             a_data = self._data(panel)
             packed = incore_lu_nopivot(a_data, input_format=self._input_format)
+            if self.health.enabled:
+                self.health.check_output(packed, op_name)
             np.copyto(a_data, packed)
             np.copyto(self._data(u_out), np.triu(packed[: panel.cols]))
 
         self._issue(
             stream,
-            name=panel_name(tag, panel.rows, panel.cols),
+            name=op_name,
             engine=EngineKind.COMPUTE,
             kind=OpKind.PANEL,
             body=body,
@@ -506,6 +570,7 @@ class NumericExecutor(Executor):
         flops = b * b * b // 3 + (panel.rows - b) * b * b
         self.stats.panel_flops += flops
         self.stats.n_panels += 1
+        op_name = panel_name(tag, panel.rows, panel.cols)
 
         def body() -> None:
             data = self._data(panel)
@@ -523,10 +588,12 @@ class NumericExecutor(Executor):
                     chol, data[b:].astype(np.float64).T, lower=True,
                     check_finite=False,
                 ).T.astype(np.float32)
+            if self.health.enabled:
+                self.health.check_output(data, op_name)
 
         self._issue(
             stream,
-            name=panel_name(tag, panel.rows, panel.cols),
+            name=op_name,
             engine=EngineKind.COMPUTE,
             kind=OpKind.PANEL,
             body=body,

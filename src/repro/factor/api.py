@@ -59,6 +59,12 @@ class FactorResult:
         span = self.makespan
         return self.stats.total_flops / span / 1e12 if span > 0 else 0.0
 
+    @property
+    def health(self):
+        """The run's numerical-health report (None when the sentinel is
+        off); see :class:`~repro.health.report.HealthReport`."""
+        return self.info.health
+
     def lower(self) -> np.ndarray:
         """L with unit diagonal (LU) or the Cholesky factor."""
         if self.packed is None:
@@ -120,12 +126,24 @@ def _run(
     if checkpoint is not None and mode != "numeric":
         raise ValidationError("checkpoint= requires mode='numeric'")
 
+    if options.health.enabled and mode != "numeric":
+        raise ValidationError(
+            "health monitoring requires mode='numeric' (probes need real "
+            f"numbers), got mode={mode!r}"
+        )
+
     if mode == "numeric":
         ex = (
             ConcurrentNumericExecutor(config)
             if concurrency == "threads"
             else NumericExecutor(config)
         )
+        if options.health.enabled:
+            from repro.health.sentinel import HealthSentinel
+
+            ex.health = HealthSentinel(
+                options.health, base_format=config.precision.input_format
+            )
     else:
         ex = SimExecutor(config)
 
@@ -139,8 +157,13 @@ def _run(
             ex,
             {"a": host_a},
         )
-    with track(ex) as moved:
-        run_info = drivers[method](ex, host_a, options, checkpoint=session)
+    try:
+        with track(ex) as moved:
+            run_info = drivers[method](ex, host_a, options, checkpoint=session)
+    except BaseException:
+        if mode == "numeric":
+            ex.close()
+        raise
     trace: Trace | None
     if mode == "sim":
         trace = ex.finish()
@@ -151,6 +174,8 @@ def _run(
             if isinstance(ex, ConcurrentNumericExecutor)
             else None
         )
+        if ex.health.enabled:
+            run_info.health = ex.health.finalize()
         ex.close()
     ex.allocator.check_balanced()
     return FactorResult(

@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.errors import ShapeError, ValidationError
+from repro.health.report import HealthReport
 from repro.host.tiled import HostMatrix
 from repro.qr.options import QrOptions
 
@@ -20,6 +21,8 @@ class FactorRunInfo:
     outer_flops: int = 0
     trsm_flops: int = 0
     notes: list[str] = field(default_factory=list)
+    #: Numerical-health report (None when the sentinel is off).
+    health: HealthReport | None = None
 
 
 def check_lu_inputs(a: HostMatrix, options: QrOptions) -> tuple[int, int]:

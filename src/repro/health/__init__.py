@@ -1,0 +1,16 @@
+"""Numerical-health sentinel: runtime probes, adaptive panel escalation,
+typed refusal. See :mod:`repro.health.sentinel` for the design notes and
+``docs/health.md`` for the user guide."""
+
+from repro.health.options import HEALTH_MODES, HealthOptions
+from repro.health.report import Escalation, HealthReport
+from repro.health.sentinel import NULL_SENTINEL, HealthSentinel
+
+__all__ = [
+    "HEALTH_MODES",
+    "HealthOptions",
+    "Escalation",
+    "HealthReport",
+    "HealthSentinel",
+    "NULL_SENTINEL",
+]

@@ -1,0 +1,73 @@
+"""Configuration for the numerical-health sentinel.
+
+``HealthOptions`` is a field of :class:`repro.qr.options.QrOptions`, so it
+rides along everywhere options already go: the checkpoint config
+fingerprint (``run_fingerprint`` hashes every options field), the serve
+cache key, and the CLI. Three modes:
+
+* ``off``      — no probes, zero overhead (the default).
+* ``monitor``  — probes run and populate a :class:`~repro.health.report.
+  HealthReport`, but never change the computation. Non-finite data still
+  raises (silently wrong output is never acceptable).
+* ``escalate`` — probes run AND the escalation ladder reacts per panel:
+  base panel algorithm -> CGS2 reorthogonalization -> TSQR, plus raising
+  the GEMM emulation precision for trailing updates once a panel has
+  escalated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ValidationError
+
+#: Valid sentinel modes.
+HEALTH_MODES = ("off", "monitor", "escalate")
+
+
+@dataclass(frozen=True)
+class HealthOptions:
+    """Knobs for :class:`repro.health.sentinel.HealthSentinel`."""
+
+    #: One of :data:`HEALTH_MODES`.
+    mode: str = "off"
+    #: Sample 1-in-``stride`` h2d transfers / GEMM outputs for NaN/Inf
+    #: scans. 1 scans everything; larger strides cut probe cost.
+    stride: int = 1
+    #: Loss-of-orthogonality above this triggers an escalation (escalate
+    #: mode) or a drift record (monitor mode). Applied to both the local
+    #: panel Gram probe and the cross-panel probe. The default sits an
+    #: order of magnitude above the fp16 input-rounding floor (~2^-11),
+    #: so healthy reduced-precision runs pass while O(kappa^2 u) CGS
+    #: collapse trips it.
+    drift_threshold: float = 1e-2
+    #: Column-norm collapse factor: a panel column whose norm shrinks by
+    #: more than this factor during orthogonalization counts as a
+    #: breakdown candidate (CGS cancellation signature).
+    breakdown_tol: float = 1e-7
+
+    def __post_init__(self) -> None:
+        if self.mode not in HEALTH_MODES:
+            raise ValidationError(
+                f"health mode must be one of {HEALTH_MODES}, got {self.mode!r}"
+            )
+        if not isinstance(self.stride, int) or self.stride < 1:
+            raise ValidationError(
+                f"health stride must be a positive int, got {self.stride!r}"
+            )
+        if not self.drift_threshold > 0.0:
+            raise ValidationError(
+                f"drift_threshold must be positive, got {self.drift_threshold!r}"
+            )
+        if not self.breakdown_tol > 0.0:
+            raise ValidationError(
+                f"breakdown_tol must be positive, got {self.breakdown_tol!r}"
+            )
+
+    @property
+    def enabled(self) -> bool:
+        return self.mode != "off"
+
+    @property
+    def escalating(self) -> bool:
+        return self.mode == "escalate"

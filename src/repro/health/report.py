@@ -1,0 +1,94 @@
+"""Health report: what the sentinel saw during one run.
+
+Attached to :class:`repro.qr.blocking.QrRunInfo` /
+:class:`repro.factor.common.FactorRunInfo`, carried on raised
+:class:`repro.errors.NumericalError` instances, and mirrored into the
+serve metrics registry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+
+
+@dataclass(frozen=True)
+class Escalation:
+    """One recorded escalation decision."""
+
+    #: Driver panel index (or -1 when outside a panel context).
+    panel: int
+    #: What tripped the escalation (``drift``, ``breakdown``,
+    #: ``non-finite-gemm``, ...).
+    trigger: str
+    #: Ladder rung applied (``cgs2-reorth``, ``tsqr-panel``,
+    #: ``gemm-fp32``, ...).
+    action: str
+    #: Measured value that crossed the threshold (drift estimate, norm
+    #: ratio, ...); 0.0 when not applicable.
+    value: float = 0.0
+
+    def describe(self) -> str:
+        return f"panel {self.panel}: {self.trigger} -> {self.action} ({self.value:.3e})"
+
+
+@dataclass
+class HealthReport:
+    """Mutable accumulator the sentinel fills in; frozen-in-spirit once a
+    run completes (drivers hand out the same instance they populated)."""
+
+    mode: str = "off"
+    #: NaN/Inf scans actually executed (post-stride sampling).
+    probes_run: int = 0
+    #: Per-panel probes (drift + breakdown checks).
+    panel_probes: int = 0
+    #: Worst per-panel loss-of-orthogonality estimate seen.
+    worst_drift: float = 0.0
+    #: Panels whose drift exceeded the threshold (monitor mode records
+    #: them; escalate mode also reacts).
+    drift_events: int = 0
+    #: fp16/bf16 quantization overflows (finite value rounded to +/-inf).
+    overflow_count: int = 0
+    #: fp16/bf16 quantization underflows (nonzero value rounded to zero).
+    underflow_count: int = 0
+    #: Every escalation taken, in order.
+    escalations: list[Escalation] = field(default_factory=list)
+    #: GEMM input format forced for trailing updates after an escalation
+    #: (None = never raised).
+    gemm_format_override: str | None = None
+
+    @property
+    def n_escalations(self) -> int:
+        return len(self.escalations)
+
+    def record_escalation(
+        self, panel: int, trigger: str, action: str, value: float = 0.0
+    ) -> Escalation:
+        esc = Escalation(panel=panel, trigger=trigger, action=action, value=value)
+        self.escalations.append(esc)
+        return esc
+
+    def summary(self) -> str:
+        """One-line human summary (CLI prints this next to the checkpoint
+        summary)."""
+        worst = f"{self.worst_drift:.3e}" if self.panel_probes else "n/a"
+        line = (
+            f"health[{self.mode}]: probes={self.probes_run} "
+            f"panel_probes={self.panel_probes} worst_drift={worst} "
+            f"escalations={self.n_escalations}"
+        )
+        if self.overflow_count or self.underflow_count:
+            line += (
+                f" overflow={self.overflow_count}"
+                f" underflow={self.underflow_count}"
+            )
+        if self.escalations:
+            line += f" [{self.escalations[0].describe()}" + (
+                f" +{self.n_escalations - 1} more]" if self.n_escalations > 1 else "]"
+            )
+        return line
+
+    def to_dict(self) -> dict:
+        """JSON-friendly form (serve job results, metrics snapshots)."""
+        d = asdict(self)
+        d["n_escalations"] = self.n_escalations
+        return d

@@ -36,6 +36,8 @@ from repro.execution.hybrid import HybridExecutor
 from repro.execution.concurrent import ConcurrentNumericExecutor
 from repro.execution.numeric import NumericExecutor
 from repro.execution.sim import SimExecutor
+from repro.health.report import HealthReport
+from repro.health.sentinel import HealthSentinel
 from repro.host.tiled import HostMatrix
 from repro.ooc.accounting import MovementReport, track
 from repro.qr.blocking import QrRunInfo, ooc_blocking_qr
@@ -81,6 +83,12 @@ class QrResult:
     def phase_times(self) -> dict[str, float]:
         """Compute time per phase (panel / inner / outer), simulated runs."""
         return self.trace.compute_time_by_tag() if self.trace is not None else {}
+
+    @property
+    def health(self) -> HealthReport | None:
+        """The run's numerical-health report (None when the sentinel is
+        off); see :class:`~repro.health.report.HealthReport`."""
+        return self.info.health
 
 
 def _as_host_matrix(a, element_bytes: int) -> tuple[HostMatrix, bool]:
@@ -198,12 +206,22 @@ def ooc_qr(
     if checkpoint is not None and mode != "numeric":
         raise ValidationError("checkpoint= requires mode='numeric'")
 
+    if options.health.enabled and mode != "numeric":
+        raise ValidationError(
+            "health monitoring requires mode='numeric' (probes need real "
+            f"numbers), got mode={mode!r}"
+        )
+
     if mode == "numeric":
         ex = (
             ConcurrentNumericExecutor(config)
             if concurrency == "threads"
             else NumericExecutor(config)
         )
+        if options.health.enabled:
+            ex.health = HealthSentinel(
+                options.health, base_format=config.precision.input_format
+            )
     elif mode == "sim":
         ex = SimExecutor(config)
     else:
@@ -221,8 +239,15 @@ def ooc_qr(
         )
 
     driver = ooc_recursive_qr if method == "recursive" else ooc_blocking_qr
-    with track(ex) as moved:
-        run_info = driver(ex, host_a, host_r, options, checkpoint=session)
+    try:
+        with track(ex) as moved:
+            run_info = driver(ex, host_a, host_r, options, checkpoint=session)
+    except BaseException:
+        # A typed refusal (NumericalError etc.) must not leak worker
+        # threads; close() is idempotent and a no-op on serial executors.
+        if mode == "numeric":
+            ex.close()
+        raise
 
     trace: Trace | None = None
     if mode in ("sim", "hybrid"):

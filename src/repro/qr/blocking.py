@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 
 from repro.ckpt.session import NULL_CHECKPOINT
 from repro.execution.base import DeviceBuffer, Executor
+from repro.health.report import HealthReport
 from repro.host.tiled import HostMatrix
 from repro.ooc.gradual import uniform_schedule
 from repro.ooc.inner import run_panel_inner
@@ -51,6 +52,8 @@ class QrRunInfo:
     inner_flops: int = 0
     outer_flops: int = 0
     notes: list[str] = field(default_factory=list)
+    #: Numerical-health report (None when the sentinel is off).
+    health: HealthReport | None = None
 
 
 def ooc_blocking_qr(
@@ -82,6 +85,8 @@ def ooc_blocking_qr(
         _blocking_qr_body(ex, a, r, options, m, n, b, info, s, scope,
                           panel_buf, r_tile, ck)
     ex.synchronize()
+    if ex.health.enabled:
+        info.health = ex.health.finalize()
     return info
 
 
@@ -109,7 +114,9 @@ def _blocking_qr_body(ex, a, r, options, m, n, b, info, s, scope,
             # the previous R11 tile must have left before we overwrite it
             ex.wait_event(s.compute, r_free)
 
-        # 2. in-core panel factorization
+        # 2. in-core panel factorization (the sentinel attributes panel
+        # probes to this column range, in issue order)
+        ex.health.note_panel(p, col0, col1)
         ex.panel_qr(panel_view, r_view, s.compute, tag="panel")
         factored = ex.record_event(s.compute)
 
@@ -125,6 +132,9 @@ def _blocking_qr_body(ex, a, r, options, m, n, b, info, s, scope,
 
         if trailing == 0:
             panel_free = q_written
+            if ex.health.enabled:
+                ex.synchronize()
+                ex.health.probe_host_panel(a, r, p, col0, col1)
             ck.step_complete(p, frontier=col1)
             break
 
@@ -213,5 +223,14 @@ def _blocking_qr_body(ex, a, r, options, m, n, b, info, s, scope,
 
         if not options.qr_level_overlap:
             ex.synchronize()
+
+        # Cross-panel orthogonality probe (see HealthSentinel.probe_host_
+        # panel). Needs a quiesced pipeline so host A/R reflect this panel;
+        # monitoring therefore serializes panel boundaries. A reorthogonal-
+        # ized panel only rewrites host state — the trailing update above
+        # already ran, and the probe's exact R bookkeeping keeps A = QR.
+        if ex.health.enabled:
+            ex.synchronize()
+            ex.health.probe_host_panel(a, r, p, col0, col1)
 
         ck.step_complete(p, frontier=col1)

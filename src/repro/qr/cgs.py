@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.errors import ShapeError, ValidationError
+from repro.errors import BreakdownError, NonFiniteError, ShapeError
 
 #: A column whose residual norm shrinks below this multiple of its original
 #: norm is treated as numerically dependent on its predecessors.
@@ -47,8 +47,17 @@ def _check_input(a: np.ndarray, name: str) -> np.ndarray:
 
 
 def _guard_norm(norm: float, ref: float, j: int) -> None:
-    if not np.isfinite(norm) or norm <= RANK_TOL * max(ref, 1.0):
-        raise ValidationError(
+    if not np.isfinite(norm):
+        # A NaN/Inf column must fail here, at the source, instead of
+        # propagating NaNs through the rest of the factorization.
+        raise NonFiniteError(
+            f"column {j} has non-finite residual norm {norm!r}; the input "
+            "contains NaN/Inf or overflowed during orthogonalization"
+        )
+    if norm <= RANK_TOL * max(ref, 1.0):
+        # BreakdownError is also a ValidationError, so existing callers
+        # treating dependent columns as invalid input still catch it.
+        raise BreakdownError(
             f"column {j} is numerically dependent on its predecessors "
             f"(residual norm {norm:.3e}); Gram-Schmidt requires linearly "
             "independent columns"

@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 
 from repro.errors import ValidationError
+from repro.health.options import HealthOptions
 from repro.util.validation import positive_int
 
 
@@ -42,6 +43,10 @@ class QrOptions:
     reuse_inner_result: bool = True
     staging_buffer: bool = True
     gradual_blocksize: bool = False
+    #: Numerical-health sentinel configuration (off by default). Being an
+    #: options field, it is hashed into checkpoint fingerprints and serve
+    #: cache keys automatically.
+    health: HealthOptions = HealthOptions()
 
     def __post_init__(self) -> None:
         positive_int(self.blocksize, "blocksize")
@@ -51,6 +56,10 @@ class QrOptions:
             positive_int(self.tile_blocksize, "tile_blocksize")
         if self.n_buffers < 2:
             raise ValidationError("n_buffers must be at least 2 (double buffering)")
+        if not isinstance(self.health, HealthOptions):
+            raise ValidationError(
+                f"health must be a HealthOptions, got {type(self.health).__name__}"
+            )
 
     @property
     def effective_outer_blocksize(self) -> int:

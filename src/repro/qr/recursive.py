@@ -83,6 +83,8 @@ def ooc_recursive_qr(
         _recursive_qr_body(ex, a, r, options, m, n, b, info, s, scope,
                            panel_buf, r_tile, ck)
     ex.synchronize()
+    if ex.health.enabled:
+        info.health = ex.health.finalize()
     return info
 
 
@@ -119,6 +121,8 @@ def _recursive_qr_body(ex, a, r, options, m, n, b, info, s, scope,
         ex.wait_event(s.compute, loaded)
         if state["r_free"] is not None:
             ex.wait_event(s.compute, state["r_free"])
+        # the sentinel attributes panel probes to this leaf's column range
+        ex.health.note_panel(info.n_panels, col0, col1)
         ex.panel_qr(panel_view, r_view, s.compute, tag="panel")
         factored = ex.record_event(s.compute)
         ex.wait_event(s.d2h, factored)
@@ -130,6 +134,15 @@ def _recursive_qr_body(ex, a, r, options, m, n, b, info, s, scope,
         info.n_panels += 1
         if not options.qr_level_overlap:
             ex.synchronize()
+        # Cross-panel orthogonality probe (quiesces the pipeline). When it
+        # reorthogonalizes the panel on the host, the device copy is stale:
+        # drop panel_holds so the §4.2 panel-resident path reloads Q1.
+        if ex.health.enabled:
+            ex.synchronize()
+            if ex.health.probe_host_panel(
+                a, r, info.n_panels - 1, col0, col1
+            ):
+                state["panel_holds"] = None
         ck.step_complete(step, frontier=col1)
         return panel_view, written
 

@@ -163,6 +163,10 @@ class JobResult:
     #: :class:`~repro.ckpt.CheckpointStats` when the job ran with a
     #: checkpoint directory; None otherwise (including cache hits).
     ckpt: Any | None = None
+    #: :class:`~repro.health.report.HealthReport` when the job ran with
+    #: the numerical-health sentinel enabled (see docs/health.md); None
+    #: otherwise.
+    health: Any | None = None
 
     def freeze(self) -> "JobResult":
         """Mark all result arrays read-only (shared safely via the cache)."""

@@ -42,6 +42,7 @@ from repro.errors import (
     AdmissionError,
     CheckpointError,
     ConfigError,
+    NumericalError,
     OutOfDeviceMemoryError,
     OutOfHostMemoryError,
     PlanError,
@@ -55,6 +56,10 @@ from repro.serve.metrics import MetricsRegistry
 from repro.util.validation import one_of
 
 #: Exception types never worth retrying: the same inputs will fail again.
+#: NumericalError is here because the executors are deterministic — a job
+#: whose data NaN'd or whose escalation ladder was exhausted will do so
+#: identically on every retry; the service quarantines it instead (one
+#: attempt, failure report attached, ``jobs_quarantined`` incremented).
 DETERMINISTIC_ERRORS = (
     ValidationError,
     ShapeError,
@@ -62,6 +67,7 @@ DETERMINISTIC_ERRORS = (
     ConfigError,
     AdmissionError,
     CheckpointError,
+    NumericalError,
     OutOfDeviceMemoryError,
     OutOfHostMemoryError,
 )
@@ -114,7 +120,7 @@ def run_job(spec: JobSpec, config: SystemConfig, concurrency: str) -> JobResult:
         arrays = {} if res.packed is None else {"packed": res.packed}
     return JobResult(
         kind=spec.kind, arrays=arrays, makespan=res.makespan,
-        moved_bytes=res.stats.moved_bytes, ckpt=res.ckpt,
+        moved_bytes=res.stats.moved_bytes, ckpt=res.ckpt, health=res.health,
     )
 
 
@@ -238,6 +244,14 @@ class FactorService:
         self._steps_skipped_c = m.counter(
             "steps_skipped_on_resume", "steps skipped by resumed jobs"
         )
+        self._quarantined_c = m.counter(
+            "jobs_quarantined",
+            "jobs refused by the numerical-health sentinel (poison jobs: "
+            "deterministic failures, one attempt, never retried)",
+        )
+        self._escalations_c = m.counter(
+            "escalations_total", "panel escalations recorded across all jobs"
+        )
 
         self._cv = threading.Condition()
         self._pending: list[_QueueEntry] = []
@@ -288,6 +302,7 @@ class FactorService:
                         kind=cached.kind, arrays=cached.arrays,
                         makespan=cached.makespan,
                         moved_bytes=cached.moved_bytes, cache_hit=True,
+                        health=cached.health,
                     )
                 )
                 return handle
@@ -470,6 +485,14 @@ class FactorService:
                         min(self.backoff_max_s, self.backoff_base_s * 2**attempt)
                     )
                     continue
+                if isinstance(exc, NumericalError):
+                    # poison-job quarantine: the failure is a deterministic
+                    # property of the job's data, so it burned exactly one
+                    # attempt; the sentinel's report rides on the exception
+                    self._quarantined_c.inc()
+                    report = getattr(exc, "report", None)
+                    if report is not None:
+                        self._escalations_c.inc(report.n_escalations)
                 self._failed_c.inc()
                 handle._fail(exc)
                 return
@@ -481,6 +504,8 @@ class FactorService:
                 self._ckpt_bytes_c.inc(result.ckpt.checkpoint_bytes)
                 self._resumes_c.inc(result.ckpt.resumes)
                 self._steps_skipped_c.inc(result.ckpt.steps_skipped)
+            if result.health is not None:
+                self._escalations_c.inc(result.health.n_escalations)
             if result.makespan == 0.0:
                 result.makespan = handle.run_s
             if self.cache is not None and job.cache_key is not None:

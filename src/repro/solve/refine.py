@@ -42,6 +42,11 @@ class RefineResult:
     iterations: int
     residual_history: list[float] = field(default_factory=list)
     converged: bool = False
+    #: True when a residual went non-finite: the factors (or the system)
+    #: are too ill-conditioned for the factor precision, and iterating
+    #: further would only amplify garbage. ``x`` is the last iterate and
+    #: must not be trusted; the history shows where it blew up.
+    diverged: bool = False
     factor_result: object | None = None
 
     @property
@@ -69,10 +74,14 @@ def _refine(
     x = solve_correction(b64)
     history = []
     converged = False
+    diverged = False
     for it in range(max_iters + 1):
         r = b64 - a64 @ x
         rel = float(np.linalg.norm(r)) / norm_b
         history.append(rel)
+        if not np.isfinite(rel):
+            diverged = True  # non-finite residual: stop, don't iterate on it
+            break
         if rel <= tol:
             converged = True
             break
@@ -83,7 +92,7 @@ def _refine(
         x = x + solve_correction(r)
     return RefineResult(
         x=x, iterations=len(history) - 1, residual_history=history,
-        converged=converged,
+        converged=converged, diverged=diverged,
     )
 
 
@@ -129,11 +138,15 @@ def lstsq_ooc(
     x = correction(b64)
     history: list[float] = []
     converged = False
+    diverged = False
     iterations = 0
     for it in range(max_iters + 1):
         r = b64 - a64 @ x
         rel = float(np.linalg.norm(a64.T @ r)) / norm_atb
         history.append(rel)
+        if not np.isfinite(rel):
+            diverged = True  # non-finite residual: stop, don't iterate on it
+            break
         if rel <= max(tol, 1e-14):
             converged = True
             break
@@ -145,6 +158,7 @@ def lstsq_ooc(
         iterations = it + 1
     result = RefineResult(
         x=x, iterations=iterations, residual_history=history, converged=converged,
+        diverged=diverged,
     )
     result.factor_result = qr
     return result

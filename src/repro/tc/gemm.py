@@ -11,7 +11,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import ShapeError
-from repro.tc.precision import round_to
+from repro.tc.precision import QuantStats, round_to
 
 
 def tc_gemm(
@@ -25,6 +25,7 @@ def tc_gemm(
     trans_b: bool = False,
     input_format: str = "fp16",
     out: np.ndarray | None = None,
+    quant_stats: QuantStats | None = None,
 ) -> np.ndarray:
     """Emulated TensorCore GEMM.
 
@@ -45,6 +46,9 @@ def tc_gemm(
         :mod:`repro.tc.split`).
     out
         Optional fp32 output buffer, written in place and returned.
+    quant_stats
+        Optional :class:`~repro.tc.precision.QuantStats` accumulating the
+        input-rounding overflow/underflow counts (health sentinel probes).
 
     Returns
     -------
@@ -64,6 +68,7 @@ def tc_gemm(
             trans_a=trans_a,
             trans_b=trans_b,
             out=out,
+            quant_stats=quant_stats,
         )
     a_op = np.asarray(a).T if trans_a else np.asarray(a)
     b_op = np.asarray(b).T if trans_b else np.asarray(b)
@@ -78,8 +83,8 @@ def tc_gemm(
         )
     m, n = a_op.shape[0], b_op.shape[1]
 
-    a_r = round_to(a_op, input_format)
-    b_r = round_to(b_op, input_format)
+    a_r = round_to(a_op, input_format, quant_stats)
+    b_r = round_to(b_op, input_format, quant_stats)
     # fp32 matmul of the rounded inputs = fp16-in / fp32-accumulate MMA.
     prod = a_r @ b_r
     if alpha != 1.0:

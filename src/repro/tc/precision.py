@@ -29,15 +29,41 @@ UNIT_ROUNDOFF = {
 }
 
 
-def round_fp16(a: np.ndarray) -> np.ndarray:
+class QuantStats:
+    """Counts quantization casualties of the input rounding.
+
+    An *overflow* is a finite fp32 value that rounds to +/-inf in the
+    target format; an *underflow* is a nonzero value that rounds to zero.
+    The health sentinel hangs one of these off every run so the
+    :class:`~repro.health.report.HealthReport` can attribute lost accuracy
+    to range, not just precision.
+    """
+
+    __slots__ = ("overflow", "underflow")
+
+    def __init__(self, overflow: int = 0, underflow: int = 0):
+        self.overflow = int(overflow)
+        self.underflow = int(underflow)
+
+    def count(self, before: np.ndarray, after: np.ndarray) -> None:
+        self.overflow += int(np.count_nonzero(np.isinf(after) & np.isfinite(before)))
+        self.underflow += int(np.count_nonzero((after == 0.0) & (before != 0.0)))
+
+
+def round_fp16(a: np.ndarray, stats: QuantStats | None = None) -> np.ndarray:
     """Round *a* through IEEE fp16 and return it as fp32.
 
     Values beyond the fp16 range overflow to +/-inf exactly as the hardware
     conversion would — callers that need safety must pre-scale (the paper's
-    in-core QR [24] scales columns for the same reason).
+    in-core QR [24] scales columns for the same reason). Pass *stats* to
+    count the overflow/underflow casualties.
     """
+    a32 = np.asarray(a, dtype=np.float32)
     with np.errstate(over="ignore"):
-        return np.asarray(a, dtype=np.float32).astype(np.float16).astype(np.float32)
+        out = a32.astype(np.float16).astype(np.float32)
+    if stats is not None:
+        stats.count(a32, out)
+    return out
 
 
 def _truncate_mantissa(a: np.ndarray, keep_bits: int) -> np.ndarray:
@@ -54,24 +80,32 @@ def _truncate_mantissa(a: np.ndarray, keep_bits: int) -> np.ndarray:
     return rounded.view(np.float32).copy()
 
 
-def round_bf16(a: np.ndarray) -> np.ndarray:
+def round_bf16(a: np.ndarray, stats: QuantStats | None = None) -> np.ndarray:
     """Round *a* to bfloat16 precision (7 mantissa bits), returned as fp32."""
-    return _truncate_mantissa(a, keep_bits=7)
+    a32 = np.asarray(a, dtype=np.float32)
+    out = _truncate_mantissa(a32, keep_bits=7)
+    if stats is not None:
+        stats.count(a32, out)
+    return out
 
 
-def round_tf32(a: np.ndarray) -> np.ndarray:
+def round_tf32(a: np.ndarray, stats: QuantStats | None = None) -> np.ndarray:
     """Round *a* to TF32 precision (10 mantissa bits), returned as fp32."""
-    return _truncate_mantissa(a, keep_bits=10)
+    a32 = np.asarray(a, dtype=np.float32)
+    out = _truncate_mantissa(a32, keep_bits=10)
+    if stats is not None:
+        stats.count(a32, out)
+    return out
 
 
-def round_to(a: np.ndarray, fmt: str) -> np.ndarray:
+def round_to(a: np.ndarray, fmt: str, stats: QuantStats | None = None) -> np.ndarray:
     """Round *a* through input format *fmt* and return fp32."""
     if fmt == "fp16":
-        return round_fp16(a)
+        return round_fp16(a, stats)
     if fmt == "bf16":
-        return round_bf16(a)
+        return round_bf16(a, stats)
     if fmt == "tf32":
-        return round_tf32(a)
+        return round_tf32(a, stats)
     if fmt == "fp32":
         return np.asarray(a, dtype=np.float32)
     raise ValidationError(f"unknown input format {fmt!r}")

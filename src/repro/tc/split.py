@@ -24,17 +24,23 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import ShapeError, ValidationError
-from repro.tc.precision import round_fp16
+from repro.tc.precision import QuantStats, round_fp16
 
 #: Number of TensorCore GEMMs each variant costs.
 SPLIT_TERMS = {1: 1, 3: 3, 4: 4}
 
 
-def split_fp16(a: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+def split_fp16(
+    a: np.ndarray, stats: QuantStats | None = None
+) -> tuple[np.ndarray, np.ndarray]:
     """Split fp32 *a* into (hi, lo) fp16-representable parts, returned as
-    fp32 with ``hi + lo ~= a`` to ~2^-22 relative accuracy."""
+    fp32 with ``hi + lo ~= a`` to ~2^-22 relative accuracy.
+
+    Only the *hi* rounding is counted against *stats*: a hi-part overflow
+    really loses the value, while the lo part underflowing to zero is the
+    expected tail of an exactly-representable input."""
     a32 = np.asarray(a, dtype=np.float32)
-    hi = round_fp16(a32)
+    hi = round_fp16(a32, stats)
     lo = round_fp16(a32 - hi)
     return hi, lo
 
@@ -50,6 +56,7 @@ def split_gemm(
     trans_a: bool = False,
     trans_b: bool = False,
     out: np.ndarray | None = None,
+    quant_stats: QuantStats | None = None,
 ) -> np.ndarray:
     """Emulated precision-split TensorCore GEMM.
 
@@ -67,8 +74,8 @@ def split_gemm(
         )
     m, n = a_op.shape[0], b_op.shape[1]
 
-    a_hi, a_lo = split_fp16(a_op)
-    b_hi, b_lo = split_fp16(b_op)
+    a_hi, a_lo = split_fp16(a_op, quant_stats)
+    b_hi, b_lo = split_fp16(b_op, quant_stats)
     prod = a_hi @ b_hi
     if terms >= 3:
         prod = prod + a_lo @ b_hi + a_hi @ b_lo

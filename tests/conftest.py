@@ -24,6 +24,16 @@ hypothesis_settings.register_profile("dev", deadline=None)
 hypothesis_settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 
 
+@pytest.fixture(autouse=True)
+def strict_fp():
+    """Fail tests that silently generate NaNs: invalid operations and
+    zero-divides raise instead of warning. Overflow/underflow stay
+    permissive — the TensorCore emulation *intentionally* saturates
+    fp16 (that is what the health sentinel's QuantStats counts)."""
+    with np.errstate(invalid="raise", divide="raise"):
+        yield
+
+
 def make_tiny_spec(mem_bytes: int = 1 << 20, name: str = "tiny") -> GpuSpec:
     """A toy GPU: 1 MiB device memory, deliberately slow-ish rates so
     simulated pipelines have interesting (non-degenerate) structure."""
