@@ -52,7 +52,7 @@ rows = []
 for label, cfg, bs in (("32 GB, b=16384", PAPER_SYSTEM, 16384),
                        ("16 GB, b=8192", PAPER_SYSTEM_16GB, 8192)):
     row = [label]
-    for kind, fn in (("QR", ooc_qr), ("LU", ooc_lu), ("Cholesky", ooc_cholesky)):
+    for _kind, fn in (("QR", ooc_qr), ("LU", ooc_lu), ("Cholesky", ooc_cholesky)):
         rec = fn((131072, 131072), method="recursive", mode="sim",
                  config=cfg, blocksize=bs)
         blk = fn((131072, 131072), method="blocking", mode="sim",

@@ -1,0 +1,52 @@
+"""Static analysis: plan verifier and repo lint pack.
+
+Proves OOC pipelines race-free, leak-free, and within the device-memory
+budget *before* they run. :mod:`repro.analysis.capture` records an
+engine's op stream symbolically (no data, no clock);
+:mod:`repro.analysis.verify` runs happens-before hazard analysis,
+allocator lifetime proofs, exact peak-memory accounting, and §3.2
+transfer-volume checks over the captured program;
+:mod:`repro.analysis.engines` sweeps every shipped engine configuration;
+:mod:`repro.analysis.lint` is the AST-based repo lint pack behind
+``tools/lint_repro.py``. See docs/analysis.md.
+"""
+
+from repro.analysis.capture import CapturedProgram, CaptureExecutor, MemEvent
+from repro.analysis.engines import (
+    ENGINE_CAPTURES,
+    capture_cholesky,
+    capture_gemm,
+    capture_job,
+    capture_lu,
+    capture_qr,
+    verify_all_engines,
+    verify_engine,
+)
+from repro.analysis.verify import (
+    VOLUME_SLACK,
+    AnalysisFinding,
+    AnalysisReport,
+    assert_plan_ok,
+    exact_peak_bytes,
+    verify_program,
+)
+
+__all__ = [
+    "ENGINE_CAPTURES",
+    "VOLUME_SLACK",
+    "AnalysisFinding",
+    "AnalysisReport",
+    "CaptureExecutor",
+    "CapturedProgram",
+    "MemEvent",
+    "assert_plan_ok",
+    "capture_cholesky",
+    "capture_gemm",
+    "capture_job",
+    "capture_lu",
+    "capture_qr",
+    "exact_peak_bytes",
+    "verify_all_engines",
+    "verify_engine",
+    "verify_program",
+]

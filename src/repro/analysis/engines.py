@@ -1,0 +1,241 @@
+"""Capture drivers: run every shipped OOC engine symbolically.
+
+Each ``capture_*`` function drives a real engine — the very code the
+numeric and simulated executors run — over shape-only host matrices with a
+:class:`~repro.analysis.capture.CaptureExecutor`, producing a
+:class:`~repro.analysis.capture.CapturedProgram` for the verifier. Because
+the engines plan from ``ex.allocator.free_bytes``, a capture under a given
+config replays exactly the op stream a real run under that config would
+issue.
+
+:data:`ENGINE_CAPTURES` is the registry the CLI sweep and the CI
+``static-analysis`` job iterate: every engine/driver configuration the
+library ships (blocking/recursive QR — including the TSQR panel-algorithm
+config — LU, Cholesky, and both OOC GEMM engines).
+
+:func:`capture_job` maps a serve :class:`~repro.serve.job.JobSpec` onto
+the matching capture so admission can verify a plan before charging it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable
+
+from repro.analysis.capture import CapturedProgram, CaptureExecutor
+from repro.analysis.verify import AnalysisReport, verify_program
+from repro.config import PAPER_SYSTEM, SystemConfig
+from repro.host.tiled import HostMatrix
+from repro.qr.options import QrOptions
+
+
+def _options(b: int, options: QrOptions | None) -> QrOptions:
+    if options is None:
+        return QrOptions(blocksize=b)
+    return replace(options, blocksize=b)
+
+
+def capture_qr(
+    config: SystemConfig,
+    m: int,
+    n: int,
+    b: int,
+    *,
+    method: str = "blocking",
+    options: QrOptions | None = None,
+    label: str | None = None,
+) -> CapturedProgram:
+    """Symbolically capture one OOC QR run (blocking or recursive)."""
+    from repro.qr.blocking import ooc_blocking_qr
+    from repro.qr.recursive import ooc_recursive_qr
+
+    eb = config.element_bytes
+    ex = CaptureExecutor(config, label=label or f"qr-{method} {m}x{n} b={b}")
+    a = HostMatrix.shape_only(m, n, eb, name="A")
+    r = HostMatrix.shape_only(n, n, eb, name="R")
+    driver = ooc_recursive_qr if method == "recursive" else ooc_blocking_qr
+    driver(ex, a, r, _options(b, options))
+    program = ex.finish()
+    program.volume_hint = (method, m, n, min(b, n))
+    return program
+
+
+def capture_lu(
+    config: SystemConfig,
+    n: int,
+    b: int,
+    *,
+    method: str = "blocking",
+    options: QrOptions | None = None,
+) -> CapturedProgram:
+    """Symbolically capture one OOC LU run (square, unpivoted)."""
+    from repro.factor.lu import ooc_blocking_lu, ooc_recursive_lu
+
+    ex = CaptureExecutor(config, label=f"lu-{method} {n}x{n} b={b}")
+    a = HostMatrix.shape_only(n, n, config.element_bytes, name="A")
+    driver = ooc_recursive_lu if method == "recursive" else ooc_blocking_lu
+    driver(ex, a, _options(b, options))
+    program = ex.finish()
+    # LU moves strictly less data per panel step than QR (no Q writeback),
+    # so the §3.2 QR closed forms bound it from above.
+    program.volume_hint = (method, n, n, min(b, n))
+    return program
+
+
+def capture_cholesky(
+    config: SystemConfig,
+    n: int,
+    b: int,
+    *,
+    method: str = "blocking",
+    options: QrOptions | None = None,
+) -> CapturedProgram:
+    """Symbolically capture one OOC Cholesky run (square SPD)."""
+    from repro.factor.cholesky import (
+        ooc_blocking_cholesky,
+        ooc_recursive_cholesky,
+    )
+
+    ex = CaptureExecutor(config, label=f"chol-{method} {n}x{n} b={b}")
+    a = HostMatrix.shape_only(n, n, config.element_bytes, name="A")
+    driver = (
+        ooc_recursive_cholesky if method == "recursive" else ooc_blocking_cholesky
+    )
+    driver(ex, a, _options(b, options))
+    program = ex.finish()
+    # Cholesky touches only the lower triangle — again bounded by QR.
+    program.volume_hint = (method, n, n, min(b, n))
+    return program
+
+
+def capture_gemm(
+    config: SystemConfig,
+    m: int,
+    n: int,
+    k: int,
+    b: int,
+    *,
+    kind: str = "inner",
+    pipelined: bool = True,
+) -> CapturedProgram:
+    """Symbolically capture one OOC GEMM run.
+
+    ``kind="inner"`` is the k-split engine (``C = AᵀB``, Fig 3);
+    ``"outer"`` the row-streaming update engine (``C -= A B``, Fig 5).
+    No §3.2 QR model applies, so the volume pass records a skip.
+    """
+    from repro.ooc.inner import run_ksplit_inner
+    from repro.ooc.outer import run_rowstream_outer
+    from repro.ooc.plan import plan_ksplit_inner, plan_rowstream_outer
+
+    eb = config.element_bytes
+    ex = CaptureExecutor(config, label=f"gemm-{kind} {m}x{n}x{k} b={b}")
+    budget = ex.allocator.free_bytes // eb
+    if kind == "inner":
+        a = HostMatrix.shape_only(k, m, eb, name="A")
+        bm = HostMatrix.shape_only(k, n, eb, name="B")
+        c = HostMatrix.shape_only(m, n, eb, name="C")
+        plan = plan_ksplit_inner(k, m, n, min(b, k), budget)
+        run_ksplit_inner(
+            ex, a.full(), bm.full(), c.full(), plan, pipelined=pipelined
+        )
+    else:
+        a = HostMatrix.shape_only(m, k, eb, name="A")
+        bm = HostMatrix.shape_only(k, n, eb, name="B")
+        c = HostMatrix.shape_only(m, n, eb, name="C")
+        plan = plan_rowstream_outer(m, k, n, min(b, m), budget)
+        run_rowstream_outer(
+            ex, c.full(), a.full(), bm.full(), plan, pipelined=pipelined
+        )
+    return ex.finish()
+
+
+#: Engine registry for the sweep: name -> capture(config, m, n, b).
+#: GEMM entries fold the reduction dimension into m; the TSQR entry runs
+#: the QR drivers under the ``panel_algorithm="tsqr"`` config (same op
+#: stream on device, but a distinct shipped configuration that admission
+#: must be able to verify).
+ENGINE_CAPTURES: dict[
+    str, Callable[[SystemConfig, int, int, int], CapturedProgram]
+] = {
+    "qr-blocking": lambda cfg, m, n, b: capture_qr(cfg, m, n, b, method="blocking"),
+    "qr-recursive": lambda cfg, m, n, b: capture_qr(cfg, m, n, b, method="recursive"),
+    "qr-tsqr": lambda cfg, m, n, b: capture_qr(
+        replace(cfg, panel_algorithm="tsqr"), m, n, b, method="recursive",
+        label=f"qr-tsqr {m}x{n} b={b}",
+    ),
+    "lu-blocking": lambda cfg, m, n, b: capture_lu(cfg, n, b, method="blocking"),
+    "lu-recursive": lambda cfg, m, n, b: capture_lu(cfg, n, b, method="recursive"),
+    "chol-blocking": lambda cfg, m, n, b: capture_cholesky(
+        cfg, n, b, method="blocking"
+    ),
+    "chol-recursive": lambda cfg, m, n, b: capture_cholesky(
+        cfg, n, b, method="recursive"
+    ),
+    "gemm-inner": lambda cfg, m, n, b: capture_gemm(cfg, n, n, m, b, kind="inner"),
+    "gemm-outer": lambda cfg, m, n, b: capture_gemm(cfg, m, n, n, b, kind="outer"),
+}
+
+
+def verify_engine(
+    name: str,
+    config: SystemConfig | None = None,
+    *,
+    m: int = 96,
+    n: int = 64,
+    b: int = 16,
+) -> AnalysisReport:
+    """Capture one registry engine and verify it.
+
+    QR captures assert the ``m*n``-word input floor on top of the §3.2
+    upper bounds (every input element must be loaded at least once).
+    """
+    config = config or PAPER_SYSTEM
+    program = ENGINE_CAPTURES[name](config, m, n, b)
+    floor = None
+    if name.startswith("qr-"):
+        floor = m * n
+    return verify_program(program, input_floor_words=floor)
+
+
+def verify_all_engines(
+    config: SystemConfig | None = None,
+    *,
+    m: int = 96,
+    n: int = 64,
+    b: int = 16,
+) -> dict[str, AnalysisReport]:
+    """Verify every registry engine at one (small) shape."""
+    return {
+        name: verify_engine(name, config, m=m, n=n, b=b)
+        for name in ENGINE_CAPTURES
+    }
+
+
+def capture_job(spec, config: SystemConfig) -> CapturedProgram:
+    """Capture the program a serve job would run under *config*.
+
+    *config* must be the job's capped config (allocator capacity = the
+    admission grant) so the engines shrink their tilings exactly as the
+    real run will.
+    """
+    opts = spec.options
+    shapes = spec.shapes()
+    if spec.kind == "gemm":
+        (r_a, c_a), (_r_b, c_b) = shapes
+        if spec.trans_a:
+            return capture_gemm(
+                config, c_a, c_b, r_a, opts.blocksize,
+                kind="inner", pipelined=opts.pipelined,
+            )
+        return capture_gemm(
+            config, r_a, c_b, c_a, opts.blocksize,
+            kind="outer", pipelined=opts.pipelined,
+        )
+    m, n = shapes[0]
+    b = min(opts.blocksize, n)
+    if spec.kind == "qr":
+        return capture_qr(config, m, n, b, method=spec.method, options=opts)
+    if spec.kind == "lu":
+        return capture_lu(config, n, b, method=spec.method, options=opts)
+    return capture_cholesky(config, n, b, method=spec.method, options=opts)

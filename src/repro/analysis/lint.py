@@ -1,0 +1,240 @@
+"""Repo lint pack: AST rules encoding this codebase's invariants.
+
+Four rules, each guarding a property the test suite and docs rely on but
+ordinary linters cannot express:
+
+``reproerror-raises``
+    Every exception raised inside ``src/repro`` must be a
+    :class:`~repro.errors.ReproError` subclass, so the CLI's single
+    ``except ReproError`` handler (exit code 2) catches everything the
+    library signals. Raising a bare builtin (``ValueError``, ``KeyError``,
+    ...) escapes that contract. ``NotImplementedError``, ``SystemExit``,
+    ``KeyboardInterrupt``, ``StopIteration`` and bare re-raises are allowed.
+
+``precision-outside-tc``
+    Half-precision dtypes (``float16`` / ``bfloat16``) may only appear
+    under ``tc/`` — the emulated-TensorCore layer owns every rounding
+    decision (see :mod:`repro.tc`). A stray ``np.float16`` elsewhere
+    silently degrades a whole pipeline.
+
+``wallclock-in-step-logic``
+    Checkpointed step logic (``qr/``, ``factor/``, ``ckpt/``) must not
+    read the wall clock: resume must be bitwise-identical to the original
+    run, and wall-clock values baked into step state break that.
+    ``time.perf_counter`` / ``time.monotonic`` (pure measurement) are
+    allowed.
+
+``scheduler-bypass``
+    Concurrent paths must route ops through the scheduler: calling an
+    executor's ``._issue`` or touching ``SimOp.deps`` outside
+    ``execution/``, ``sim/`` and ``analysis/`` bypasses the
+    happens-before bookkeeping the race detector and verifier prove
+    things about.
+
+A finding on a given line is waived by a same-line comment
+``# lint: allow[<rule>]``. Run via ``tools/lint_repro.py`` (CI runs it
+next to ruff).
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import tokenize
+from dataclasses import dataclass
+from pathlib import Path
+
+#: Builtin exceptions that may be raised directly anywhere (control flow or
+#: subclass-contract signals, not library errors).
+_ALLOWED_BUILTIN_RAISES = {
+    "NotImplementedError",
+    "SystemExit",
+    "KeyboardInterrupt",
+    "StopIteration",
+    "StopAsyncIteration",
+}
+
+#: Builtin exception names the ``reproerror-raises`` rule recognises.
+_BUILTIN_EXCEPTIONS = {
+    "ArithmeticError", "AssertionError", "AttributeError", "BaseException",
+    "BlockingIOError", "BrokenPipeError", "BufferError", "ChildProcessError",
+    "ConnectionAbortedError", "ConnectionError", "ConnectionRefusedError",
+    "ConnectionResetError", "EOFError", "Exception", "FileExistsError",
+    "FileNotFoundError", "FloatingPointError", "ImportError",
+    "IndentationError", "IndexError", "InterruptedError",
+    "IsADirectoryError", "KeyError", "LookupError", "MemoryError",
+    "ModuleNotFoundError", "NameError", "NotADirectoryError", "OSError",
+    "OverflowError", "PermissionError", "ProcessLookupError",
+    "RecursionError", "ReferenceError", "RuntimeError", "SyntaxError",
+    "SystemError", "TabError", "TimeoutError", "TypeError",
+    "UnboundLocalError", "UnicodeDecodeError", "UnicodeEncodeError",
+    "UnicodeError", "ValueError", "ZeroDivisionError",
+}
+
+#: Wall-clock callables forbidden in checkpointed step logic, as
+#: (object name, attribute) pairs.
+_WALLCLOCK_CALLS = {
+    ("time", "time"),
+    ("time", "time_ns"),
+    ("datetime", "now"),
+    ("datetime", "utcnow"),
+    ("datetime", "today"),
+    ("date", "today"),
+}
+
+#: Directories (relative to ``src/repro``) whose step logic is
+#: checkpointed and must stay clock-free.
+_STEP_LOGIC_DIRS = ("qr", "factor", "ckpt")
+
+#: Directories allowed to call ``._issue`` / touch ``.deps`` directly.
+_SCHEDULER_DIRS = ("execution", "sim", "analysis")
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    """One rule violation at a specific source location."""
+
+    path: str
+    line: int
+    rule: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule}: {self.message}"
+
+
+def _waivers(source: str) -> dict[int, set[str]]:
+    """Map line number -> rules waived by ``# lint: allow[rule]`` comments."""
+    waived: dict[int, set[str]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            text = tok.string
+            marker = "lint: allow["
+            start = text.find(marker)
+            while start != -1:
+                end = text.find("]", start)
+                if end == -1:
+                    break
+                rule = text[start + len(marker) : end].strip()
+                waived.setdefault(tok.start[0], set()).add(rule)
+                start = text.find(marker, end)
+    except tokenize.TokenError:
+        pass
+    return waived
+
+
+def _rel_parts(path: Path, root: Path) -> tuple[str, ...]:
+    try:
+        return path.relative_to(root).parts
+    except ValueError:
+        return path.parts
+
+
+def _raised_name(node: ast.Raise) -> str | None:
+    exc = node.exc
+    if exc is None:
+        return None  # bare re-raise
+    if isinstance(exc, ast.Call):
+        exc = exc.func
+    if isinstance(exc, ast.Name):
+        return exc.id
+    return None
+
+
+def lint_source(source: str, path: str, rel_parts: tuple[str, ...]) -> list[LintFinding]:
+    """Run every applicable rule over one module's source text."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [LintFinding(path, exc.lineno or 1, "parse", str(exc.msg))]
+    waived = _waivers(source)
+    top = rel_parts[0] if rel_parts else ""
+    in_tc = top == "tc"
+    in_step_logic = top in _STEP_LOGIC_DIRS
+    in_scheduler = top in _SCHEDULER_DIRS
+    findings: list[LintFinding] = []
+
+    def report(node: ast.AST, rule: str, message: str) -> None:
+        line = getattr(node, "lineno", 1)
+        if rule in waived.get(line, ()):
+            return
+        findings.append(LintFinding(path, line, rule, message))
+
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Raise):
+            name = _raised_name(node)
+            if (
+                name in _BUILTIN_EXCEPTIONS
+                and name not in _ALLOWED_BUILTIN_RAISES
+            ):
+                report(
+                    node,
+                    "reproerror-raises",
+                    f"raise {name} escapes the ReproError hierarchy; raise a "
+                    f"ReproError subclass (e.g. ValidationError) instead",
+                )
+        elif isinstance(node, ast.Attribute):
+            if not in_tc and node.attr in ("float16", "bfloat16"):
+                report(
+                    node,
+                    "precision-outside-tc",
+                    f"half-precision dtype .{node.attr} outside tc/; all "
+                    f"rounding decisions belong to the TensorCore layer",
+                )
+            if (
+                not in_scheduler
+                and node.attr == "deps"
+                and isinstance(node.ctx, (ast.Store, ast.Del))
+            ):
+                report(
+                    node,
+                    "scheduler-bypass",
+                    "mutating SimOp.deps outside execution/sim/analysis "
+                    "bypasses the scheduler's happens-before bookkeeping",
+                )
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            func = node.func
+            base = func.value
+            base_name = base.id if isinstance(base, ast.Name) else None
+            if (
+                in_step_logic
+                and base_name is not None
+                and (base_name, func.attr) in _WALLCLOCK_CALLS
+            ):
+                report(
+                    node,
+                    "wallclock-in-step-logic",
+                    f"{base_name}.{func.attr}() in checkpointed step logic; "
+                    f"resume must not depend on the wall clock "
+                    f"(perf_counter/monotonic are fine for measurement)",
+                )
+            if not in_scheduler and func.attr == "_issue":
+                report(
+                    node,
+                    "scheduler-bypass",
+                    "direct ._issue() call outside execution/sim/analysis; "
+                    "route ops through the executor's public interface",
+                )
+    return findings
+
+
+def lint_file(path: Path, root: Path) -> list[LintFinding]:
+    """Lint one file under the ``src/repro`` root."""
+    source = path.read_text(encoding="utf-8")
+    return lint_source(source, str(path), _rel_parts(path, root))
+
+
+def lint_tree(root: Path) -> list[LintFinding]:
+    """Lint every ``*.py`` under *root* (normally ``src/repro``).
+
+    Findings come back sorted by path then line so output is stable for
+    CI diffing.
+    """
+    findings: list[LintFinding] = []
+    for path in sorted(root.rglob("*.py")):
+        findings.extend(lint_file(path, root))
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return findings

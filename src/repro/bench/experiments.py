@@ -23,6 +23,7 @@ from repro.bench.workloads import (
     PAPER_SQUARE_SHAPE,
     PAPER_TALL_SHAPE,
 )
+from repro.errors import ValidationError
 from repro.config import PAPER_SYSTEM, PAPER_SYSTEM_16GB, SystemConfig
 from repro.qr.api import QrResult, ooc_qr
 from repro.qr.options import QrOptions
@@ -330,7 +331,7 @@ def exp_gemm_timeline(fig: int, config: SystemConfig = PAPER_SYSTEM) -> Experime
                  config, M=131072, K=8192, N=131072, blocksize=32768)),
     }
     if fig not in specs:
-        raise ValueError(f"figure must be 7..11, got {fig}")
+        raise ValidationError(f"figure must be 7..11, got {fig}")
     title, run = specs[fig]
     metrics = run()
     res = ExperimentResult(f"F{fig}", f"Figure {fig}: {title}")
@@ -386,7 +387,7 @@ def exp_qr_timeline(fig: int) -> ExperimentResult:
         15: ("recursive OOC QR, b=8192, 16 GB cap", "recursive", PAPER_SYSTEM_16GB, 8192),
     }
     if fig not in specs:
-        raise ValueError(f"figure must be 12..15, got {fig}")
+        raise ValidationError(f"figure must be 12..15, got {fig}")
     title, method, config, b = specs[fig]
     result = ooc_qr(
         PAPER_MAIN_SHAPE, method=method, mode="sim", config=config,

@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.bench.concurrency import bench_spec
 from repro.config import SystemConfig
+from repro.errors import ValidationError
 from repro.hw.gemm import Precision
 from repro.qr.options import QrOptions
 from repro.serve.job import JobSpec
@@ -97,7 +98,7 @@ class ServeBenchResult:
         for lv in self.levels:
             if lv.n_workers == n_workers:
                 return lv
-        raise KeyError(f"no level with n_workers={n_workers}")
+        raise ValidationError(f"no level with n_workers={n_workers}")
 
     def speedup(self, n_workers: int) -> float:
         """Serial wall time over the service's (>1 means the service won)."""

@@ -329,7 +329,9 @@ class CheckpointManager:
             "step": int(step),
             "frontier": int(frontier),
             "payload_dir": payload_name,
-            "written_at": time.time(),
+            # Manifest metadata only — never read back into step state, so
+            # it cannot perturb bitwise-identical resume.
+            "written_at": time.time(),  # lint: allow[wallclock-in-step-logic]
             "matrices": entries,
         }
         if extra:

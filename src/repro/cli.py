@@ -7,6 +7,7 @@ Commands
 ``lu``/``chol``   the §6 extension factorizations, simulated or numeric
 ``gemm``          out-of-core GEMM (cuBLASXt-style)
 ``serve-bench``   benchmark the multi-tenant factorization service
+``analyze``       static plan verifier + repo lint pack (docs/analysis.md)
 ``gpus``          list built-in GPU specs and their §3.3 thresholds
 
 Domain failures (bad shapes, unknown GPUs, unplannable configs) exit with
@@ -256,6 +257,27 @@ def main(argv: list[str] | None = None) -> int:
         help="also print the final run's metrics snapshot as JSON",
     )
 
+    p_an = sub.add_parser(
+        "analyze",
+        help="statically verify engine plans and lint the repo "
+        "(race/leak/budget/volume proofs; see docs/analysis.md)",
+    )
+    p_an.add_argument(
+        "--what", choices=["lint", "plans", "all"], default="all",
+        help="run the repo lint pack, the plan verifier sweep, or both",
+    )
+    p_an.add_argument("-m", "--rows", type=int, default=96,
+                      help="capture shape rows (small by design: the "
+                      "proofs are shape-generic per §3.2)")
+    p_an.add_argument("-n", "--cols", type=int, default=64)
+    p_an.add_argument("-b", "--blocksize", type=int, default=16)
+    p_an.add_argument(
+        "--engine", default=None,
+        help="verify one engine from the registry (default: every engine)",
+    )
+    p_an.add_argument("--gpu", default=V100_32GB.name)
+    p_an.add_argument("--memory-gib", type=float, default=None)
+
     sub.add_parser("gpus", help="list built-in GPU specs")
 
     args = parser.parse_args(argv)
@@ -349,7 +371,51 @@ def _dispatch(args) -> int:
     if args.command == "serve-bench":
         return _run_serve_bench(args)
 
+    if args.command == "analyze":
+        return _run_analyze(args)
+
     return _run_factorization(args, args.command)
+
+
+def _run_analyze(args) -> int:
+    from repro.errors import ValidationError
+
+    failures = 0
+    if args.what in ("lint", "all"):
+        from pathlib import Path
+
+        from repro.analysis.lint import lint_tree
+
+        root = Path(__file__).resolve().parent  # src/repro
+        findings = lint_tree(root)
+        for finding in findings:
+            print(finding)
+        verdict = "clean" if not findings else f"{len(findings)} finding(s)"
+        print(f"lint: {verdict} over {root}")
+        failures += len(findings)
+
+    if args.what in ("plans", "all"):
+        from repro.analysis import ENGINE_CAPTURES, verify_engine
+
+        config = _config(args)
+        if args.engine is not None and args.engine not in ENGINE_CAPTURES:
+            raise ValidationError(
+                f"unknown engine {args.engine!r}; available: "
+                f"{', '.join(ENGINE_CAPTURES)}"
+            )
+        names = [args.engine] if args.engine else list(ENGINE_CAPTURES)
+        for name in names:
+            report = verify_engine(
+                name, config, m=args.rows, n=args.cols, b=args.blocksize
+            )
+            print(report.summary())
+            for finding in report.findings:
+                print(f"  {finding}")
+            for skip in report.skipped:
+                print(f"  skipped: {skip}")
+            failures += len(report.findings)
+
+    return 1 if failures else 0
 
 
 def _run_serve_bench(args) -> int:

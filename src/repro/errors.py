@@ -100,6 +100,36 @@ class ExecutionError(ReproError):
     """An executor was driven through an invalid sequence of operations."""
 
 
+class AnalysisError(ReproError):
+    """Static analysis could not run or a lint/verify rule was violated.
+
+    Raised by the :mod:`repro.analysis` subsystem (plan verifier + repo
+    lint pack). Like every :class:`ReproError`, the CLI maps it to a
+    one-line ``error:`` message and exit code 2.
+    """
+
+
+class PlanViolation(AnalysisError):
+    """The plan verifier proved a captured program unsafe.
+
+    Carries the full :class:`~repro.analysis.verify.AnalysisReport` in
+    ``report`` so callers (the serve admission path, tests) can inspect
+    which pass failed and which op is at fault; the message lists the
+    first few findings.
+    """
+
+    def __init__(self, report):
+        self.report = report
+        findings = getattr(report, "findings", [])
+        listing = "; ".join(str(f) for f in findings[:4])
+        more = "" if len(findings) <= 4 else f" (+{len(findings) - 4} more)"
+        label = getattr(report, "label", "") or "plan"
+        super().__init__(
+            f"{label}: {len(findings)} static-analysis violation(s): "
+            f"{listing}{more}"
+        )
+
+
 class CheckpointError(ReproError):
     """A checkpoint could not be trusted or applied (corrupt manifest or
     payload, config fingerprint mismatch, wrong backing storage).

@@ -184,7 +184,7 @@ class Executor(abc.ABC):
     def synchronize(self) -> None:
         """Block until all submitted work completes."""
 
-    def close(self) -> None:
+    def close(self) -> None:  # noqa: B027 - intentional no-op default
         """Release executor resources (worker threads, etc). Idempotent.
 
         The base implementation is a no-op; executors that own background

@@ -50,6 +50,7 @@ from repro.execution.base import DeviceBuffer
 from repro.execution.numeric import NumericExecutor
 from repro.host.tiled import HostRegion
 from repro.sim.ops import EngineKind, OpKind, SimOp
+from repro.util.regions import rects_overlap
 
 #: Per-dependency wait budget. A correct program never hits this (the
 #: dependency graph is acyclic by construction); it exists to fail loudly
@@ -71,7 +72,9 @@ def _regions_conflict(a: HostRegion, b: HostRegion) -> bool:
     """Rectangles of the same host matrix overlap."""
     if a.matrix is not b.matrix:
         return False
-    return a.row0 < b.row1 and b.row0 < a.row1 and a.col0 < b.col1 and b.col0 < a.col1
+    return rects_overlap(
+        (a.row0, a.row1), (a.col0, a.col1), (b.row0, b.row1), (b.col0, b.col1)
+    )
 
 
 class ConcurrentNumericExecutor(NumericExecutor):

@@ -30,6 +30,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+from repro.errors import ValidationError
 from repro.util.validation import check_divisible, positive_int
 
 
@@ -116,7 +117,7 @@ def recursive_h2d_exact(m: int, n: int, b: int) -> int:
     """
     m, n, b, k = _check(m, n, b)
     if k & (k - 1):
-        raise ValueError("recursive model requires k = n/b to be a power of two")
+        raise ValidationError("recursive model requires k = n/b to be a power of two")
     total = m * n  # leaf panel move-ins
     levels = int(math.log2(k))
     for i in range(1, levels + 1):
@@ -131,7 +132,7 @@ def recursive_d2h_exact(m: int, n: int, b: int) -> int:
     (mn), R12 blocks (n^2/2 total over levels) and updated halves."""
     m, n, b, k = _check(m, n, b)
     if k & (k - 1):
-        raise ValueError("recursive model requires k = n/b to be a power of two")
+        raise ValidationError("recursive model requires k = n/b to be a power of two")
     levels = int(math.log2(k))
     return levels * m * n // 2 + n * n // 2
 

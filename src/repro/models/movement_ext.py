@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import math
 
+from repro.errors import ValidationError
 from repro.util.validation import check_divisible, positive_int
 
 
@@ -69,7 +70,7 @@ def recursive_lu_h2d_exact(n: int, b: int) -> int:
     """Worst-case H2D words of recursive OOC LU (k a power of two)."""
     n, b, k = _check(n, b)
     if k & (k - 1):
-        raise ValueError("recursive model requires k = n/b to be a power of two")
+        raise ValidationError("recursive model requires k = n/b to be a power of two")
     total = n * n                    # leaf panel move-ins (packed trapezoids)
     levels = int(math.log2(k))
     for j in range(levels):
@@ -85,7 +86,7 @@ def recursive_lu_d2h_exact(n: int, b: int) -> int:
     """Worst-case D2H words of recursive OOC LU."""
     n, b, k = _check(n, b)
     if k & (k - 1):
-        raise ValueError("recursive model requires k = n/b to be a power of two")
+        raise ValidationError("recursive model requires k = n/b to be a power of two")
     total = n * n                    # leaf panels out
     levels = int(math.log2(k))
     for j in range(levels):
@@ -112,7 +113,7 @@ def recursive_cholesky_h2d_exact(n: int, b: int) -> int:
     """Worst-case H2D words of recursive OOC Cholesky."""
     n, b, k = _check(n, b)
     if k & (k - 1):
-        raise ValueError("recursive model requires k = n/b to be a power of two")
+        raise ValidationError("recursive model requires k = n/b to be a power of two")
     total = 0
     # leaves: panel i spans rows col0..n -> sum of trapezoids = ~n^2/2 + nb/2
     for col0 in range(0, n, b):

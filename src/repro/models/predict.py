@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.config import SystemConfig
+from repro.errors import ValidationError
 from repro.hw.transfer import Direction
 from repro.util.validation import check_divisible, positive_int
 
@@ -218,7 +219,7 @@ def predict(
         return predict_recursive(config, m, n, b)
     if method == "blocking":
         return predict_blocking(config, m, n, b)
-    raise ValueError(f"unknown method {method!r}")
+    raise ValidationError(f"unknown method {method!r}")
 
 
 def predicted_speedup(config: SystemConfig, m: int, n: int, b: int) -> float:

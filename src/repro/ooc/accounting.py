@@ -64,7 +64,9 @@ class _Tracker:
     def __getattr__(self, item):
         report = object.__getattribute__(self, "report")
         if report is None:
-            raise AttributeError(
+            # __getattr__ must raise AttributeError for hasattr/getattr
+            # protocol correctness.
+            raise AttributeError(  # lint: allow[reproerror-raises]
                 "movement report not available until the track() block exits"
             )
         return getattr(report, item)

@@ -24,6 +24,7 @@ from dataclasses import fields
 import numpy as np
 
 from repro.config import SystemConfig
+from repro.errors import ValidationError
 from repro.qr.options import QrOptions
 from repro.serve.job import JobResult, JobSpec
 
@@ -72,7 +73,7 @@ class ResultCache:
 
     def __init__(self, max_entries: int = 128):
         if max_entries < 1:
-            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+            raise ValidationError(f"max_entries must be >= 1, got {max_entries}")
         self.max_entries = max_entries
         self._entries: "OrderedDict[str, JobResult]" = OrderedDict()
         self._lock = threading.Lock()

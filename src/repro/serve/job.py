@@ -182,11 +182,24 @@ class JobHandle:
     threads may block in :meth:`result` / :meth:`wait`.
     """
 
-    def __init__(self, job_id: int, spec: JobSpec, footprint_bytes: int):
+    def __init__(
+        self,
+        job_id: int,
+        spec: JobSpec,
+        footprint_bytes: int,
+        charged_bytes: int | None = None,
+    ):
         self.job_id = job_id
         self.spec = spec
-        #: Device bytes the admission controller charged for this job.
+        #: Device bytes granted to the job — its executor's allocator
+        #: capacity, and what the engines plan their tilings against.
         self.footprint_bytes = footprint_bytes
+        #: Device bytes the admission controller actually charged to the
+        #: budget: the plan verifier's exact peak when verification ran
+        #: (never above the grant), else the grant itself.
+        self.charged_bytes = (
+            footprint_bytes if charged_bytes is None else charged_bytes
+        )
         self.state = JobState.PENDING
         self.attempts = 0
         #: Seconds spent queued before the first dispatch.
@@ -223,7 +236,9 @@ class JobHandle:
         """The job's :class:`JobResult`; re-raises the job's exception on
         failure, :class:`TimeoutError` if it does not retire in time."""
         if not self._done.wait(timeout):
-            raise TimeoutError(
+            # Deliberately the builtin, matching concurrent.futures
+            # semantics callers already handle.
+            raise TimeoutError(  # lint: allow[reproerror-raises]
                 f"job {self.job_id} ({self.spec.label()}) not done after "
                 f"{timeout} s"
             )
@@ -235,7 +250,9 @@ class JobHandle:
     def exception(self, timeout: float | None = None) -> BaseException | None:
         """The job's exception (None on success)."""
         if not self._done.wait(timeout):
-            raise TimeoutError(f"job {self.job_id} not done after {timeout} s")
+            raise TimeoutError(  # lint: allow[reproerror-raises]
+                f"job {self.job_id} not done after {timeout} s"
+            )
         return self._exception
 
     @property

@@ -19,6 +19,8 @@ import threading
 from collections import deque
 from typing import Any
 
+from repro.errors import ValidationError
+
 
 class Counter:
     """Monotonically increasing count."""
@@ -31,7 +33,7 @@ class Counter:
 
     def inc(self, n: int = 1) -> None:
         if n < 0:
-            raise ValueError(f"counter {self.name} cannot decrease (inc {n})")
+            raise ValidationError(f"counter {self.name} cannot decrease (inc {n})")
         with self._lock:
             self._value += n
 
@@ -88,7 +90,7 @@ class Histogram:
 
     def __init__(self, name: str, help: str = "", reservoir: int = 4096):
         if reservoir < 1:
-            raise ValueError(f"reservoir must be >= 1, got {reservoir}")
+            raise ValidationError(f"reservoir must be >= 1, got {reservoir}")
         self.name = name
         self.help = help
         self._count = 0
@@ -125,7 +127,7 @@ class Histogram:
         p50/p99 reading for service latencies.
         """
         if not (0.0 <= q <= 100.0):
-            raise ValueError(f"percentile must be in [0, 100], got {q}")
+            raise ValidationError(f"percentile must be in [0, 100], got {q}")
         with self._lock:
             data = sorted(self._recent)
         if not data:
@@ -161,7 +163,7 @@ class MetricsRegistry:
                 inst = cls(name, help, **kwargs)
                 self._instruments[name] = inst
             elif not isinstance(inst, cls):
-                raise ValueError(
+                raise ValidationError(
                     f"metric {name!r} already registered as "
                     f"{type(inst).__name__}, not {cls.__name__}"
                 )

@@ -40,12 +40,14 @@ from typing import Any, Callable
 from repro.config import PAPER_SYSTEM, SystemConfig
 from repro.errors import (
     AdmissionError,
+    AnalysisError,
     CheckpointError,
     ConfigError,
     NumericalError,
     OutOfDeviceMemoryError,
     OutOfHostMemoryError,
     PlanError,
+    PlanViolation,
     ShapeError,
     ValidationError,
 )
@@ -66,6 +68,7 @@ DETERMINISTIC_ERRORS = (
     PlanError,
     ConfigError,
     AdmissionError,
+    AnalysisError,
     CheckpointError,
     NumericalError,
     OutOfDeviceMemoryError,
@@ -173,6 +176,14 @@ class FactorService:
         to a private one.
     runner
         Replacement for :func:`run_job` (fault injection, test doubles).
+    verify_plans
+        Run the static plan verifier (:mod:`repro.analysis`) at submit
+        time: the job's op stream is captured symbolically under its
+        exact grant, proved race-free / leak-free / within budget, and
+        the verifier's *exact* peak-memory result — not the plan
+        heuristic — is what admission charges. Plans with findings are
+        quarantined with ``AdmissionError("plan-rejected")`` before they
+        ever touch the queue. On by default; see docs/analysis.md.
     """
 
     def __init__(
@@ -189,6 +200,7 @@ class FactorService:
         job_concurrency: str = "serial",
         metrics: MetricsRegistry | None = None,
         runner: Callable[[JobSpec, SystemConfig, str], JobResult] | None = None,
+        verify_plans: bool = True,
     ):
         self.config = config or PAPER_SYSTEM
         if n_workers < 1:
@@ -207,6 +219,7 @@ class FactorService:
         elif cache is False:
             cache = None
         self.cache = cache
+        self.verify_plans = verify_plans
         self.metrics = metrics or MetricsRegistry()
         self.admission = AdmissionController(
             budget_bytes=(
@@ -252,6 +265,14 @@ class FactorService:
         self._escalations_c = m.counter(
             "escalations_total", "panel escalations recorded across all jobs"
         )
+        self._plans_verified_c = m.counter(
+            "plans_verified", "submissions whose plan the verifier proved clean"
+        )
+        self._plans_rejected_c = m.counter(
+            "plans_rejected",
+            "submissions quarantined because the static plan verifier "
+            "found violations (race, leak, over-budget peak, ...)",
+        )
 
         self._cv = threading.Condition()
         self._pending: list[_QueueEntry] = []
@@ -282,12 +303,39 @@ class FactorService:
         the service's result bit for bit."""
         return self._capped_config(estimate_footprint_bytes(spec, self.config))
 
+    def verify_job(self, spec: JobSpec):
+        """Statically verify the plan *spec* would run under its grant.
+
+        Captures the job's op stream symbolically (no data, no clock)
+        under the same capped config :meth:`job_config` returns and runs
+        every verifier pass against the grant as the budget. Returns the
+        :class:`~repro.analysis.verify.AnalysisReport`; raises
+        :class:`~repro.errors.AdmissionError` (``job-unplannable``) when
+        the engines cannot even plan inside the grant.
+        """
+        return self._verify_plan(spec, estimate_footprint_bytes(spec, self.config))
+
+    def _verify_plan(self, spec: JobSpec, footprint: int):
+        from repro.analysis import capture_job, verify_program
+
+        try:
+            program = capture_job(spec, self._capped_config(footprint))
+        except PlanError as exc:
+            raise AdmissionError(
+                "job-unplannable",
+                f"{spec.label()} cannot be planned inside its "
+                f"{footprint}-byte grant: {exc}",
+            ) from exc
+        return verify_program(program, budget_bytes=footprint)
+
     def submit(self, spec: JobSpec) -> JobHandle:
         """Admit one job; returns its future-like handle.
 
         Raises :class:`~repro.errors.AdmissionError` (with a ``reason``
         tag) when the job can never fit the budget, the queue is
-        saturated, or the service is closed.
+        saturated, the service is closed, or (``verify_plans``) the
+        static plan verifier proves the job's op stream unsafe
+        (``plan-rejected``).
         """
         footprint = estimate_footprint_bytes(spec, self.config)
         key = None
@@ -308,16 +356,41 @@ class FactorService:
                 return handle
             self._cache_misses_c.inc()
 
+        # Static plan verification happens outside the scheduler lock: the
+        # capture is pure (no data, no clock, no shared state).
+        charge = footprint
+        if self.verify_plans:
+            try:
+                report = self._verify_plan(spec, footprint)
+            except AdmissionError:
+                self._rejected_c.inc()
+                raise
+            if report.findings:
+                self._plans_rejected_c.inc()
+                self._rejected_c.inc()
+                violation = PlanViolation(report)
+                raise AdmissionError("plan-rejected", str(violation)) from violation
+            self._plans_verified_c.inc()
+            # Charge the verifier's exact peak, not the plan heuristic.
+            # The grant (allocator capacity the job runs under) stays at
+            # the heuristic footprint so the engines plan identically; a
+            # clean report proves the run never exceeds ``peak_bytes`` of
+            # that grant, so that is all the budget it needs to hold. An
+            # explicit ``spec.device_memory`` is a deliberate reservation
+            # (headroom the caller asked to hold) and is charged as-is.
+            if spec.device_memory is None:
+                charge = max(report.peak_bytes, 1)
+
         with self._cv:
             if self._closed:
                 self._rejected_c.inc()
                 raise AdmissionError("service-closed", "submit after close()")
             try:
-                self.admission.check_submittable(footprint, spec.label())
+                self.admission.check_submittable(charge, spec.label())
             except AdmissionError:
                 self._rejected_c.inc()
                 raise
-            handle = JobHandle(next(self._seq), spec, footprint)
+            handle = JobHandle(next(self._seq), spec, footprint, charged_bytes=charge)
             job = _Job(
                 spec=spec, handle=handle, cache_key=key,
                 submitted_at=time.perf_counter(),
@@ -399,7 +472,7 @@ class FactorService:
         picked: _Job | None = None
         while self._pending:
             entry = heapq.heappop(self._pending)
-            if self.admission.fits(entry.job.handle.footprint_bytes):
+            if self.admission.fits(entry.job.handle.charged_bytes):
                 picked = entry.job
                 break
             skipped.append(entry)
@@ -436,7 +509,7 @@ class FactorService:
                     return
                 assert job is not None
                 self.admission.acquire(
-                    job.handle.job_id, job.handle.footprint_bytes
+                    job.handle.job_id, job.handle.charged_bytes
                 )
                 self._free_workers -= 1
                 self._active += 1

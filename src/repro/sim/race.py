@@ -15,9 +15,11 @@ suite runs every engine under the detector.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 from repro.sim.ops import SimOp
 from repro.sim.trace import Trace
+from repro.util.regions import rects_overlap
 
 #: Access record: (buffer_handle, row0, row1, col0, col1, is_write)
 Access = tuple[int, int, int, int, int, bool]
@@ -41,19 +43,24 @@ class Race:
 def _overlap(a: Access, b: Access) -> bool:
     if a[0] != b[0] or not (a[5] or b[5]):
         return False
-    return a[1] < b[2] and b[1] < a[2] and a[3] < b[4] and b[3] < a[4]
+    return rects_overlap((a[1], a[2]), (a[3], a[4]), (b[1], b[2]), (b[3], b[4]))
 
 
-def detect_races(trace: Trace) -> list[Race]:
-    """All unordered conflicting op pairs in *trace*.
+def find_hazards(ops: Sequence[SimOp]) -> list[Race]:
+    """All unordered conflicting op pairs in an issue-ordered op list.
 
-    Ops carry their device accesses in ``tags["accesses"]`` (populated by
-    :class:`~repro.execution.sim.SimExecutor`); ops without access records
-    are ignored. Happens-before is the transitive closure of the recorded
-    dependency edges (stream FIFO + events), computed over the schedule
-    order with bitsets.
+    The static core shared by the dynamic detector (:func:`detect_races`,
+    which feeds it schedule-ordered trace ops) and the plan verifier
+    (:mod:`repro.analysis.verify`, which feeds it a captured program that
+    was never executed). *ops* must be topologically ordered — every
+    dependency precedes its dependent — which both issue order and
+    schedule order guarantee.
+
+    Ops carry their device accesses in ``tags["accesses"]``; ops without
+    access records are ignored. Happens-before is the transitive closure
+    of the recorded dependency edges (stream FIFO + events), computed with
+    bitsets over the given order.
     """
-    ops = sorted(trace.ops, key=lambda op: (op.start, op.op_id))
     index = {op: i for i, op in enumerate(ops)}
     n = len(ops)
     # reach[i] = bitmask of ops that happen-before op i (including i)
@@ -82,11 +89,23 @@ def detect_races(trace: Trace) -> list[Race]:
     return races
 
 
+def detect_races(trace: Trace) -> list[Race]:
+    """All unordered conflicting op pairs in *trace*.
+
+    Sorts the trace into schedule order (a topological order of the
+    dependency DAG, since an op cannot start before its dependencies end)
+    and delegates to :func:`find_hazards`.
+    """
+    return find_hazards(sorted(trace.ops, key=lambda op: (op.start, op.op_id)))
+
+
 def assert_race_free(trace: Trace) -> None:
     """Raise :class:`AssertionError` listing any detected races."""
     races = detect_races(trace)
     if races:
         listing = "\n  ".join(str(r) for r in races[:10])
-        raise AssertionError(
+        # AssertionError (not a ReproError) is this helper's documented
+        # contract: it is a test-suite assertion, not a library failure.
+        raise AssertionError(  # lint: allow[reproerror-raises]
             f"{len(races)} data race(s) in stream program:\n  {listing}"
         )

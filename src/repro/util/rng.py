@@ -8,6 +8,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.errors import ValidationError
+
 DEFAULT_SEED = 0x5EED
 
 
@@ -24,5 +26,5 @@ def spawn(rng: np.random.Generator, n: int) -> list[np.random.Generator]:
     """Derive *n* independent child generators from *rng* (for parallel
     workload generation with stable per-worker streams)."""
     if n < 0:
-        raise ValueError(f"n must be non-negative, got {n}")
+        raise ValidationError(f"n must be non-negative, got {n}")
     return [np.random.default_rng(s) for s in rng.bit_generator.seed_seq.spawn(n)]

@@ -9,6 +9,8 @@ from __future__ import annotations
 
 from typing import Sequence
 
+from repro.errors import ValidationError
+
 
 def render_table(
     headers: Sequence[str],
@@ -27,13 +29,13 @@ def render_table(
     str_rows = [[str(c) for c in row] for row in rows]
     for i, row in enumerate(str_rows):
         if len(row) != len(headers):
-            raise ValueError(
+            raise ValidationError(
                 f"row {i} has {len(row)} cells, expected {len(headers)}"
             )
     if align is None:
         align = ["l"] + ["r"] * (len(headers) - 1)
     if len(align) != len(headers):
-        raise ValueError("align length must match headers length")
+        raise ValidationError("align length must match headers length")
 
     widths = [len(h) for h in headers]
     for row in str_rows:

@@ -1,0 +1,120 @@
+"""Tests for the AST repo lint pack (`repro.analysis.lint`)."""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+from repro.analysis.lint import lint_source, lint_tree
+
+SRC_ROOT = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+
+def rules(source: str, parts: tuple[str, ...] = ("serve", "x.py")) -> list[str]:
+    src = textwrap.dedent(source)
+    return [f.rule for f in lint_source(src, "x.py", parts)]
+
+
+class TestReproErrorRaises:
+    def test_builtin_raise_flagged(self):
+        assert rules("raise ValueError('bad shape')") == ["reproerror-raises"]
+        assert rules("raise KeyError(name)") == ["reproerror-raises"]
+
+    def test_repro_error_subclass_clean(self):
+        assert rules("raise ValidationError('bad shape')") == []
+        assert rules("raise PlanViolation(report)") == []
+
+    def test_control_flow_builtins_allowed(self):
+        assert rules("raise NotImplementedError") == []
+        assert rules("raise StopIteration") == []
+        assert rules("raise SystemExit(2)") == []
+
+    def test_bare_reraise_allowed(self):
+        src = """
+        try:
+            f()
+        except Exception:
+            raise
+        """
+        assert rules(src) == []
+
+    def test_finding_suggests_the_fix(self):
+        (finding,) = lint_source("raise TypeError('x')", "x.py", ("serve",))
+        assert "ReproError" in finding.message
+        assert finding.line == 1
+
+
+class TestPrecisionOutsideTc:
+    def test_half_precision_flagged_outside_tc(self):
+        assert rules("x = np.float16(1.0)") == ["precision-outside-tc"]
+        assert rules("dt = ml_dtypes.bfloat16") == ["precision-outside-tc"]
+
+    def test_allowed_inside_tc(self):
+        assert rules("x = np.float16(1.0)", parts=("tc", "precision.py")) == []
+
+    def test_full_precision_clean(self):
+        assert rules("x = np.float32(1.0); y = np.float64(2.0)") == []
+
+
+class TestWallclockInStepLogic:
+    def test_wallclock_flagged_in_checkpointed_dirs(self):
+        for parts in (("qr", "x.py"), ("factor", "x.py"), ("ckpt", "x.py")):
+            assert rules("t = time.time()", parts=parts) == [
+                "wallclock-in-step-logic"
+            ], parts
+        assert rules("ts = datetime.now()", parts=("qr", "x.py")) == [
+            "wallclock-in-step-logic"
+        ]
+
+    def test_measurement_clocks_allowed(self):
+        assert rules("t = time.perf_counter()", parts=("qr", "x.py")) == []
+        assert rules("t = time.monotonic()", parts=("ckpt", "x.py")) == []
+
+    def test_wallclock_fine_outside_step_logic(self):
+        assert rules("t = time.time()", parts=("serve", "x.py")) == []
+
+
+class TestSchedulerBypass:
+    def test_issue_call_flagged_outside_scheduler_dirs(self):
+        assert rules("ex._issue(op)") == ["scheduler-bypass"]
+
+    def test_deps_mutation_flagged(self):
+        assert rules("op.deps = []") == ["scheduler-bypass"]
+        assert rules("del op.deps") == ["scheduler-bypass"]
+
+    def test_deps_read_clean(self):
+        assert rules("for d in op.deps: visit(d)") == []
+
+    def test_scheduler_dirs_exempt(self):
+        for parts in (("execution", "x.py"), ("sim", "x.py"), ("analysis", "x.py")):
+            assert rules("ex._issue(op)", parts=parts) == [], parts
+            assert rules("op.deps = []", parts=parts) == [], parts
+
+
+class TestWaivers:
+    def test_same_line_waiver_suppresses(self):
+        src = "raise ValueError('x')  # lint: allow[reproerror-raises]"
+        assert rules(src) == []
+
+    def test_waiver_is_rule_specific(self):
+        src = "raise ValueError('x')  # lint: allow[precision-outside-tc]"
+        assert rules(src) == ["reproerror-raises"]
+
+    def test_waiver_on_other_line_does_not_apply(self):
+        src = "# lint: allow[reproerror-raises]\nraise ValueError('x')"
+        assert rules(src) == ["reproerror-raises"]
+
+
+class TestDriver:
+    def test_syntax_error_reported_not_raised(self):
+        findings = lint_source("def broken(:", "x.py", ("serve",))
+        assert [f.rule for f in findings] == ["parse"]
+
+    def test_finding_str_is_clickable(self):
+        (finding,) = lint_source("raise ValueError('x')", "mod.py", ("serve",))
+        assert str(finding).startswith("mod.py:1: reproerror-raises:")
+
+    def test_whole_repo_is_lint_clean(self):
+        # the invariant CI enforces: src/repro carries zero findings
+        findings = lint_tree(SRC_ROOT)
+        assert findings == [], "\n".join(str(f) for f in findings)

@@ -1,0 +1,237 @@
+"""Mutation tests for the static plan verifier.
+
+Every shipped engine must verify clean; to prove that clean verdict is
+falsifiable, wrapper executors seed one deliberate bug each into a real
+engine run — a dropped cross-stream wait, a skipped free, a premature
+free with continued use, a duplicated H2D — and the verifier must flag
+exactly the seeded defect class, naming the offending op or buffer.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.analysis import (
+    ENGINE_CAPTURES,
+    CaptureExecutor,
+    verify_all_engines,
+    verify_engine,
+    verify_program,
+)
+from repro.config import PAPER_SYSTEM
+from repro.host.tiled import HostMatrix
+from repro.qr.blocking import ooc_blocking_qr
+from repro.qr.options import QrOptions
+
+M, N, B = 96, 64, 16
+EB = PAPER_SYSTEM.element_bytes
+
+
+def capture_blocking_qr(ex):
+    """Drive the real blocking-QR engine through *ex* at the test shape."""
+    a = HostMatrix.shape_only(M, N, EB, name="A")
+    r = HostMatrix.shape_only(N, N, EB, name="R")
+    ooc_blocking_qr(ex, a, r, QrOptions(blocksize=B))
+    program = ex.finish()
+    program.volume_hint = ("blocking", M, N, B)
+    return program
+
+
+def rule_counts(report):
+    return Counter(f.rule for f in report.findings)
+
+
+# -- every shipped engine is clean --------------------------------------------------
+
+
+class TestShippedEnginesClean:
+    @pytest.mark.parametrize("name", sorted(ENGINE_CAPTURES))
+    def test_engine_verifies_clean(self, name):
+        report = verify_engine(name)
+        assert report.ok, report.summary() + "\n" + "\n".join(
+            str(f) for f in report.findings
+        )
+        assert report.n_ops > 0
+        assert report.peak_bytes > 0
+        assert report.peak_bytes <= report.budget_bytes
+
+    def test_sweep_covers_whole_registry(self):
+        reports = verify_all_engines()
+        assert set(reports) == set(ENGINE_CAPTURES)
+        assert all(r.ok for r in reports.values())
+
+    def test_qr_volumes_within_model(self):
+        # captured volume sits at or below the §3.2 no-reuse worst case
+        # (x the documented slack) and above the every-element-once floor
+        report = verify_engine("qr-blocking")
+        assert report.volume_model == "blocking"
+        assert 0 < report.h2d_bytes <= 1.25 * report.model_h2d_bytes
+        assert report.h2d_bytes >= M * N * EB
+
+    def test_gemm_has_no_volume_model(self):
+        report = verify_engine("gemm-inner")
+        assert report.ok
+        assert report.volume_model == ""
+        assert any("no closed-form" in s for s in report.skipped)
+
+    def test_non_power_of_two_recursion_skips_model(self):
+        # k = 3 panels: the recursive closed form does not apply; the pass
+        # must record a skip, never silently pass or fail
+        report = verify_engine("qr-recursive", m=96, n=48, b=16)
+        assert report.ok
+        assert any("power-of-two" in s for s in report.skipped)
+
+
+# -- mutation: dropped event (race) -------------------------------------------------
+
+
+class DropWaits(CaptureExecutor):
+    """Seeded bug: every cross-stream wait is forgotten."""
+
+    def wait_event(self, stream, event):
+        pass
+
+
+class TestDroppedEvent:
+    def test_flagged_as_race_and_nothing_else(self):
+        report = verify_program(
+            capture_blocking_qr(DropWaits(PAPER_SYSTEM, label="drop-waits")),
+            input_floor_words=M * N,
+        )
+        counts = rule_counts(report)
+        assert set(counts) == {"race"}
+        assert counts["race"] > 0
+
+    def test_finding_names_the_unordered_ops(self):
+        report = verify_program(
+            capture_blocking_qr(DropWaits(PAPER_SYSTEM, label="drop-waits"))
+        )
+        first = report.findings[0]
+        assert first.op  # the second op of the unordered pair
+        assert "unordered" in first.message
+
+
+# -- mutation: missing free (leak) --------------------------------------------------
+
+
+class SkipFirstFree(CaptureExecutor):
+    """Seeded bug: the first freed buffer is never actually freed."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.skipped = None
+
+    def free(self, buf):
+        if self.skipped is None:
+            self.skipped = buf.name
+            return
+        super().free(buf)
+
+
+class TestMissingFree:
+    def test_flagged_as_exactly_one_leak(self):
+        ex = SkipFirstFree(PAPER_SYSTEM, label="skip-free")
+        report = verify_program(capture_blocking_qr(ex), input_floor_words=M * N)
+        counts = rule_counts(report)
+        assert counts == Counter({"leak": 1})
+
+    def test_finding_names_the_leaked_buffer(self):
+        ex = SkipFirstFree(PAPER_SYSTEM, label="skip-free")
+        report = verify_program(capture_blocking_qr(ex))
+        (finding,) = report.findings
+        assert finding.op == ex.skipped
+        assert ex.skipped in finding.message
+
+
+# -- mutation: premature buffer reuse (use-after-free + double-free) ---------------
+
+
+class FreeEarly(CaptureExecutor):
+    """Seeded bug: the first H2D destination is freed immediately after the
+    copy, while the engine keeps using (and eventually re-freeing) it."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.target = None
+
+    def h2d(self, dst, src, stream):
+        super().h2d(dst, src, stream)
+        if self.target is None:
+            buf = dst if hasattr(dst, "payload") else dst.buffer
+            self.target = buf.name
+            self.allocator.free(buf.payload["allocation"])
+
+
+class TestPrematureReuse:
+    def test_flagged_as_use_after_free_and_double_free_only(self):
+        ex = FreeEarly(PAPER_SYSTEM, label="free-early")
+        report = verify_program(capture_blocking_qr(ex), input_floor_words=M * N)
+        counts = rule_counts(report)
+        assert set(counts) == {"use-after-free", "double-free"}
+        assert counts["use-after-free"] > 0
+        assert counts["double-free"] == 1  # the engine's own (late) free
+
+    def test_findings_name_the_reused_buffer(self):
+        ex = FreeEarly(PAPER_SYSTEM, label="free-early")
+        report = verify_program(capture_blocking_qr(ex))
+        uaf = [f for f in report.findings if f.rule == "use-after-free"]
+        assert all(ex.target in f.message for f in uaf)
+        (dbl,) = [f for f in report.findings if f.rule == "double-free"]
+        assert ex.target in dbl.message
+
+
+# -- mutation: extra redundant H2D --------------------------------------------------
+
+
+class DupFirstH2d(CaptureExecutor):
+    """Seeded bug: the first H2D is issued twice, back to back."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._dup_done = False
+
+    def h2d(self, dst, src, stream):
+        super().h2d(dst, src, stream)
+        if not self._dup_done:
+            self._dup_done = True
+            super().h2d(dst, src, stream)
+
+
+class TestRedundantTransfer:
+    def test_flagged_as_exactly_one_redundant_h2d(self):
+        ex = DupFirstH2d(PAPER_SYSTEM, label="dup-h2d")
+        report = verify_program(capture_blocking_qr(ex), input_floor_words=M * N)
+        counts = rule_counts(report)
+        assert counts == Counter({"redundant-h2d": 1})
+
+    def test_finding_points_at_the_duplicate(self):
+        ex = DupFirstH2d(PAPER_SYSTEM, label="dup-h2d")
+        report = verify_program(capture_blocking_qr(ex))
+        (finding,) = report.findings
+        assert "re-moves" in finding.message
+        assert finding.op.startswith("h2d")
+
+
+# -- budget: exact peak vs a tight budget -------------------------------------------
+
+
+class TestBudget:
+    def test_over_budget_names_crossing_allocation(self):
+        program = capture_blocking_qr(CaptureExecutor(PAPER_SYSTEM, label="qr"))
+        clean = verify_program(program)
+        assert clean.ok and clean.peak_bytes > 0
+        tight = verify_program(program, budget_bytes=clean.peak_bytes - 1)
+        counts = rule_counts(tight)
+        assert counts == Counter({"peak-over-budget": 1})
+        (finding,) = tight.findings
+        assert finding.op  # the allocation that first crossed the budget
+        assert str(clean.peak_bytes) in finding.message
+
+    def test_exact_peak_is_a_tight_bound(self):
+        # budget == peak must pass: the peak is exact, not padded
+        program = capture_blocking_qr(CaptureExecutor(PAPER_SYSTEM, label="qr"))
+        clean = verify_program(program)
+        at_peak = verify_program(program, budget_bytes=clean.peak_bytes)
+        assert at_peak.ok

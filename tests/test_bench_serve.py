@@ -9,6 +9,7 @@ import os
 import pytest
 
 from repro.bench.serve import ServeBenchResult, bench_serve, synthetic_workload
+from repro.errors import ValidationError
 
 
 class TestSyntheticWorkload:
@@ -35,7 +36,7 @@ class TestBenchServe:
         assert res.speedup(2) > 0
         out = res.render()
         assert "serial" in out and "workers=2" in out
-        with pytest.raises(KeyError):
+        with pytest.raises(ValidationError):
             res.level(99)
 
     @pytest.mark.skipif(

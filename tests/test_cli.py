@@ -119,3 +119,42 @@ class TestExperiments:
         rc = main(["experiments", "F8"])
         assert rc == 0
         assert "legend:" in capsys.readouterr().out
+
+
+class TestAnalyze:
+    def test_full_sweep_clean(self, capsys):
+        assert main(["analyze"]) == 0
+        out = capsys.readouterr().out
+        assert "lint: clean" in out
+        # every registry engine reports a clean one-liner
+        for name in ("qr-blocking", "qr-recursive", "qr-tsqr", "lu-blocking",
+                     "chol-recursive", "gemm-inner", "gemm-outer"):
+            assert name in out
+        assert "violation" not in out
+
+    def test_single_engine_custom_shape(self, capsys):
+        rc = main(["analyze", "--what", "plans", "--engine", "qr-recursive",
+                   "-m", "128", "-n", "64", "-b", "8"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "qr-recursive 128x64 b=8: clean" in out
+        assert "lint:" not in out  # --what plans skips the lint pack
+
+    def test_lint_only(self, capsys):
+        assert main(["analyze", "--what", "lint"]) == 0
+        out = capsys.readouterr().out
+        assert "lint: clean" in out
+        assert "peak" not in out
+
+    def test_memory_cap_still_verifies(self, capsys):
+        rc = main(["analyze", "--what", "plans", "--engine", "qr-blocking",
+                   "--memory-gib", "0.001"])
+        assert rc == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_unknown_engine_exits_2(self, capsys):
+        rc = main(["analyze", "--what", "plans", "--engine", "qr-quantum"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "unknown engine" in err
+        assert "qr-blocking" in err  # lists what is available

@@ -48,3 +48,49 @@ class TestHierarchy:
     def test_single_catch_all(self):
         with pytest.raises(errors.ReproError):
             raise errors.PlanError("nope")
+
+
+class _FakeFinding:
+    def __init__(self, i):
+        self.text = f"finding-{i}"
+
+    def __str__(self):
+        return self.text
+
+
+class _FakeReport:
+    def __init__(self, n):
+        self.label = "qr-blocking 96x64"
+        self.findings = [_FakeFinding(i) for i in range(n)]
+
+
+class TestAnalysisErrors:
+    def test_hierarchy(self):
+        assert issubclass(errors.AnalysisError, errors.ReproError)
+        assert issubclass(errors.PlanViolation, errors.AnalysisError)
+
+    def test_plan_violation_carries_report(self):
+        report = _FakeReport(2)
+        err = errors.PlanViolation(report)
+        assert err.report is report
+        assert "qr-blocking 96x64" in str(err)
+        assert "2 static-analysis violation(s)" in str(err)
+        assert "finding-0" in str(err)
+
+    def test_plan_violation_truncates_long_listings(self):
+        err = errors.PlanViolation(_FakeReport(7))
+        assert "finding-3" in str(err)
+        assert "finding-4" not in str(err)
+        assert "+3 more" in str(err)
+
+    def test_analysis_error_exits_2_from_cli(self, monkeypatch, capsys):
+        import repro.cli as cli
+
+        def boom(args):
+            raise errors.PlanViolation(_FakeReport(1))
+
+        monkeypatch.setattr(cli, "_run_analyze", boom)
+        assert cli.main(["analyze"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "static-analysis violation" in err

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.errors import ValidationError
 from repro.models.movement import (
     blocking_d2h_exact,
     blocking_d2h_words,
@@ -88,7 +89,7 @@ class TestScalingClaims:
 
 class TestValidation:
     def test_requires_divisible(self):
-        with pytest.raises(Exception):
+        with pytest.raises(ValidationError):
             blocking_h2d_words(100, 100, 7)
 
     def test_recursive_exact_requires_power_of_two(self):

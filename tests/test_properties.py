@@ -184,7 +184,7 @@ class TestIntervalProperties:
     def test_merge_idempotent_and_disjoint(self, a):
         merged = _merge_intervals(a)
         assert merged == _merge_intervals(merged)
-        for (s1, e1), (s2, e2) in zip(merged, merged[1:]):
+        for (_s1, e1), (s2, _e2) in zip(merged, merged[1:]):
             assert e1 < s2  # strictly disjoint and sorted
 
     @given(a=intervals, b=intervals)

@@ -24,7 +24,13 @@ from repro.hw.gemm import Precision
 from repro.ooc.api import ooc_gemm
 from repro.qr.api import ooc_qr
 from repro.qr.options import QrOptions
-from repro.serve import FactorService, JobSpec, JobState, run_job
+from repro.serve import (
+    FactorService,
+    JobSpec,
+    JobState,
+    estimate_footprint_bytes,
+    run_job,
+)
 from repro.util.rng import default_rng
 
 from tests.conftest import make_tiny_spec
@@ -377,3 +383,97 @@ class TestServiceMisc:
         with FactorService(config) as svc:
             svc.submit(JobSpec("qr", (a,), options=OPTS)).result(timeout=60)
         assert np.array_equal(a, before)
+
+
+class TestPlanVerification:
+    """Static plan verification at submit (verify_plans, default on)."""
+
+    def _spec(self, seed: int = 11, **kwargs) -> JobSpec:
+        a = default_rng(seed).standard_normal((48, 32)).astype(np.float32)
+        return JobSpec("qr", (a,), options=OPTS, **kwargs)
+
+    def test_clean_plan_charged_exact_peak(self):
+        config = make_config()
+        spec = self._spec()
+        with FactorService(config) as svc:
+            handle = svc.submit(spec)
+            result = handle.result(timeout=60)
+            snap = svc.snapshot_metrics()
+        # the exact peak undercuts the plan heuristic, never exceeds it
+        assert 0 < handle.charged_bytes < handle.footprint_bytes
+        assert snap["plans_verified"]["value"] == 1
+        assert snap["plans_rejected"]["value"] == 0
+        # and the result is still the direct run, bit for bit
+        direct = run_direct(spec, config)
+        for name, arr in direct.items():
+            assert np.array_equal(result.arrays[name], arr)
+
+    def test_exact_peak_admits_what_heuristic_budget_would_not(self):
+        config = make_config()
+        spec = self._spec()
+        with FactorService(config) as probe:
+            footprint = estimate_footprint_bytes(spec, config)
+            peak = probe.verify_job(spec).peak_bytes
+        assert peak < footprint
+        # a budget that holds the proven peak but not the heuristic
+        with FactorService(config, device_budget=peak) as svc:
+            handle = svc.submit(spec)
+            handle.result(timeout=60)
+        assert handle.charged_bytes == peak
+
+    def test_unsafe_plan_quarantined_before_queue(self):
+        from repro.analysis import AnalysisFinding, AnalysisReport
+        from repro.errors import PlanViolation
+
+        config = make_config()
+        ran = threading.Event()
+
+        def runner(spec, job_config, concurrency):
+            ran.set()
+            return run_job(spec, job_config, concurrency=concurrency)
+
+        bad = AnalysisReport(label="doctored")
+        bad.findings.append(
+            AnalysisFinding(rule="race", message="seeded defect", op="gemm")
+        )
+        with FactorService(config, runner=runner) as svc:
+            svc._verify_plan = lambda spec, footprint: bad
+            with pytest.raises(AdmissionError) as exc:
+                svc.submit(self._spec())
+            snap = svc.snapshot_metrics()
+        assert exc.value.reason == "plan-rejected"
+        assert isinstance(exc.value.__cause__, PlanViolation)
+        assert exc.value.__cause__.report is bad
+        assert "seeded defect" in str(exc.value)
+        assert snap["plans_rejected"]["value"] == 1
+        assert snap["plans_verified"]["value"] == 0
+        assert not ran.is_set()  # never reached a worker
+
+    def test_explicit_reservation_charged_as_requested(self):
+        config = make_config()
+        reservation = 1 << 19
+        spec = self._spec(device_memory=reservation)
+        with FactorService(config) as svc:
+            handle = svc.submit(spec)
+            handle.result(timeout=60)
+        # a deliberate reservation is headroom the caller asked to hold:
+        # verification still runs, but the charge is not shrunk to the peak
+        assert handle.footprint_bytes == reservation
+        assert handle.charged_bytes == reservation
+
+    def test_verify_plans_off_restores_heuristic_charging(self):
+        config = make_config()
+        with FactorService(config, verify_plans=False) as svc:
+            handle = svc.submit(self._spec())
+            handle.result(timeout=60)
+            snap = svc.snapshot_metrics()
+        assert handle.charged_bytes == handle.footprint_bytes
+        assert snap["plans_verified"]["value"] == 0
+
+    def test_verify_job_ad_hoc(self):
+        config = make_config()
+        with FactorService(config) as svc:
+            report = svc.verify_job(self._spec())
+        assert report.ok
+        assert report.peak_bytes > 0
+        assert report.n_ops > 0

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import AllocationError, OutOfDeviceMemoryError
+from repro.errors import AllocationError, OutOfDeviceMemoryError, ValidationError
 from repro.sim.memory import DeviceAllocator
 
 
@@ -93,7 +93,7 @@ class TestLeakDetector:
 
 class TestValidation:
     def test_capacity_positive(self):
-        with pytest.raises(Exception):
+        with pytest.raises(ValidationError):
             DeviceAllocator(capacity=0)
 
     def test_negative_alloc_rejected(self, alloc):

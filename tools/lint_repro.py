@@ -1,0 +1,43 @@
+#!/usr/bin/env python
+"""Run the repro repo lint pack (repro.analysis.lint) over src/repro.
+
+Prints one ``path:line: rule: message`` line per finding and exits 1 when
+any survive (0 when clean), so CI can run it next to ruff. Waive a single
+line with a ``# lint: allow[<rule>]`` comment.
+
+Usage::
+
+    python tools/lint_repro.py [root]
+
+*root* defaults to ``src/repro`` relative to the repo root.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    argv = sys.argv[1:] if argv is None else argv
+    root = Path(argv[0]) if argv else REPO_ROOT / "src" / "repro"
+    if not root.is_dir():
+        print(f"error: lint root {root} is not a directory", file=sys.stderr)
+        return 2
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.analysis.lint import lint_tree
+
+    findings = lint_tree(root)
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(f"{len(findings)} lint finding(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
