@@ -9,6 +9,13 @@ transfer-volume checks over the captured program;
 :mod:`repro.analysis.engines` sweeps every shipped engine configuration;
 :mod:`repro.analysis.lint` is the AST-based repo lint pack behind
 ``tools/lint_repro.py``. See docs/analysis.md.
+
+:func:`verify_program` also accepts a first-class
+:class:`~repro.runtime.task.TaskGraph` from the DAG runtime directly —
+see :mod:`repro.runtime` (its ``verify_engine_graph`` /
+``verify_all_engine_graphs`` mirror the capture sweep; the runtime module
+imports this package, so the graph sweep lives there to keep the
+dependency one-way). See docs/runtime.md.
 """
 
 from repro.analysis.capture import CapturedProgram, CaptureExecutor, MemEvent

@@ -1,7 +1,15 @@
-"""Static verification passes over captured OOC programs.
+"""Static verification passes over captured OOC programs and task DAGs.
 
-Given a :class:`~repro.analysis.capture.CapturedProgram`, the passes prove
-(or refute) the properties a plan must have *before* it is worth running:
+The passes consume the *program protocol* — ``config`` / ``ops`` /
+``mem_events`` / ``stats`` / ``label`` / ``volume_hint`` — and therefore
+accept two producers interchangeably: a
+:class:`~repro.analysis.capture.CapturedProgram` (flat op stream recorded
+by the capture executor) and a first-class
+:class:`~repro.runtime.task.TaskGraph` emitted by the DAG runtime's
+:class:`~repro.runtime.builder.GraphBuilder` — no capture pass in
+between; the graph's derived dataflow edges *are* the happens-before
+relation the hazard pass checks. The passes prove (or refute) the
+properties a plan must have *before* it is worth running:
 
 * :func:`check_hazards` — happens-before hazard analysis: two ops touching
   overlapping device regions, at least one writing, with no stream-FIFO or
@@ -423,17 +431,19 @@ def check_redundant_transfers(program: CapturedProgram) -> list[AnalysisFinding]
 
 
 def verify_program(
-    program: CapturedProgram,
+    program,
     *,
     budget_bytes: int | None = None,
     input_floor_words: int | None = None,
 ) -> AnalysisReport:
-    """Run every applicable pass over *program*.
+    """Run every applicable pass over *program* — a
+    :class:`~repro.analysis.capture.CapturedProgram` or a
+    :class:`~repro.runtime.task.TaskGraph` (checked directly as a DAG).
 
-    ``budget_bytes`` defaults to the capture config's usable device bytes
+    ``budget_bytes`` defaults to the program config's usable device bytes
     (the capacity the engines planned against); serve admission passes its
     own grant. ``input_floor_words`` optionally asserts a minimum H2D
-    volume (QR captures pass ``m * n``).
+    volume (QR programs pass ``m * n``).
     """
     budget = (
         program.config.usable_device_bytes

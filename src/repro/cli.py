@@ -53,6 +53,12 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         "threads (real H2D/compute/D2H overlap)",
     )
     parser.add_argument(
+        "--runtime", choices=["legacy", "dag"], default="legacy",
+        help="legacy: imperative executors; dag: record the run as a "
+        "tile-task graph and execute it with the dynamic dataflow "
+        "scheduler (QR and GEMM; see docs/runtime.md)",
+    )
+    parser.add_argument(
         "--no-opts", action="store_true", help="disable the §4.2 optimizations"
     )
     parser.add_argument(
@@ -119,6 +125,19 @@ def _run_factorization(args, kind: str) -> int:
     if args.health != "off" and args.mode != "numeric":
         print("--health requires --mode numeric", file=sys.stderr)
         return 2
+    runtime = getattr(args, "runtime", "legacy")
+    if runtime == "dag" and kind != "qr":
+        print(
+            f"--runtime dag covers qr and gemm; {kind} runs on the legacy "
+            "path (its graph adapter is registered for analysis only, see "
+            "docs/runtime.md)",
+            file=sys.stderr,
+        )
+        return 2
+    if runtime == "dag" and (args.checkpoint_dir or args.health != "off"):
+        print("--runtime dag does not support --checkpoint-dir/--health yet",
+              file=sys.stderr)
+        return 2
     checkpoint = None
     if args.checkpoint_dir is not None:
         if args.mode != "numeric":
@@ -154,14 +173,17 @@ def _run_factorization(args, kind: str) -> int:
                 a = spd_matrix(shape[0], seed=0)
             else:
                 a = default_rng(0).standard_normal(shape).astype(np.float32)
+            extra = {"runtime": runtime} if kind == "qr" else {}
             result = run(
                 a, method=method, mode="numeric", config=config,
                 options=options, concurrency=args.concurrency,
-                checkpoint=checkpoint,
+                checkpoint=checkpoint, **extra,
             )
         else:
+            extra = {"runtime": runtime} if kind == "qr" else {}
             result = run(
-                shape, method=method, mode="sim", config=config, options=options
+                shape, method=method, mode="sim", config=config,
+                options=options, **extra,
             )
         times[method] = result.makespan
         clock = "measured" if args.mode == "numeric" else "simulated"
@@ -233,6 +255,10 @@ def main(argv: list[str] | None = None) -> int:
     p_gemm.add_argument(
         "--concurrency", choices=["serial", "threads"], default="serial"
     )
+    p_gemm.add_argument(
+        "--runtime", choices=["legacy", "dag"], default="legacy",
+        help="dag: execute as a tile-task graph (docs/runtime.md)",
+    )
 
     p_serve = sub.add_parser(
         "serve-bench",
@@ -263,8 +289,9 @@ def main(argv: list[str] | None = None) -> int:
         "(race/leak/budget/volume proofs; see docs/analysis.md)",
     )
     p_an.add_argument(
-        "--what", choices=["lint", "plans", "all"], default="all",
-        help="run the repo lint pack, the plan verifier sweep, or both",
+        "--what", choices=["lint", "plans", "graphs", "all"], default="all",
+        help="run the repo lint pack, the captured-plan verifier sweep, "
+        "the DAG-runtime task-graph sweep, or all three",
     )
     p_an.add_argument("-m", "--rows", type=int, default=96,
                       help="capture shape rows (small by design: the "
@@ -415,6 +442,27 @@ def _run_analyze(args) -> int:
                 print(f"  skipped: {skip}")
             failures += len(report.findings)
 
+    if args.what in ("graphs", "all"):
+        from repro.runtime import GRAPH_BUILDERS, verify_engine_graph
+
+        config = _config(args)
+        if args.engine is not None and args.engine not in GRAPH_BUILDERS:
+            raise ValidationError(
+                f"unknown engine {args.engine!r}; available: "
+                f"{', '.join(GRAPH_BUILDERS)}"
+            )
+        names = [args.engine] if args.engine else list(GRAPH_BUILDERS)
+        for name in names:
+            report = verify_engine_graph(
+                name, config, m=args.rows, n=args.cols, b=args.blocksize
+            )
+            print(report.summary())
+            for finding in report.findings:
+                print(f"  {finding}")
+            for skip in report.skipped:
+                print(f"  skipped: {skip}")
+            failures += len(report.findings)
+
     return 1 if failures else 0
 
 
@@ -458,7 +506,7 @@ def _run_gemm(args) -> int:
             result = ooc_gemm(
                 a, b, trans_a=True, mode="numeric", config=config,
                 blocksize=args.blocksize, pipelined=not args.sync,
-                concurrency=args.concurrency,
+                concurrency=args.concurrency, runtime=args.runtime,
             )
         else:
             a = rng.standard_normal((args.M, args.K)).astype(np.float32)
@@ -468,17 +516,20 @@ def _run_gemm(args) -> int:
                 a, b, alpha=-1.0, beta=1.0, c=c, mode="numeric",
                 config=config, blocksize=args.blocksize,
                 pipelined=not args.sync, concurrency=args.concurrency,
+                runtime=args.runtime,
             )
     elif args.kind == "inner":
         result = ooc_gemm(
             (args.K, args.M), (args.K, args.N), trans_a=True, mode="sim",
             config=config, blocksize=args.blocksize, pipelined=not args.sync,
+            runtime=args.runtime,
         )
     else:
         result = ooc_gemm(
             (args.M, args.K), (args.K, args.N), alpha=-1.0, beta=1.0,
             c=(args.M, args.N), mode="sim", config=config,
             blocksize=args.blocksize, pipelined=not args.sync,
+            runtime=args.runtime,
         )
     clock = "measured" if args.mode == "numeric" else "simulated"
     print(

@@ -78,6 +78,25 @@ def _as_operand(x, element_bytes: int, name: str) -> tuple[HostMatrix, bool]:
     )
 
 
+def _execute_gemm_graph(ex, config, mode, concurrency) -> Trace | None:
+    """Schedule the recorded GEMM task graph (runtime='dag' back half)."""
+    from repro.runtime import DagScheduler, NumericGraphBackend, SimGraphBackend
+
+    graph = ex.graph
+    if mode == "sim":
+        return SimGraphBackend(config).run(graph)
+    backend = NumericGraphBackend(config)
+    scheduler = DagScheduler(graph)
+    if concurrency == "threads":
+        scheduler.run_threaded(backend)
+        trace = backend.recorded_trace(graph)
+    else:
+        scheduler.run_serial(backend)
+        trace = None
+    backend.allocator.check_balanced()
+    return trace
+
+
 def ooc_gemm(
     a,
     b,
@@ -92,6 +111,7 @@ def ooc_gemm(
     device_memory: int | None = None,
     pipelined: bool = True,
     concurrency: str = "serial",
+    runtime: str = "legacy",
 ) -> GemmResult:
     """Out-of-core ``C = alpha op(A) B + beta C`` for host-resident operands.
 
@@ -111,6 +131,12 @@ def ooc_gemm(
     compute and D2H, see docs/concurrency.md — and attaches the recorded
     wall-clock trace to the result. Results are bitwise identical to
     ``"serial"``.
+
+    ``runtime="dag"`` records the run as a tile-task graph
+    (:mod:`repro.runtime`) and executes it with the dynamic dataflow
+    scheduler instead of issuing ops imperatively — both GEMM engines are
+    fully migrated; results are bitwise identical to the legacy runtime.
+    See docs/runtime.md.
     """
     config = config or PAPER_SYSTEM
     if device_memory is not None:
@@ -132,8 +158,17 @@ def ooc_gemm(
     concurrency = one_of(concurrency, ("serial", "threads"), "concurrency")
     if concurrency == "threads" and mode != "numeric":
         raise ValidationError("concurrency='threads' requires mode='numeric'")
+    runtime = one_of(runtime, ("legacy", "dag"), "runtime")
 
-    if mode == "sim":
+    if runtime == "dag":
+        from repro.runtime import GraphBuilder
+
+        ex = GraphBuilder(
+            config,
+            label=f"gemm[dag] {host_a.shape}x{host_b.shape}",
+            materialize=(mode == "numeric"),
+        )
+    elif mode == "sim":
         ex = SimExecutor(config)
     elif concurrency == "threads":
         ex = ConcurrentNumericExecutor(config)
@@ -204,7 +239,9 @@ def ooc_gemm(
             )
         strategy = "rowstream-outer"
 
-    if mode == "sim":
+    if runtime == "dag":
+        trace = _execute_gemm_graph(ex, config, mode, concurrency)
+    elif mode == "sim":
         trace = ex.finish()
     else:
         ex.synchronize()

@@ -48,6 +48,7 @@ from repro.util.validation import one_of
 
 METHODS = ("recursive", "blocking")
 MODES = ("numeric", "sim", "hybrid")
+RUNTIMES = ("legacy", "dag")
 
 
 @dataclass
@@ -112,6 +113,30 @@ def _as_host_matrix(a, element_bytes: int) -> tuple[HostMatrix, bool]:
     )
 
 
+def _execute_qr_graph(
+    ex, config, method, host_a, options, mode, concurrency
+) -> Trace | None:
+    """Schedule the recorded QR task graph (runtime='dag' back half)."""
+    from repro.runtime import DagScheduler, NumericGraphBackend, SimGraphBackend
+
+    graph = ex.graph
+    graph.volume_hint = (
+        method, host_a.rows, host_a.cols, min(options.blocksize, host_a.cols)
+    )
+    if mode == "sim":
+        return SimGraphBackend(config).run(graph)
+    backend = NumericGraphBackend(config)
+    scheduler = DagScheduler(graph)
+    if concurrency == "threads":
+        scheduler.run_threaded(backend)
+        trace = backend.recorded_trace(graph)
+    else:
+        scheduler.run_serial(backend)
+        trace = None
+    backend.allocator.check_balanced()
+    return trace
+
+
 def ooc_qr(
     a,
     *,
@@ -123,6 +148,7 @@ def ooc_qr(
     device_memory: int | None = None,
     concurrency: str = "serial",
     checkpoint: CheckpointConfig | None = None,
+    runtime: str = "legacy",
 ) -> QrResult:
     """Out-of-core QR factorization ``A = QR`` (classic Gram-Schmidt).
 
@@ -160,6 +186,15 @@ def ooc_qr(
         pointed at the same directory restores state, skips completed
         steps and produces a bitwise-identical result. See
         docs/checkpoint.md.
+    runtime
+        ``"legacy"`` (default) runs the engine imperatively on the
+        selected executor. ``"dag"`` records the run as a tile-task
+        graph (:mod:`repro.runtime`) and executes it with the dynamic
+        dataflow scheduler — numeric mode (serial, or work-stealing
+        workers with ``concurrency="threads"``) or sim mode; results are
+        bitwise identical to legacy. Not yet combinable with
+        ``mode="hybrid"``, ``checkpoint=`` or health monitoring. See
+        docs/runtime.md.
 
     Returns
     -------
@@ -212,7 +247,33 @@ def ooc_qr(
             f"numbers), got mode={mode!r}"
         )
 
-    if mode == "numeric":
+    runtime = one_of(runtime, RUNTIMES, "runtime")
+    if runtime == "dag":
+        if mode == "hybrid":
+            raise ValidationError(
+                "runtime='dag' supports mode='numeric' or 'sim'; "
+                "hybrid runs stay on the legacy path"
+            )
+        if checkpoint is not None:
+            raise ValidationError(
+                "runtime='dag' does not support checkpoint= yet; "
+                "use the legacy runtime"
+            )
+        if options.health.enabled:
+            raise ValidationError(
+                "runtime='dag' does not support health monitoring yet; "
+                "use the legacy runtime"
+            )
+
+    if runtime == "dag":
+        from repro.runtime import GraphBuilder
+
+        ex = GraphBuilder(
+            config,
+            label=f"qr-{method}[dag] {host_a.rows}x{host_a.cols}",
+            materialize=(mode == "numeric"),
+        )
+    elif mode == "numeric":
         ex = (
             ConcurrentNumericExecutor(config)
             if concurrency == "threads"
@@ -250,7 +311,11 @@ def ooc_qr(
         raise
 
     trace: Trace | None = None
-    if mode in ("sim", "hybrid"):
+    if runtime == "dag":
+        trace = _execute_qr_graph(
+            ex, config, method, host_a, options, mode, concurrency
+        )
+    elif mode in ("sim", "hybrid"):
         trace = ex.finish()
     else:
         ex.synchronize()

@@ -1,0 +1,250 @@
+"""Graph adapters: build task graphs from every shipped OOC engine.
+
+These mirror the ``capture_*`` drivers in :mod:`repro.analysis.engines`,
+but record a first-class :class:`~repro.runtime.task.TaskGraph` with a
+:class:`~repro.runtime.builder.GraphBuilder` instead of a flat captured
+op stream. :data:`GRAPH_BUILDERS` is the registry the CLI ``analyze
+--what graphs`` sweep and the CI ``runtime-dag`` leg iterate.
+
+Migration status lives in :data:`ENGINE_RUNTIME_STATUS`: engines marked
+``"dag"`` also *execute* through ``runtime="dag"`` on the public APIs
+(blocking QR, recursive QR, both OOC GEMM engines); the rest
+(LU/Cholesky/TSQR) stay on the legacy execution path but register graph
+adapters here so the verifier sweep covers their DAGs ahead of the
+follow-up migration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable
+
+from repro.analysis.verify import AnalysisReport, verify_program
+from repro.config import PAPER_SYSTEM, SystemConfig
+from repro.host.tiled import HostMatrix
+from repro.qr.options import QrOptions
+from repro.runtime.builder import GraphBuilder
+from repro.runtime.task import TaskGraph
+
+
+def _options(b: int, options: QrOptions | None) -> QrOptions:
+    if options is None:
+        return QrOptions(blocksize=b)
+    return replace(options, blocksize=b)
+
+
+def build_qr_graph(
+    config: SystemConfig,
+    m: int,
+    n: int,
+    b: int,
+    *,
+    method: str = "blocking",
+    options: QrOptions | None = None,
+    label: str | None = None,
+) -> TaskGraph:
+    """Record one OOC QR run (blocking or recursive) as a task graph."""
+    from repro.qr.blocking import ooc_blocking_qr
+    from repro.qr.recursive import ooc_recursive_qr
+
+    eb = config.element_bytes
+    ex = GraphBuilder(
+        config,
+        label=label or f"qr-{method}[dag] {m}x{n} b={b}",
+        materialize=False,
+    )
+    a = HostMatrix.shape_only(m, n, eb, name="A")
+    r = HostMatrix.shape_only(n, n, eb, name="R")
+    driver = ooc_recursive_qr if method == "recursive" else ooc_blocking_qr
+    driver(ex, a, r, _options(b, options))
+    ex.allocator.check_balanced()
+    graph = ex.graph
+    graph.volume_hint = (method, m, n, min(b, n))
+    return graph
+
+
+def build_lu_graph(
+    config: SystemConfig,
+    n: int,
+    b: int,
+    *,
+    method: str = "blocking",
+    options: QrOptions | None = None,
+) -> TaskGraph:
+    """Record one OOC LU run (square, unpivoted) as a task graph."""
+    from repro.factor.lu import ooc_blocking_lu, ooc_recursive_lu
+
+    ex = GraphBuilder(
+        config, label=f"lu-{method}[dag] {n}x{n} b={b}", materialize=False
+    )
+    a = HostMatrix.shape_only(n, n, config.element_bytes, name="A")
+    driver = ooc_recursive_lu if method == "recursive" else ooc_blocking_lu
+    driver(ex, a, _options(b, options))
+    ex.allocator.check_balanced()
+    graph = ex.graph
+    graph.volume_hint = (method, n, n, min(b, n))
+    return graph
+
+
+def build_cholesky_graph(
+    config: SystemConfig,
+    n: int,
+    b: int,
+    *,
+    method: str = "blocking",
+    options: QrOptions | None = None,
+) -> TaskGraph:
+    """Record one OOC Cholesky run (square SPD) as a task graph."""
+    from repro.factor.cholesky import (
+        ooc_blocking_cholesky,
+        ooc_recursive_cholesky,
+    )
+
+    ex = GraphBuilder(
+        config, label=f"chol-{method}[dag] {n}x{n} b={b}", materialize=False
+    )
+    a = HostMatrix.shape_only(n, n, config.element_bytes, name="A")
+    driver = (
+        ooc_recursive_cholesky if method == "recursive" else ooc_blocking_cholesky
+    )
+    driver(ex, a, _options(b, options))
+    ex.allocator.check_balanced()
+    graph = ex.graph
+    graph.volume_hint = (method, n, n, min(b, n))
+    return graph
+
+
+def build_gemm_graph(
+    config: SystemConfig,
+    m: int,
+    n: int,
+    k: int,
+    b: int,
+    *,
+    kind: str = "inner",
+    pipelined: bool = True,
+) -> TaskGraph:
+    """Record one OOC GEMM run (k-split inner or row-streaming outer)."""
+    from repro.ooc.inner import run_ksplit_inner
+    from repro.ooc.outer import run_rowstream_outer
+    from repro.ooc.plan import plan_ksplit_inner, plan_rowstream_outer
+
+    eb = config.element_bytes
+    ex = GraphBuilder(
+        config, label=f"gemm-{kind}[dag] {m}x{n}x{k} b={b}", materialize=False
+    )
+    budget = ex.allocator.free_bytes // eb
+    if kind == "inner":
+        a = HostMatrix.shape_only(k, m, eb, name="A")
+        bm = HostMatrix.shape_only(k, n, eb, name="B")
+        c = HostMatrix.shape_only(m, n, eb, name="C")
+        plan = plan_ksplit_inner(k, m, n, min(b, k), budget)
+        run_ksplit_inner(
+            ex, a.full(), bm.full(), c.full(), plan, pipelined=pipelined
+        )
+    else:
+        a = HostMatrix.shape_only(m, k, eb, name="A")
+        bm = HostMatrix.shape_only(k, n, eb, name="B")
+        c = HostMatrix.shape_only(m, n, eb, name="C")
+        plan = plan_rowstream_outer(m, k, n, min(b, m), budget)
+        run_rowstream_outer(
+            ex, c.full(), a.full(), bm.full(), plan, pipelined=pipelined
+        )
+    ex.allocator.check_balanced()
+    return ex.graph
+
+
+#: Graph registry for the sweep: name -> builder(config, m, n, b), with
+#: the exact argument conventions of ``ENGINE_CAPTURES`` (GEMM entries
+#: fold the reduction dimension into m).
+GRAPH_BUILDERS: dict[
+    str, Callable[[SystemConfig, int, int, int], TaskGraph]
+] = {
+    "qr-blocking": lambda cfg, m, n, b: build_qr_graph(
+        cfg, m, n, b, method="blocking"
+    ),
+    "qr-recursive": lambda cfg, m, n, b: build_qr_graph(
+        cfg, m, n, b, method="recursive"
+    ),
+    "qr-tsqr": lambda cfg, m, n, b: build_qr_graph(
+        replace(cfg, panel_algorithm="tsqr"), m, n, b, method="recursive",
+        label=f"qr-tsqr[dag] {m}x{n} b={b}",
+    ),
+    "lu-blocking": lambda cfg, m, n, b: build_lu_graph(
+        cfg, n, b, method="blocking"
+    ),
+    "lu-recursive": lambda cfg, m, n, b: build_lu_graph(
+        cfg, n, b, method="recursive"
+    ),
+    "chol-blocking": lambda cfg, m, n, b: build_cholesky_graph(
+        cfg, n, b, method="blocking"
+    ),
+    "chol-recursive": lambda cfg, m, n, b: build_cholesky_graph(
+        cfg, n, b, method="recursive"
+    ),
+    "gemm-inner": lambda cfg, m, n, b: build_gemm_graph(
+        cfg, n, n, m, b, kind="inner"
+    ),
+    "gemm-outer": lambda cfg, m, n, b: build_gemm_graph(
+        cfg, m, n, n, b, kind="outer"
+    ),
+}
+
+#: Per-engine migration status: "dag" = executable via ``runtime="dag"``
+#: on the public APIs; "graph-adapter" = DAG built and verified here,
+#: execution still on the legacy path (follow-up migration).
+ENGINE_RUNTIME_STATUS: dict[str, str] = {
+    "qr-blocking": "dag",
+    "qr-recursive": "dag",
+    "qr-tsqr": "graph-adapter",
+    "lu-blocking": "graph-adapter",
+    "lu-recursive": "graph-adapter",
+    "chol-blocking": "graph-adapter",
+    "chol-recursive": "graph-adapter",
+    "gemm-inner": "dag",
+    "gemm-outer": "dag",
+}
+
+
+def verify_engine_graph(
+    name: str,
+    config: SystemConfig | None = None,
+    *,
+    m: int = 96,
+    n: int = 64,
+    b: int = 16,
+) -> AnalysisReport:
+    """Build one registry engine's task graph and verify it directly —
+    no capture pass; ``verify_program`` consumes the DAG itself."""
+    config = config or PAPER_SYSTEM
+    graph = GRAPH_BUILDERS[name](config, m, n, b)
+    floor = None
+    if name.startswith("qr-"):
+        floor = m * n
+    return verify_program(graph, input_floor_words=floor)
+
+
+def verify_all_engine_graphs(
+    config: SystemConfig | None = None,
+    *,
+    m: int = 96,
+    n: int = 64,
+    b: int = 16,
+) -> dict[str, AnalysisReport]:
+    """Verify every registry engine's task graph at one (small) shape."""
+    return {
+        name: verify_engine_graph(name, config, m=m, n=n, b=b)
+        for name in GRAPH_BUILDERS
+    }
+
+
+__all__ = [
+    "ENGINE_RUNTIME_STATUS",
+    "GRAPH_BUILDERS",
+    "build_cholesky_graph",
+    "build_gemm_graph",
+    "build_lu_graph",
+    "build_qr_graph",
+    "verify_all_engine_graphs",
+    "verify_engine_graph",
+]

@@ -1,0 +1,249 @@
+"""Dynamic schedulers for tile-task graphs.
+
+Two execution strategies over a validated :class:`TaskGraph`:
+
+* :meth:`DagScheduler.run_serial` — emission order on the calling thread.
+  Because the builder records tasks in exactly the order the legacy
+  executor would have run them, a serial replay is instruction-identical
+  to the legacy serial run (the differential suite's baseline).
+* :meth:`DagScheduler.run_threaded` — dynamic dataflow execution with one
+  worker per copy engine (H2D, D2H) and ``compute_workers`` compute
+  threads. A central ready set tracks tile readiness by indegree
+  counting; compute tasks are round-robin dealt to per-worker deques and
+  idle compute workers *steal* from the back of their peers' deques.
+  ``lookahead`` bounds how far past the completion frontier the scheduler
+  may run, trading overlap depth for resident working set (the DAG
+  analogue of §4.2's bounded copy/compute lookahead).
+
+Both entry points call :meth:`TaskGraph.validate` first, so a cyclic
+graph raises :class:`~repro.errors.DeadlockError` immediately instead of
+hanging; a stalled threaded run (a bug, or a starved worker pool) times
+out into the same error rather than deadlocking the interpreter.
+
+Determinism: every pair of conflicting tasks is connected by a direct
+dataflow edge (see :mod:`repro.runtime.task`), so tasks that can run
+concurrently touch disjoint data. Results are therefore bitwise
+independent of worker count, steal order, and lookahead depth — the
+property the scheduler suite asserts.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Protocol
+
+from repro.errors import DeadlockError, ValidationError
+from repro.runtime.task import TaskGraph, TileTask
+from repro.sim.ops import EngineKind
+
+#: Bound on how long a worker may wait for a runnable task before the run
+#: is declared stuck (same guard the concurrent executor uses).
+_WAIT_TIMEOUT_S = 600.0
+
+
+class GraphBackend(Protocol):
+    """What schedulers require of an execution backend."""
+
+    def execute(self, task: TileTask) -> None: ...  # pragma: no cover
+
+
+class DagScheduler:
+    """Schedules one :class:`TaskGraph` onto a :class:`GraphBackend`."""
+
+    def __init__(self, graph: TaskGraph, *, lookahead: int | None = None):
+        if lookahead is not None and lookahead < 0:
+            raise ValidationError("lookahead must be None or >= 0")
+        self.graph = graph
+        self.lookahead = lookahead
+
+    def validate(self) -> None:
+        self.graph.validate()
+
+    # -- serial -----------------------------------------------------------------
+
+    def run_serial(self, backend: GraphBackend) -> None:
+        self.validate()
+        for task in self.graph.tasks:
+            backend.execute(task)
+        finish = getattr(backend, "finish", None)
+        if finish is not None:
+            finish(self.graph)
+
+    # -- threaded ---------------------------------------------------------------
+
+    def run_threaded(
+        self,
+        backend: GraphBackend,
+        *,
+        compute_workers: int = 2,
+        timeout_s: float = _WAIT_TIMEOUT_S,
+    ) -> None:
+        if compute_workers < 1:
+            raise ValidationError("compute_workers must be >= 1")
+        self.validate()
+        run = _ThreadedRun(
+            self.graph, backend, compute_workers, self.lookahead, timeout_s
+        )
+        run.execute()
+        finish = getattr(backend, "finish", None)
+        if finish is not None:
+            finish(self.graph)
+
+
+class _ThreadedRun:
+    """One threaded execution: shared ready-set state plus the workers.
+
+    All scheduling state is guarded by a single condition variable.
+    Workers pull from their queue under the lock, execute *outside* it,
+    then re-acquire to retire the task and release dependents. This keeps
+    dependency bookkeeping race-free while numeric bodies (which release
+    the GIL inside BLAS) overlap.
+    """
+
+    def __init__(
+        self,
+        graph: TaskGraph,
+        backend: GraphBackend,
+        compute_workers: int,
+        lookahead: int | None,
+        timeout_s: float,
+    ):
+        self.graph = graph
+        self.backend = backend
+        self.lookahead = lookahead
+        self.timeout_s = timeout_s
+        self.tasks = graph.tasks
+        n = len(self.tasks)
+        self.indegree = [len(t.deps) for t in self.tasks]
+        self.dependents: list[list[TileTask]] = [[] for _ in range(n)]
+        for t in self.tasks:
+            for dep in t.deps:
+                self.dependents[dep.task_id].append(t)
+        self.cond = threading.Condition()
+        self.finished = bytearray(n)
+        self.frontier = 0          # smallest unfinished task_id
+        self.n_done = 0
+        self.failure: BaseException | None = None
+        # ready queues: one per copy engine, one deque per compute worker
+        self.h2d: deque[TileTask] = deque()
+        self.d2h: deque[TileTask] = deque()
+        self.compute: list[deque[TileTask]] = [
+            deque() for _ in range(compute_workers)
+        ]
+        self._deal = 0  # round-robin pointer for compute/mem tasks
+        for t in self.tasks:
+            if self.indegree[t.task_id] == 0:
+                self._route(t)
+
+    # -- routing (lock held) ----------------------------------------------------
+
+    def _route(self, task: TileTask) -> None:
+        if task.engine is EngineKind.H2D:
+            self.h2d.append(task)
+        elif task.engine is EngineKind.D2H:
+            self.d2h.append(task)
+        else:  # compute ops and allocator pseudo-tasks
+            self.compute[self._deal % len(self.compute)].append(task)
+            self._deal += 1
+
+    def _eligible(self, task: TileTask) -> bool:
+        if self.lookahead is None:
+            return True
+        return task.task_id <= self.frontier + self.lookahead
+
+    def _take(self, queue: deque[TileTask], *, back: bool) -> TileTask | None:
+        """Pop a runnable task, skipping over lookahead-gated ones."""
+        for _ in range(len(queue)):
+            task = queue.pop() if back else queue.popleft()
+            if self._eligible(task):
+                return task
+            # put it back on the side we took it from and try the next
+            if back:
+                queue.appendleft(task)
+            else:
+                queue.append(task)
+        return None
+
+    def _pick(self, worker: int | None, queue: deque[TileTask]) -> TileTask | None:
+        task = self._take(queue, back=False)
+        if task is None and worker is not None:
+            # work stealing: raid the *back* of a peer's deque so the
+            # owner keeps its cache-warm front
+            for shift in range(1, len(self.compute)):
+                peer = self.compute[(worker + shift) % len(self.compute)]
+                task = self._take(peer, back=True)
+                if task is not None:
+                    break
+        return task
+
+    # -- retirement (lock held) --------------------------------------------------
+
+    def _retire(self, task: TileTask) -> None:
+        self.finished[task.task_id] = 1
+        self.n_done += 1
+        while self.frontier < len(self.tasks) and self.finished[self.frontier]:
+            self.frontier += 1
+        for dependent in self.dependents[task.task_id]:
+            self.indegree[dependent.task_id] -= 1
+            if self.indegree[dependent.task_id] == 0:
+                self._route(dependent)
+        self.cond.notify_all()
+
+    # -- worker loop -------------------------------------------------------------
+
+    def _worker(self, worker: int | None, queue: deque[TileTask]) -> None:
+        n = len(self.tasks)
+        while True:
+            with self.cond:
+                task = None
+                while True:
+                    if self.failure is not None or self.n_done == n:
+                        return
+                    task = self._pick(worker, queue)
+                    if task is not None:
+                        break
+                    if not self.cond.wait(self.timeout_s):
+                        stuck = [
+                            t for t in self.tasks if not self.finished[t.task_id]
+                        ]
+                        self.failure = DeadlockError(stuck)
+                        self.cond.notify_all()
+                        return
+            try:
+                self.backend.execute(task)
+            except BaseException as exc:  # noqa: BLE001 - latched + re-raised
+                with self.cond:
+                    if self.failure is None:
+                        self.failure = exc
+                    self.cond.notify_all()
+                return
+            with self.cond:
+                self._retire(task)
+
+    def execute(self) -> None:
+        threads = [
+            threading.Thread(
+                target=self._worker, args=(None, self.h2d), name="dag-h2d"
+            ),
+            threading.Thread(
+                target=self._worker, args=(None, self.d2h), name="dag-d2h"
+            ),
+        ]
+        threads.extend(
+            threading.Thread(
+                target=self._worker,
+                args=(i, self.compute[i]),
+                name=f"dag-compute-{i}",
+            )
+            for i in range(len(self.compute))
+        )
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        if self.failure is not None:
+            raise self.failure
+
+
+__all__ = ["DagScheduler", "GraphBackend"]

@@ -6,6 +6,8 @@ goes through :func:`default_rng` so runs are reproducible from a single seed.
 
 from __future__ import annotations
 
+import hashlib
+
 import numpy as np
 
 from repro.errors import ValidationError
@@ -20,6 +22,30 @@ def default_rng(seed: int | None = None) -> np.random.Generator:
     entropy from the OS; pass an explicit seed to vary.
     """
     return np.random.default_rng(DEFAULT_SEED if seed is None else seed)
+
+
+def stable_seed(*parts: str | int | float | bool) -> int:
+    """A 63-bit seed derived from *parts* by stable hashing.
+
+    Unlike ``hash()`` (salted per process) or anything keyed on pytest
+    collection order / test ids, the result depends only on the *values*
+    of the parts — so a parametrized test case keeps its seed (and its
+    generated inputs) when parametrization axes are added, cases are
+    reordered, or the suite runs under a different interpreter. Intended
+    use: ``default_rng(stable_seed("suite-name", case_index, ...))``.
+    """
+    if not parts:
+        raise ValidationError("stable_seed needs at least one part")
+    digest = hashlib.blake2b(digest_size=8)
+    for part in parts:
+        if not isinstance(part, (str, int, float, bool)):
+            raise ValidationError(
+                "stable_seed parts must be str/int/float/bool (stable "
+                f"reprs), got {type(part).__name__}"
+            )
+        digest.update(repr(part).encode("utf-8"))
+        digest.update(b"\x1f")
+    return int.from_bytes(digest.digest(), "big") & (2**63 - 1)
 
 
 def spawn(rng: np.random.Generator, n: int) -> list[np.random.Generator]:

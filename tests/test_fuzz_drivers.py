@@ -1,16 +1,21 @@
-"""Hypothesis fuzzing of all six OOC drivers in simulation mode.
+"""Seeded fuzzing of all six OOC drivers in simulation mode.
 
 For random (shape, blocksize, memory budget) configurations, every driver
 must either produce a structurally valid, race-free simulated run with
 sane traffic accounting — or fail *cleanly* with a library error (never a
 wrong result, never a leak, never an engine/causality violation).
+
+Each case's configuration is drawn from a generator seeded with
+:func:`repro.util.rng.stable_seed` over the (driver, case-index) values —
+*not* from pytest collection order or hypothesis test-id entropy — so the
+``runtime`` parametrization axis (legacy sim executor vs DAG runtime +
+simulated backend) replays the *same* configurations on both paths, and
+adding further axes cannot reshuffle existing cases.
 """
 
 from __future__ import annotations
 
 import pytest
-from hypothesis import given, settings
-from hypothesis import strategies as st
 
 from repro.config import SystemConfig
 from repro.errors import ReproError
@@ -22,7 +27,9 @@ from repro.hw.gemm import Precision
 from repro.qr.blocking import ooc_blocking_qr
 from repro.qr.options import QrOptions
 from repro.qr.recursive import ooc_recursive_qr
+from repro.sim.ops import EngineKind
 from repro.sim.race import assert_race_free
+from repro.util.rng import default_rng, stable_seed
 from tests.conftest import make_tiny_spec
 
 DRIVERS = {
@@ -34,25 +41,33 @@ DRIVERS = {
     "chol-blocking": ("chol", ooc_blocking_cholesky),
 }
 
-config_strategy = st.fixed_dictionaries(
-    {
-        "n": st.sampled_from([64, 96, 128, 192, 256]),
-        "extra_rows": st.sampled_from([0, 32, 128]),
-        "b": st.sampled_from([16, 32, 48, 64]),
-        "mem_kib": st.sampled_from([192, 384, 1024, 4096]),
-        "pipelined": st.booleans(),
-        "overlap": st.booleans(),
-        "reuse": st.booleans(),
-        "staging": st.booleans(),
+N_CASES = 8
+RUNTIMES = ["legacy", "dag"]
+
+
+def case_config(name: str, case: int) -> dict:
+    """The fuzz configuration for (driver, case) — a pure function of the
+    two values (the runtime axis deliberately does not enter the seed, so
+    both runtimes replay identical configurations)."""
+    rng = default_rng(stable_seed("fuzz-drivers", name, case))
+    return {
+        "n": int(rng.choice([64, 96, 128, 192, 256])),
+        "extra_rows": int(rng.choice([0, 32, 128])),
+        "b": int(rng.choice([16, 32, 48, 64])),
+        "mem_kib": int(rng.choice([192, 384, 1024, 4096])),
+        "pipelined": bool(rng.integers(0, 2)),
+        "overlap": bool(rng.integers(0, 2)),
+        "reuse": bool(rng.integers(0, 2)),
+        "staging": bool(rng.integers(0, 2)),
     }
-)
 
 
+@pytest.mark.parametrize("runtime", RUNTIMES)
+@pytest.mark.parametrize("case", range(N_CASES))
 @pytest.mark.parametrize("name", sorted(DRIVERS))
-@given(cfg=config_strategy)
-@settings(max_examples=12, deadline=None)
-def test_fuzz_driver(name, cfg):
+def test_fuzz_driver(name, case, runtime):
     kind, driver = DRIVERS[name]
+    cfg = case_config(name, case)
     n = cfg["n"]
     m = n if kind == "chol" else n + cfg["extra_rows"]
     b = min(cfg["b"], n)
@@ -67,12 +82,19 @@ def test_fuzz_driver(name, cfg):
         reuse_inner_result=cfg["reuse"],
         staging_buffer=cfg["staging"],
     )
-    ex = SimExecutor(system)
-    a = HostMatrix.shape_only(m, n, name="A")
+    if runtime == "legacy":
+        ex = SimExecutor(system)
+    else:
+        from repro.runtime import GraphBuilder
+
+        ex = GraphBuilder(
+            system, label=f"fuzz-{name}-{case}", materialize=False
+        )
+    a = HostMatrix.shape_only(m, n, system.element_bytes, name="A")
 
     try:
         if kind == "qr":
-            r = HostMatrix.shape_only(n, n, name="R")
+            r = HostMatrix.shape_only(n, n, system.element_bytes, name="R")
             driver(ex, a, r, options)
         else:
             driver(ex, a, options)
@@ -82,7 +104,12 @@ def test_fuzz_driver(name, cfg):
         # the driver aborted mid-flight
         return
 
-    trace = ex.finish()
+    if runtime == "legacy":
+        trace = ex.finish()
+    else:
+        from repro.runtime import SimGraphBackend
+
+        trace = SimGraphBackend(system).run(ex.graph)
     ex.allocator.check_balanced()
     trace.check_engine_serial()
     trace.check_causality()
@@ -99,7 +126,20 @@ def test_fuzz_driver(name, cfg):
     # compute sanity: panels ran, and the makespan is bounded below by the
     # busiest engine
     assert ex.stats.n_panels >= 1
-    from repro.sim.ops import EngineKind
-
     busiest = max(trace.busy_time(e) for e in EngineKind)
     assert trace.makespan >= busiest - 1e-12
+
+
+def test_case_configs_are_stable():
+    # the anchor property of the seeding scheme: known (driver, case)
+    # pairs map to fixed configurations forever — reordering tests or
+    # adding parametrization axes cannot change them
+    assert case_config("qr-recursive", 0) == case_config("qr-recursive", 0)
+    assert case_config("qr-recursive", 0) != case_config("qr-blocking", 0)
+    seen = {
+        (name, case): tuple(sorted(case_config(name, case).items()))
+        for name in DRIVERS
+        for case in range(N_CASES)
+    }
+    # at least half the grid must be distinct configurations
+    assert len(set(seen.values())) > len(seen) // 2
