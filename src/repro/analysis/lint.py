@@ -18,10 +18,15 @@ ordinary linters cannot express:
     silently degrades a whole pipeline.
 
 ``wallclock-in-step-logic``
-    Checkpointed step logic (``qr/``, ``factor/``, ``ckpt/``) must not
-    read the wall clock: resume must be bitwise-identical to the original
-    run, and wall-clock values baked into step state break that.
-    ``time.perf_counter`` / ``time.monotonic`` (pure measurement) are
+    :mod:`repro.obs.clock` is the only sanctioned clock source: no module
+    outside ``obs/`` may read the wall clock (``time.time``,
+    ``datetime.now``, ...) **or** the measurement clocks
+    (``time.perf_counter`` / ``time.monotonic`` and their ``_ns``
+    variants) directly. Wall-clock values baked into checkpointed step
+    state break bitwise-identical resume, and scattered measurement-clock
+    reads are exactly the per-layer double timing the span recorder
+    replaced — one timebase, one place to fake it in tests.
+    ``time.sleep`` (pacing, backoff) is not a clock read and stays
     allowed.
 
 ``scheduler-bypass``
@@ -71,20 +76,30 @@ _BUILTIN_EXCEPTIONS = {
     "UnicodeError", "ValueError", "ZeroDivisionError",
 }
 
-#: Wall-clock callables forbidden in checkpointed step logic, as
-#: (object name, attribute) pairs.
+#: Clock callables forbidden outside ``obs/``, as (object name,
+#: attribute) pairs. Both wall clocks and measurement clocks: every
+#: timestamp must come from :mod:`repro.obs.clock`.
 _WALLCLOCK_CALLS = {
     ("time", "time"),
     ("time", "time_ns"),
+    ("time", "perf_counter"),
+    ("time", "perf_counter_ns"),
+    ("time", "monotonic"),
+    ("time", "monotonic_ns"),
     ("datetime", "now"),
     ("datetime", "utcnow"),
     ("datetime", "today"),
     ("date", "today"),
 }
 
-#: Directories (relative to ``src/repro``) whose step logic is
-#: checkpointed and must stay clock-free.
-_STEP_LOGIC_DIRS = ("qr", "factor", "ckpt")
+#: ``from time import ...`` names that would dodge the attribute-call
+#: check above; importing them is itself a finding.
+_WALLCLOCK_FROM_IMPORTS = {
+    attr for base, attr in _WALLCLOCK_CALLS if base == "time"
+}
+
+#: The directory (relative to ``src/repro``) that owns clock access.
+_OBS_DIR = "obs"
 
 #: Directories allowed to call ``._issue`` / touch ``.deps`` directly.
 _SCHEDULER_DIRS = ("execution", "sim", "analysis")
@@ -153,7 +168,7 @@ def lint_source(source: str, path: str, rel_parts: tuple[str, ...]) -> list[Lint
     waived = _waivers(source)
     top = rel_parts[0] if rel_parts else ""
     in_tc = top == "tc"
-    in_step_logic = top in _STEP_LOGIC_DIRS
+    in_obs = top == _OBS_DIR
     in_scheduler = top in _SCHEDULER_DIRS
     findings: list[LintFinding] = []
 
@@ -164,6 +179,16 @@ def lint_source(source: str, path: str, rel_parts: tuple[str, ...]) -> list[Lint
         findings.append(LintFinding(path, line, rule, message))
 
     for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module == "time":
+            for alias in node.names:
+                if not in_obs and alias.name in _WALLCLOCK_FROM_IMPORTS:
+                    report(
+                        node,
+                        "wallclock-in-step-logic",
+                        f"from time import {alias.name} outside obs/; every "
+                        f"clock read goes through repro.obs.clock "
+                        f"(monotonic / wall_time)",
+                    )
         if isinstance(node, ast.Raise):
             name = _raised_name(node)
             if (
@@ -200,16 +225,16 @@ def lint_source(source: str, path: str, rel_parts: tuple[str, ...]) -> list[Lint
             base = func.value
             base_name = base.id if isinstance(base, ast.Name) else None
             if (
-                in_step_logic
+                not in_obs
                 and base_name is not None
                 and (base_name, func.attr) in _WALLCLOCK_CALLS
             ):
                 report(
                     node,
                     "wallclock-in-step-logic",
-                    f"{base_name}.{func.attr}() in checkpointed step logic; "
-                    f"resume must not depend on the wall clock "
-                    f"(perf_counter/monotonic are fine for measurement)",
+                    f"{base_name}.{func.attr}() outside obs/; every clock "
+                    f"read goes through repro.obs.clock (monotonic / "
+                    f"wall_time) — one timebase, one place to fake it",
                 )
             if not in_scheduler and func.attr == "_issue":
                 report(

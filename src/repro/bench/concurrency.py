@@ -15,7 +15,6 @@ gated ≥1.2x assertion) and runnable directly::
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -23,6 +22,7 @@ import numpy as np
 from repro.config import SystemConfig
 from repro.hw.gemm import Precision
 from repro.hw.specs import GpuSpec
+from repro.obs.clock import monotonic as _monotonic
 from repro.ooc.api import ooc_gemm
 from repro.util.rng import default_rng
 
@@ -92,12 +92,12 @@ def bench_gemm_concurrency(
     def run(concurrency: str) -> tuple[float, np.ndarray, float]:
         best, out, overlap = float("inf"), None, 0.0
         for _ in range(repeats):
-            t0 = time.perf_counter()
+            t0 = _monotonic()
             res = ooc_gemm(
                 a, b, trans_a=True, config=config, blocksize=blocksize,
                 concurrency=concurrency,
             )
-            elapsed = time.perf_counter() - t0
+            elapsed = _monotonic() - t0
             if elapsed < best:
                 best, out = elapsed, res.c
                 overlap = (

@@ -15,7 +15,6 @@ speedup assertion) and runnable directly::
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -24,6 +23,7 @@ from repro.bench.concurrency import bench_spec
 from repro.config import SystemConfig
 from repro.errors import ValidationError
 from repro.hw.gemm import Precision
+from repro.obs.clock import monotonic as _monotonic
 from repro.qr.options import QrOptions
 from repro.serve.job import JobSpec
 from repro.serve.service import FactorService, run_job
@@ -37,16 +37,22 @@ def synthetic_workload(
     size: int = 96,
     blocksize: int = 32,
     seed: int = 0,
+    kinds: tuple[str, ...] = ("qr", "gemm", "lu", "cholesky"),
 ) -> list[JobSpec]:
-    """A deterministic mixed stream of numeric jobs, round-robin over all
-    four kinds, with shapes jittered around *size* so footprints differ."""
+    """A deterministic mixed stream of numeric jobs, round-robin over
+    *kinds*, with shapes jittered around *size* so footprints differ."""
     from repro.factor.incore import diagonally_dominant, spd_matrix
 
+    if not kinds:
+        raise ValidationError("kinds must name at least one job kind")
+    for kind in kinds:
+        if kind not in ("qr", "gemm", "lu", "cholesky"):
+            raise ValidationError(f"unknown workload kind {kind!r}")
     rng = default_rng(seed)
     opts = QrOptions(blocksize=blocksize)
     specs: list[JobSpec] = []
     for i in range(n_jobs):
-        kind = ("qr", "gemm", "lu", "cholesky")[i % 4]
+        kind = kinds[i % len(kinds)]
         n = size + 16 * (i % 3)
         m = n + (16 * (i % 2) if kind in ("qr", "gemm") else 0)
         if kind == "qr":
@@ -156,10 +162,10 @@ def bench_serve(
         capped = [probe.job_config(spec) for spec in specs]
     finally:
         probe.close()
-    t0 = time.perf_counter()
+    t0 = _monotonic()
     for spec, job_config in zip(specs, capped):
         run_job(spec, job_config, "serial")
-    serial_s = time.perf_counter() - t0
+    serial_s = _monotonic() - t0
 
     result = ServeBenchResult(
         n_jobs=n_jobs,
@@ -175,11 +181,11 @@ def bench_serve(
             job_concurrency=job_concurrency,
         )
         try:
-            t0 = time.perf_counter()
+            t0 = _monotonic()
             handles = [svc.submit(spec) for spec in specs]
             for h in handles:
                 h.result(timeout=600)
-            wall_s = time.perf_counter() - t0
+            wall_s = _monotonic() - t0
             snap = svc.snapshot_metrics()
             result.levels.append(
                 ServeLevelResult(

@@ -43,7 +43,6 @@ import hashlib
 import json
 import os
 import shutil
-import time
 from dataclasses import dataclass, fields
 from pathlib import Path
 
@@ -51,6 +50,7 @@ import numpy as np
 
 from repro.errors import CheckpointError, ValidationError
 from repro.host.tiled import HostMatrix
+from repro.obs.clock import wall_time
 
 MANIFEST_NAME = "manifest.json"
 FORMAT_VERSION = 1
@@ -331,7 +331,7 @@ class CheckpointManager:
             "payload_dir": payload_name,
             # Manifest metadata only — never read back into step state, so
             # it cannot perturb bitwise-identical resume.
-            "written_at": time.time(),  # lint: allow[wallclock-in-step-logic]
+            "written_at": wall_time(),
             "matrices": entries,
         }
         if extra:

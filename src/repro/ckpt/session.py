@@ -18,11 +18,10 @@ issued.
 
 from __future__ import annotations
 
-import time
-
 from repro.ckpt.manager import CheckpointManager, CheckpointStats
 from repro.errors import CheckpointError
 from repro.host.tiled import HostMatrix
+from repro.obs.clock import monotonic as _monotonic
 
 
 class CheckpointSession:
@@ -51,7 +50,7 @@ class CheckpointSession:
         ex,
         matrices: dict[str, HostMatrix],
         *,
-        clock=time.monotonic,
+        clock=_monotonic,
     ):
         self.manager = manager
         self.ex = ex
@@ -72,7 +71,14 @@ class CheckpointSession:
         if self._started:
             return self.resume_step
         self._started = True
+        obs = self.ex.obs
+        restore_t0 = obs.now() if obs.enabled else 0.0
         self.resume_step = self.manager.restore(self.matrices)
+        if obs.enabled:
+            obs.record(
+                "ckpt.restore", restore_t0, obs.now(), cat="ckpt", lane="ckpt",
+                attrs={"resume_step": self.resume_step},
+            )
         if self.resume_step > 0:
             self.stats.resumes += 1
             # Restore the health sentinel's escalation state: a resumed
@@ -110,6 +116,8 @@ class CheckpointSession:
         # consistent cut of the factorization at this boundary — and the
         # sentinel's probe/escalation state is settled enough to persist
         self.ex.synchronize()
+        obs = self.ex.obs
+        save_t0 = obs.now() if obs.enabled else 0.0
         extra = (
             {"health": self.ex.health.state_dict()}
             if self.ex.health.enabled
@@ -122,6 +130,12 @@ class CheckpointSession:
             frontiers={self.FRONTIER_ROLE: frontier},
             extra=extra,
         )
+        if obs.enabled:
+            obs.record(
+                "ckpt.save", save_t0, obs.now(), cat="ckpt", lane="ckpt",
+                attrs={"step": completed, "frontier": frontier,
+                       "nbytes": written},
+            )
         self.stats.checkpoints_written += 1
         self.stats.checkpoint_bytes += written
         self._last_saved_step = completed

@@ -7,6 +7,9 @@ Commands
 ``lu``/``chol``   the §6 extension factorizations, simulated or numeric
 ``gemm``          out-of-core GEMM (cuBLASXt-style)
 ``serve-bench``   benchmark the multi-tenant factorization service
+``loadgen``       open-loop Poisson load test of the service (BENCH_serve.json)
+``trace``         run a numeric QR under the span recorder and render the
+                  measured per-engine timeline (docs/observability.md)
 ``analyze``       static plan verifier + repo lint pack (docs/analysis.md)
 ``gpus``          list built-in GPU specs and their §3.3 thresholds
 
@@ -283,6 +286,67 @@ def main(argv: list[str] | None = None) -> int:
         help="also print the final run's metrics snapshot as JSON",
     )
 
+    p_lg = sub.add_parser(
+        "loadgen",
+        help="open-loop Poisson load test of the factorization service "
+        "(writes BENCH_serve.json; see docs/observability.md)",
+    )
+    p_lg.add_argument("--jobs", type=int, default=32,
+                      help="number of jobs in the arrival schedule")
+    p_lg.add_argument("--rate", type=float, default=200.0,
+                      help="mean offered rate in jobs/s (Poisson arrivals)")
+    p_lg.add_argument("--workers", type=int, default=2)
+    p_lg.add_argument("--size", type=int, default=64,
+                      help="base matrix dimension of the workload")
+    p_lg.add_argument("-b", "--blocksize", type=int, default=32)
+    p_lg.add_argument("--seed", type=int, default=0)
+    p_lg.add_argument(
+        "--mix", nargs="+", default=["qr", "gemm", "lu", "cholesky"],
+        choices=["qr", "gemm", "lu", "cholesky"],
+        help="job kinds, round-robined over the stream",
+    )
+    p_lg.add_argument(
+        "--job-concurrency", choices=["serial", "threads"], default="serial",
+    )
+    p_lg.add_argument("--out", default="BENCH_serve.json",
+                      help="result JSON path (default: ./BENCH_serve.json)")
+    p_lg.add_argument(
+        "--trace-out", default=None, metavar="JSON",
+        help="also record per-job spans and export a Chrome trace "
+        "(load in Perfetto / chrome://tracing)",
+    )
+
+    p_tr = sub.add_parser(
+        "trace",
+        help="numeric QR under the span recorder: measured per-engine "
+        "timeline, optional Chrome trace and sim comparison",
+    )
+    p_tr.add_argument("-m", "--rows", type=int, default=256)
+    p_tr.add_argument("-n", "--cols", type=int, default=128)
+    p_tr.add_argument("-b", "--blocksize", type=int, default=32)
+    p_tr.add_argument(
+        "--method", choices=["recursive", "blocking"], default="recursive"
+    )
+    p_tr.add_argument("--gpu", default=V100_32GB.name)
+    p_tr.add_argument("--memory-gib", type=float, default=None)
+    p_tr.add_argument("--sync", action="store_true", help="disable pipelining")
+    p_tr.add_argument(
+        "--concurrency", choices=["serial", "threads"], default="serial"
+    )
+    p_tr.add_argument(
+        "--runtime", choices=["legacy", "dag"], default="dag",
+        help="dag (default): execute as a tile-task graph so per-task "
+        "spans carry dependency edges; legacy: imperative executors",
+    )
+    p_tr.add_argument(
+        "--out", default=None, metavar="JSON",
+        help="write the spans as a Chrome trace (Perfetto-loadable)",
+    )
+    p_tr.add_argument(
+        "--compare-sim", action="store_true",
+        help="also simulate the same run and tabulate sim vs measured",
+    )
+
     p_an = sub.add_parser(
         "analyze",
         help="statically verify engine plans and lint the repo "
@@ -398,6 +462,12 @@ def _dispatch(args) -> int:
     if args.command == "serve-bench":
         return _run_serve_bench(args)
 
+    if args.command == "loadgen":
+        return _run_loadgen(args)
+
+    if args.command == "trace":
+        return _run_trace(args)
+
     if args.command == "analyze":
         return _run_analyze(args)
 
@@ -486,6 +556,88 @@ def _run_serve_bench(args) -> int:
         for level in result.levels:
             print(f"metrics (workers={level.n_workers}):")
             print(json.dumps(level.metrics, indent=2))
+    return 0
+
+
+def _run_loadgen(args) -> int:
+    from repro.bench.loadgen import run_loadgen
+
+    obs = None
+    if args.trace_out is not None:
+        from repro.obs import SpanRecorder
+
+        obs = SpanRecorder()
+    result = run_loadgen(
+        args.jobs,
+        rate_jobs_s=args.rate,
+        workers=args.workers,
+        size=args.size,
+        blocksize=args.blocksize,
+        seed=args.seed,
+        mix=tuple(args.mix),
+        job_concurrency=args.job_concurrency,
+        obs=obs,
+    )
+    print(result.render())
+    print(f"wrote {result.write(args.out)}")
+    if obs is not None:
+        from repro.obs import spans_to_chrome_trace
+
+        spans_to_chrome_trace(obs.spans(), args.trace_out)
+        print(f"wrote {args.trace_out} ({len(obs)} spans)")
+    return 0
+
+
+def _run_trace(args) -> int:
+    import numpy as np
+
+    from repro.obs import (
+        SpanRecorder,
+        render_sim_vs_measured,
+        run_summary,
+        spans_to_chrome_trace,
+        spans_to_trace,
+    )
+    from repro.qr.api import ooc_qr
+    from repro.sim.timeline import render_summary, render_timeline
+    from repro.util.rng import default_rng
+
+    config = _config(args)
+    options = QrOptions(blocksize=args.blocksize, pipelined=not args.sync)
+    rec = SpanRecorder()
+    a = default_rng(0).standard_normal(
+        (args.rows, args.cols)
+    ).astype(np.float32)
+    ooc_qr(
+        a, method=args.method, mode="numeric", config=config,
+        options=options, concurrency=args.concurrency,
+        runtime=args.runtime, obs=rec,
+    )
+    spans = rec.spans()
+    trace = spans_to_trace(spans)
+    summary = run_summary(spans)
+    print(render_timeline(
+        trace, width=100,
+        title=f"qr {args.method} {args.rows}x{args.cols} "
+        f"b={options.blocksize} — measured ({args.runtime} runtime)",
+    ))
+    print(render_summary(trace))
+    print(f"  spans           : {summary.n_spans} "
+          f"(+{summary.n_events} events)")
+    if args.compare_sim:
+        sim = ooc_qr(
+            (args.rows, args.cols), method=args.method, mode="sim",
+            config=config, options=options,
+        )
+        print()
+        print(render_sim_vs_measured(
+            sim.trace, spans,
+            title=f"sim vs measured: qr {args.method} "
+            f"{args.rows}x{args.cols} b={options.blocksize}",
+        ))
+    if args.out is not None:
+        spans_to_chrome_trace(spans, args.out)
+        print(f"wrote {args.out} ({len(spans)} spans)")
     return 0
 
 

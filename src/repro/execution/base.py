@@ -153,8 +153,13 @@ class Executor(abc.ABC):
         # panel boundaries unconditionally; only numeric executors swap in
         # a live one (probes are meaningless without real numbers).
         from repro.health.sentinel import NULL_SENTINEL
+        from repro.obs.span import NULL_RECORDER
 
         self.health = NULL_SENTINEL
+        # Span recorder (repro.obs). Same idiom as the sentinel: disabled
+        # by default, and every instrumentation site guards on
+        # ``self.obs.enabled`` so obs=off leaves execution untouched.
+        self.obs = NULL_RECORDER
 
     # -- memory -----------------------------------------------------------------
 

@@ -40,7 +40,6 @@ from __future__ import annotations
 
 import queue
 import threading
-import time
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
@@ -49,6 +48,7 @@ from repro.errors import DeadlockError
 from repro.execution.base import DeviceBuffer
 from repro.execution.numeric import NumericExecutor
 from repro.host.tiled import HostRegion
+from repro.obs.clock import monotonic as _monotonic
 from repro.sim.ops import EngineKind, OpKind, SimOp
 from repro.util.regions import rects_overlap
 
@@ -66,6 +66,11 @@ class _Task:
     body: Callable[[], None]
     deps: tuple["_Task", ...]
     done: threading.Event = field(default_factory=threading.Event)
+    #: Span id of the issuing thread's open span (the driver root), captured
+    #: at issue time so the worker can parent the op span across threads.
+    obs_parent: int | None = None
+    #: Issue metadata the worker needs to record the op span.
+    obs_info: tuple | None = None
 
 
 def _regions_conflict(a: HostRegion, b: HostRegion) -> bool:
@@ -130,6 +135,16 @@ class ConcurrentNumericExecutor(NumericExecutor):
                     task.body()
                     task.op.end = self._now()
                     task.op.duration = task.op.end - task.op.start
+                    if self.obs.enabled and task.obs_info is not None:
+                        nbytes, flops, tag, accesses, stream = task.obs_info
+                        self._record_op_span(
+                            task.op.name, engine, task.op.kind,
+                            task.op.start + self._obs_t0,
+                            task.op.end + self._obs_t0,
+                            nbytes=nbytes, flops=flops, tag=tag,
+                            accesses=accesses, stream=stream,
+                            parent_id=task.obs_parent,
+                        )
             except BaseException as exc:  # noqa: BLE001 - must never kill worker
                 task.op.start = None
                 task.op.end = None
@@ -178,7 +193,9 @@ class ConcurrentNumericExecutor(NumericExecutor):
         """Record the op and dispatch its body to the engine worker."""
         self._raise_failure()
         if self._t0 is None:
-            self._t0 = time.perf_counter()
+            self._t0 = _monotonic()
+            if self.obs.enabled:
+                self._obs_t0 = self.obs.now()
         op = self._make_op(
             name=name, engine=engine, kind=kind, nbytes=nbytes, flops=flops,
             tag=tag, accesses=accesses,
@@ -189,6 +206,9 @@ class ConcurrentNumericExecutor(NumericExecutor):
         self._host_deps(host_reads, False, deps)
         self._host_deps(host_writes, True, deps)
         task = _Task(op=op, body=body, deps=tuple(dict.fromkeys(deps)))
+        if self.obs.enabled:
+            task.obs_parent = self.obs.current_id()
+            task.obs_info = (nbytes, flops, tag, accesses, stream)
         self._task_of[op] = task
         self._inflight.append(task)
         for access in accesses or ():
@@ -212,7 +232,7 @@ class ConcurrentNumericExecutor(NumericExecutor):
             if not task.done.wait(_WAIT_TIMEOUT_S):
                 raise DeadlockError([task.op])
         if self._t0 is not None:
-            self.stats.wall_s = time.perf_counter() - self._t0
+            self.stats.wall_s = _monotonic() - self._t0
         # Everything is retired: later ops can no longer depend on these
         # tasks (stream FIFO/event deps resolve through _task_of misses as
         # already-satisfied), so drop the bookkeeping.

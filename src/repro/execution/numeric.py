@@ -21,7 +21,6 @@ a scaled-down :class:`~repro.hw.specs.GpuSpec` for tests).
 
 from __future__ import annotations
 
-import time
 from typing import Any, Callable
 
 import numpy as np
@@ -31,6 +30,7 @@ from repro.errors import ExecutionError
 from repro.execution.base import DeviceBuffer, DeviceView, Executor, as_view
 from repro.health.sentinel import NULL_SENTINEL, HealthSentinel
 from repro.host.tiled import HostRegion
+from repro.obs.clock import monotonic as _monotonic
 from repro.sim.memory import DeviceAllocator
 from repro.sim.ops import EngineKind, OpKind, SimOp
 from repro.sim.scheduler import (
@@ -76,6 +76,9 @@ class NumericExecutor(Executor):
         self._input_format = config.precision.input_format
         self.program: StreamProgram | None = StreamProgram() if record else None
         self._t0: float | None = None
+        #: Recorder-timebase instant matching ``_t0`` — lets recorded ops
+        #: (stamped relative to ``_t0``) land on the shared span timeline.
+        self._obs_t0: float = 0.0
         #: Numerical-health sentinel; the api layer swaps in a live one
         #: when ``options.health`` enables probing. Op bodies consult it,
         #: so it must be attached before any op is issued.
@@ -85,7 +88,7 @@ class NumericExecutor(Executor):
 
     def _now(self) -> float:
         """Seconds since the first issued op (wall clock)."""
-        return time.perf_counter() - self._t0 if self._t0 is not None else 0.0
+        return _monotonic() - self._t0 if self._t0 is not None else 0.0
 
     def _issue(
         self,
@@ -111,9 +114,20 @@ class NumericExecutor(Executor):
         concurrent executor sends it to the op's engine worker).
         """
         if self._t0 is None:
-            self._t0 = time.perf_counter()
+            self._t0 = _monotonic()
+            if self.obs.enabled:
+                self._obs_t0 = self.obs.now()
         if self.program is None:
-            body()
+            if self.obs.enabled:
+                start = self.obs.now()
+                body()
+                self._record_op_span(
+                    name, engine, kind, start, self.obs.now(),
+                    nbytes=nbytes, flops=flops, tag=tag,
+                    accesses=accesses, stream=stream,
+                )
+            else:
+                body()
             return
         op = self._make_op(
             name=name, engine=engine, kind=kind, nbytes=nbytes, flops=flops,
@@ -124,6 +138,60 @@ class NumericExecutor(Executor):
         body()
         op.end = self._now()
         op.duration = op.end - op.start
+        if self.obs.enabled:
+            self._record_op_span(
+                name, engine, kind,
+                op.start + self._obs_t0, op.end + self._obs_t0,
+                nbytes=nbytes, flops=flops, tag=tag,
+                accesses=accesses, stream=stream,
+            )
+
+    def _record_op_span(
+        self,
+        name: str,
+        engine: EngineKind,
+        kind: OpKind,
+        start: float,
+        end: float,
+        *,
+        nbytes: int = 0,
+        flops: int = 0,
+        tag: str | None = None,
+        accesses: list | None = None,
+        stream: Any = None,
+        parent_id: int | None = None,
+    ) -> None:
+        """Record one executed op as a span on its engine lane.
+
+        The access records (already built for the race detector) become a
+        compact ``rects`` attribute — ``("w", 0, 32, 0, 8)`` is a write
+        to rows 0-32, cols 0-8 — so a Perfetto timeline shows exactly
+        which tile rectangle each op touched (the Chrome exporter formats
+        them as ``"w[0:32,0:8]"``; raw tuples keep string formatting off
+        the hot path). Allocation handles are left out: they come from a
+        process-wide counter, and span attributes must be identical from
+        run to run (the golden determinism test).
+        """
+        attrs: dict[str, Any] = {}
+        stream_name = getattr(stream, "name", "")
+        if stream_name:
+            attrs["stream"] = stream_name
+        if nbytes:
+            attrs["nbytes"] = nbytes
+        if flops:
+            attrs["flops"] = flops
+        if tag is not None:
+            attrs["tag"] = tag
+        if accesses:
+            attrs["rects"] = [
+                ("w" if write else "r", r0, r1, c0, c1)
+                for _handle, r0, r1, c0, c1, write in accesses
+            ]
+        self.obs.record(
+            name, start, end,
+            cat=kind.value, lane=engine.value,
+            parent_id=parent_id, attrs=attrs,
+        )
 
     @staticmethod
     def _make_op(
@@ -209,7 +277,7 @@ class NumericExecutor(Executor):
         # Eager execution has nothing to drain, but a sync is the natural
         # point to refresh the measured wall-clock span of the run.
         if self._t0 is not None:
-            self.stats.wall_s = time.perf_counter() - self._t0
+            self.stats.wall_s = _monotonic() - self._t0
 
     # -- views -------------------------------------------------------------------
 

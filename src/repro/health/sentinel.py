@@ -61,6 +61,7 @@ from repro.errors import (
 )
 from repro.health.options import HealthOptions
 from repro.health.report import Escalation, HealthReport
+from repro.obs.span import NULL_RECORDER
 from repro.tc.precision import QuantStats
 
 #: GEMM input formats the escalation policy will raise to fp32.
@@ -74,9 +75,14 @@ CROSS_SAMPLE_COLUMNS = 64
 class HealthSentinel:
     """Per-run numerical-health monitor and escalation policy."""
 
-    def __init__(self, options: HealthOptions, *, base_format: str = "fp32"):
+    def __init__(
+        self, options: HealthOptions, *, base_format: str = "fp32", obs=None
+    ):
         self.options = options
         self.base_format = base_format
+        #: Span recorder (repro.obs): escalations surface as instant
+        #: events on a ``health`` lane of the run timeline.
+        self.obs = obs if obs is not None else NULL_RECORDER
         self.report = HealthReport(mode=options.mode)
         self.quant_stats = QuantStats() if options.enabled else None
         self._counts: dict[str, int] = {}
@@ -116,6 +122,19 @@ class HealthSentinel:
         issued. Call exactly once per ``panel_qr`` issue, in issue order."""
         if self.enabled:
             self._panel_queue.append((panel, col0, col1))
+
+    def _record_escalation(
+        self, panel: int, trigger: str, action: str, value: float = 0.0
+    ) -> None:
+        """Tally one escalation and surface it on the observability
+        timeline (zero-duration ``health`` event)."""
+        with self._lock:
+            self.report.record_escalation(panel, trigger, action, value)
+        if self.obs.enabled:
+            self.obs.event(
+                f"escalate:{action}", cat="health", lane="health",
+                attrs={"panel": panel, "trigger": trigger, "value": value},
+            )
 
     # -- probes (called from op bodies) ---------------------------------------
 
@@ -168,11 +187,9 @@ class HealthSentinel:
         if np.isfinite(out).all():
             return
         if self.escalating and retry_fp32 is not None:
-            with self._lock:
-                self.report.record_escalation(
-                    panel=self._current_panel(), trigger="non-finite-gemm",
-                    action="gemm-fp32-retry",
-                )
+            self._record_escalation(
+                self._current_panel(), "non-finite-gemm", "gemm-fp32-retry"
+            )
             self._raise_gemm_precision("non-finite-gemm")
             retry_fp32()
             if np.isfinite(out).all():
@@ -235,11 +252,8 @@ class HealthSentinel:
             and self.base_format in _LOW_PRECISION_FORMATS
         ):
             self._gemm_override = "fp32"
+            self._record_escalation(self._current_panel(), trigger, "gemm-fp32")
             with self._lock:
-                self.report.record_escalation(
-                    panel=self._current_panel(), trigger=trigger,
-                    action="gemm-fp32",
-                )
                 self.report.gemm_format_override = self._gemm_override
 
     def after_panel(
@@ -285,7 +299,7 @@ class HealthSentinel:
         # Rung 2: CGS2-style reorthogonalization of the computed basis.
         with self._lock:
             self.report.drift_events += 1
-            self.report.record_escalation(panel, problem, "cgs2-reorth", value)
+        self._record_escalation(panel, problem, "cgs2-reorth", value)
         self._raise_gemm_precision(problem)
         if problem != "non-finite":
             q2, r2 = refactor(np.ascontiguousarray(q))
@@ -299,8 +313,7 @@ class HealthSentinel:
         # Rung 3: TSQR from the original panel data.
         from repro.qr.tsqr import tsqr
 
-        with self._lock:
-            self.report.record_escalation(panel, problem, "tsqr-panel", value)
+        self._record_escalation(panel, problem, "tsqr-panel", value)
         q3, r3 = tsqr(orig.astype(np.float64))
         q3 = np.asarray(q3, dtype=np.float32)
         r3 = np.asarray(r3, dtype=np.float32)
@@ -370,13 +383,12 @@ class HealthSentinel:
         if not self.escalating or not (tripped or self._reorth_sticky):
             return False
 
-        with self._lock:
-            self.report.record_escalation(
-                panel,
-                "cross-drift" if tripped else "reorth-sticky",
-                "block-reorth",
-                drift,
-            )
+        self._record_escalation(
+            panel,
+            "cross-drift" if tripped else "reorth-sticky",
+            "block-reorth",
+            drift,
+        )
         self._reorth_sticky = True
         self._raise_gemm_precision("cross-drift")
         q_prev = a.data[:, :col0].astype(np.float64)

@@ -1,0 +1,47 @@
+"""Unified observability: spans, metrics, trace export (docs/observability.md).
+
+Every execution layer — the numeric/concurrent executors, the DAG
+runtime, the serve scheduler, checkpointing, the health sentinel —
+records into one :class:`SpanRecorder` when a caller opts in (``obs=``),
+and the exporters in :mod:`repro.obs.export` turn the result into a
+Perfetto timeline or a sim-vs-measured diff. With no recorder attached
+(:data:`NULL_RECORDER`), instrumented paths are bitwise identical to
+un-instrumented code.
+"""
+
+from repro.obs import clock
+from repro.obs.derive import RunSummary, lane_intervals, run_summary
+from repro.obs.export import (
+    render_sim_vs_measured,
+    spans_to_chrome_events,
+    spans_to_chrome_trace,
+    spans_to_trace,
+)
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.span import (
+    ENGINE_LANES,
+    NULL_RECORDER,
+    NullRecorder,
+    Span,
+    SpanRecorder,
+)
+
+__all__ = [
+    "ENGINE_LANES",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_RECORDER",
+    "NullRecorder",
+    "RunSummary",
+    "Span",
+    "SpanRecorder",
+    "clock",
+    "lane_intervals",
+    "render_sim_vs_measured",
+    "run_summary",
+    "spans_to_chrome_events",
+    "spans_to_chrome_trace",
+    "spans_to_trace",
+]

@@ -1,0 +1,32 @@
+"""The library's single sanctioned wall-clock access point.
+
+Every timing read in ``src/repro`` goes through this module — the
+``wallclock-in-step-logic`` lint rule (:mod:`repro.analysis.lint`) flags
+direct ``time.time()`` / ``time.perf_counter()`` / ``datetime.now()``
+calls anywhere outside ``obs/``. Centralizing the reads buys three
+things:
+
+* checkpointed step logic provably never bakes a clock value into step
+  state (bitwise-identical resume, docs/checkpoint.md);
+* every span and RunStats figure is measured on the *same* monotonic
+  clock, so measured timelines from different layers line up;
+* tests can monkeypatch one module to make timing deterministic.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+def monotonic() -> float:
+    """Monotonic seconds for interval measurement (spans, RunStats,
+    latencies, backoff deadlines). Never goes backwards; zero point is
+    arbitrary — only differences are meaningful."""
+    return time.perf_counter()
+
+
+def wall_time() -> float:
+    """Seconds since the Unix epoch, for human-facing timestamps only
+    (checkpoint manifests, bench reports). Never use for measuring
+    durations or in checkpointed step state."""
+    return time.time()

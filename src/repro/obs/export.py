@@ -1,0 +1,191 @@
+"""Span exporters: Chrome trace JSON, sim-Trace adapter, sim-vs-measured diff.
+
+Three ways out of a recorded span list:
+
+* :func:`spans_to_chrome_trace` — Chrome ``trace_event`` JSON with one
+  timeline row per lane, loadable at https://ui.perfetto.dev (same format
+  the simulator's :func:`repro.sim.export.to_chrome_trace` emits, so sim
+  and measured traces open side by side in the same viewer).
+* :func:`spans_to_trace` — adapt engine-lane op spans into a
+  :class:`repro.sim.trace.Trace` so every sim-side analysis (timeline
+  rendering, overlap accounting, the race detector's interval math)
+  applies unchanged to measured runs.
+* :func:`render_sim_vs_measured` — the paper's argument in one table:
+  predicted vs measured makespan, per-engine busy time and overlap ratio
+  for the same plan.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.obs.derive import run_summary
+from repro.obs.span import ENGINE_LANES, Span
+from repro.sim.ops import EngineKind, OpKind, SimOp
+from repro.sim.trace import Trace
+from repro.util.tables import render_table
+
+#: cat values that map onto sim op kinds; anything else on an engine lane
+#: becomes ``small`` (the sim's own bucket for untyped minor work).
+_CAT_TO_OPKIND = {k.value: k for k in OpKind}
+
+
+def _format_attrs(attrs: dict[str, Any]) -> dict[str, Any]:
+    """Render hot-path attr encodings human-readable for export.
+
+    Executors record tile rects as raw tuples (``("w", 0, 32, 0, 8)``) to
+    keep string formatting out of the op path; here they become the
+    compact ``"w[0:32,0:8]"`` form a trace viewer shows.
+    """
+    rects = attrs.get("rects")
+    if rects:
+        attrs = dict(attrs)
+        attrs["rects"] = [
+            f"{mode}[{r0}:{r1},{c0}:{c1}]" for mode, r0, r1, c0, c1 in rects
+        ]
+    return attrs
+
+
+def _lane_order(spans: list[Span]) -> list[str]:
+    """Engine lanes first (fixed order), then the rest alphabetically."""
+    seen = {s.lane for s in spans if s.lane}
+    extra = sorted(seen - set(ENGINE_LANES))
+    return [lane for lane in ENGINE_LANES if lane in seen] + extra
+
+
+def spans_to_chrome_events(spans: list[Span]) -> list[dict[str, Any]]:
+    """Chrome ``trace_event`` dicts for *spans* (one tid per lane)."""
+    lanes = _lane_order(spans)
+    tids = {lane: i for i, lane in enumerate(lanes)}
+    events: list[dict[str, Any]] = [
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "pid": 0,
+            "tid": tid,
+            "args": {"name": lane},
+        }
+        for lane, tid in tids.items()
+    ]
+    for span in spans:
+        tid = tids.get(span.lane, len(lanes))
+        args: dict[str, Any] = {"span_id": span.span_id}
+        if span.parent_id is not None:
+            args["parent_id"] = span.parent_id
+        args.update(_format_attrs(span.attrs))
+        if span.is_event:
+            events.append(
+                {
+                    "name": span.name,
+                    "cat": span.cat,
+                    "ph": "i",
+                    "s": "t",  # thread-scoped instant
+                    "pid": 0,
+                    "tid": tid,
+                    "ts": span.start_s * 1e6,
+                    "args": args,
+                }
+            )
+        else:
+            events.append(
+                {
+                    "name": span.name,
+                    "cat": span.cat,
+                    "ph": "X",
+                    "pid": 0,
+                    "tid": tid,
+                    "ts": span.start_s * 1e6,  # microseconds
+                    "dur": span.duration_s * 1e6,
+                    "args": args,
+                }
+            )
+    return events
+
+
+def spans_to_chrome_trace(spans: list[Span], path: str | Path) -> Path:
+    """Write *spans* as Chrome-trace/Perfetto JSON; returns the path."""
+    path = Path(path)
+    payload = {"traceEvents": spans_to_chrome_events(spans)}
+    path.write_text(json.dumps(payload, indent=1))
+    return path
+
+
+def spans_to_trace(spans: list[Span]) -> Trace:
+    """Adapt engine-lane op spans into a sim :class:`Trace`.
+
+    Only interval spans on the three engine lanes become ops (driver root
+    spans, serve phases and events are timeline furniture, not engine
+    work). The span's ``cat`` maps to an :class:`OpKind` when it names
+    one; anything else falls back to ``small``. Timestamps are shifted so
+    the first engine op starts at t=0 — a Trace models engine work, and
+    setup time before the first op (input generation, graph build) would
+    otherwise read as leading idle.
+    """
+    trace = Trace()
+    ops = [s for s in spans if s.lane in ENGINE_LANES and not s.is_event]
+    t0 = min((s.start_s for s in ops), default=0.0)
+    for span in ops:
+        op = SimOp(
+            name=span.name,
+            engine=EngineKind(span.lane),
+            kind=_CAT_TO_OPKIND.get(span.cat, OpKind.SMALL),
+            duration=span.duration_s,
+            nbytes=int(span.attrs.get("nbytes", 0)),
+            flops=int(span.attrs.get("flops", 0)),
+            tags={"tag": span.attrs["tag"]} if "tag" in span.attrs else {},
+        )
+        op.start = span.start_s - t0
+        op.end = span.end_s - t0
+        trace.add(op)
+    return trace
+
+
+def render_sim_vs_measured(
+    sim_trace: Trace, spans: list[Span], *, title: str | None = None
+) -> str:
+    """Side-by-side table of predicted (sim) vs measured (span) figures.
+
+    Measured busy times come from :func:`repro.obs.derive.run_summary`
+    (merged intervals per lane) and sim figures from the Trace's own
+    accounting — both use the same interval arithmetic, so a row's ratio
+    is a genuine model error, not a definition mismatch.
+    """
+    summary = run_summary(spans)
+
+    def ratio(measured: float, predicted: float) -> str:
+        return f"{measured / predicted:.2f}x" if predicted > 0 else "-"
+
+    rows: list[list[object]] = [
+        [
+            "makespan_s",
+            f"{sim_trace.makespan:.6f}",
+            f"{summary.makespan_s:.6f}",
+            ratio(summary.makespan_s, sim_trace.makespan),
+        ]
+    ]
+    for engine in (EngineKind.H2D, EngineKind.COMPUTE, EngineKind.D2H):
+        predicted = sim_trace.busy_time(engine)
+        measured = summary.lane_busy_s.get(engine.value, 0.0)
+        rows.append(
+            [
+                f"busy_{engine.value}_s",
+                f"{predicted:.6f}",
+                f"{measured:.6f}",
+                ratio(measured, predicted),
+            ]
+        )
+    rows.append(
+        [
+            "overlap_ratio",
+            f"{sim_trace.overlap_ratio():.3f}",
+            f"{summary.overlap_ratio:.3f}",
+            "-",
+        ]
+    )
+    return render_table(
+        ["figure", "simulated", "measured", "meas/sim"],
+        rows,
+        title=title or "sim vs measured",
+    )

@@ -1,0 +1,266 @@
+"""Structured spans: the core record of the observability subsystem.
+
+A :class:`Span` is one timed interval of work — an executor op, a DAG
+task, a serve job phase, a checkpoint save — with a lane (the engine,
+stream or subsystem whose timeline row it belongs to), a category, a
+parent link, and free-form attributes (tile rects, byte counts, dep
+edges). Zero-duration spans are *events* (health escalations, cache
+puts).
+
+The :class:`SpanRecorder` is built to sit inside executor hot paths:
+
+* **per-thread buffers** — each recording thread appends raw tuples to a
+  thread-local list; the only lock is taken once per thread (to register
+  its buffer) and once per :meth:`SpanRecorder.spans` drain. Recording an
+  op costs one ``next()`` on an id counter plus one list append.
+* **single timebase** — every timestamp is seconds since the recorder's
+  creation, read from :func:`repro.obs.clock.monotonic` (injectable for
+  deterministic tests), so spans from different executors, the serve
+  scheduler, and checkpoint sessions all line up on one timeline.
+* **off by default** — instrumented code holds :data:`NULL_RECORDER`
+  (``enabled`` is False) unless a caller passes a live recorder; the off
+  path is a single attribute check and execution stays bitwise identical
+  to un-instrumented code.
+
+Exporters (:mod:`repro.obs.export`) and the derived run summary
+(:mod:`repro.obs.derive`) consume the materialized span list.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+from repro.obs.clock import monotonic as _default_clock
+
+#: Conventional lane names for the three hardware engines (match
+#: :class:`~repro.sim.ops.EngineKind` values so exporters can map back).
+ENGINE_LANES = ("h2d", "compute", "d2h")
+
+
+@dataclass(frozen=True)
+class Span:
+    """One completed timed interval (or instantaneous event)."""
+
+    span_id: int
+    parent_id: int | None
+    name: str
+    #: Category: an op kind (``copy_h2d``/``gemm``/...), ``run``, ``job``,
+    #: ``serve``, ``ckpt``, ``health``, ``mem`` — drives export grouping.
+    cat: str
+    #: Timeline row this span renders on: an engine name, ``driver``,
+    #: ``jobs``, ``serve``, ...
+    lane: str
+    start_s: float
+    end_s: float
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_s - self.start_s
+
+    @property
+    def is_event(self) -> bool:
+        """Zero-duration marker (rendered as an instant in Chrome traces)."""
+        return self.end_s == self.start_s
+
+
+class SpanRecorder:
+    """Thread-safe span sink with per-thread buffers (see module docstring).
+
+    Parameters
+    ----------
+    clock
+        Monotonic clock callable; defaults to
+        :func:`repro.obs.clock.monotonic`. Tests inject a deterministic
+        counter to make span timestamps reproducible.
+    """
+
+    #: Instrumented code guards its hot path on this.
+    enabled = True
+
+    def __init__(self, clock: Callable[[], float] | None = None):
+        self._clock = clock if clock is not None else _default_clock
+        self._origin = self._clock()
+        self._ids = itertools.count(1)
+        self._lock = threading.Lock()
+        #: One raw-tuple buffer per recording thread, registered on that
+        #: thread's first record.
+        self._buffers: list[list[tuple]] = []
+        self._local = threading.local()
+
+    # -- time / ids --------------------------------------------------------------
+
+    def now(self) -> float:
+        """Seconds since the recorder was created (the span timebase)."""
+        return self._clock() - self._origin
+
+    def allocate_id(self) -> int:
+        """Reserve a span id before its interval completes — used for
+        cross-thread spans (a serve job's root span starts on the submit
+        thread and is recorded on the worker that resolves it)."""
+        return next(self._ids)
+
+    def current_id(self) -> int | None:
+        """The innermost open :meth:`span` on the calling thread, if any."""
+        stack = getattr(self._local, "stack", None)
+        return stack[-1] if stack else None
+
+    def _buffer(self) -> list[tuple]:
+        buf = getattr(self._local, "buffer", None)
+        if buf is None:
+            buf = []
+            self._local.buffer = buf
+            with self._lock:
+                self._buffers.append(buf)
+        return buf
+
+    # -- recording ---------------------------------------------------------------
+
+    def record(
+        self,
+        name: str,
+        start_s: float,
+        end_s: float,
+        *,
+        cat: str = "op",
+        lane: str = "",
+        parent_id: int | None = None,
+        span_id: int | None = None,
+        attrs: dict[str, Any] | None = None,
+    ) -> int:
+        """Append one already-measured interval; returns its span id.
+
+        This is the executor hot path: timestamps were read by the
+        caller (around the op body), so recording is just an id bump and
+        a thread-local append. ``parent_id`` defaults to the calling
+        thread's innermost open :meth:`span`; pass it explicitly when
+        recording from a different thread than the one that issued the
+        work.
+        """
+        sid = span_id if span_id is not None else next(self._ids)
+        if parent_id is None:
+            parent_id = self.current_id()
+        self._buffer().append(
+            # copy attrs now: the caller may reuse/mutate its dict
+            (sid, parent_id, name, cat, lane, start_s, end_s,
+             dict(attrs) if attrs else None)
+        )
+        return sid
+
+    def event(
+        self,
+        name: str,
+        *,
+        cat: str = "event",
+        lane: str = "",
+        parent_id: int | None = None,
+        attrs: dict[str, Any] | None = None,
+    ) -> int:
+        """Record an instantaneous marker at the current time."""
+        t = self.now()
+        return self.record(
+            name, t, t, cat=cat, lane=lane, parent_id=parent_id, attrs=attrs
+        )
+
+    @contextmanager
+    def span(
+        self,
+        name: str,
+        *,
+        cat: str = "phase",
+        lane: str = "",
+        attrs: dict[str, Any] | None = None,
+    ) -> Iterator[int]:
+        """Context manager recording the enclosed work as one span.
+
+        Nested ``span`` blocks on the same thread parent automatically;
+        :meth:`record` calls made inside inherit the innermost open span
+        as their parent (including executor ops issued under a driver
+        root span).
+        """
+        sid = next(self._ids)
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        parent = stack[-1] if stack else None
+        stack.append(sid)
+        start = self.now()
+        try:
+            yield sid
+        finally:
+            stack.pop()
+            self.record(
+                name, start, self.now(),
+                cat=cat, lane=lane, parent_id=parent, span_id=sid, attrs=attrs,
+            )
+
+    # -- draining ----------------------------------------------------------------
+
+    def spans(self) -> list[Span]:
+        """All recorded spans, materialized and sorted by (start, id).
+
+        Safe to call while other threads are still recording (it snapshots
+        each buffer), though the canonical use is after the measured run
+        has quiesced.
+        """
+        with self._lock:
+            raw = [tuple(buf) for buf in self._buffers]
+        merged = [item for buf in raw for item in buf]
+        spans = [
+            Span(
+                span_id=sid, parent_id=parent, name=name, cat=cat, lane=lane,
+                start_s=start, end_s=end, attrs=dict(attrs) if attrs else {},
+            )
+            for sid, parent, name, cat, lane, start, end, attrs in merged
+        ]
+        spans.sort(key=lambda s: (s.start_s, s.span_id))
+        return spans
+
+    def __len__(self) -> int:
+        with self._lock:
+            return sum(len(buf) for buf in self._buffers)
+
+
+class NullRecorder:
+    """Disabled recorder: every operation is a no-op.
+
+    Instrumented code holds this by default so the observability hooks
+    cost one attribute check when off — and, critically, change nothing
+    about execution (the differential harness proves instrumented paths
+    bitwise identical with obs off).
+    """
+
+    enabled = False
+
+    def now(self) -> float:
+        return 0.0
+
+    def allocate_id(self) -> int:
+        return 0
+
+    def current_id(self) -> None:
+        return None
+
+    def record(self, *args: Any, **kwargs: Any) -> int:
+        return 0
+
+    def event(self, *args: Any, **kwargs: Any) -> int:
+        return 0
+
+    @contextmanager
+    def span(self, *args: Any, **kwargs: Any) -> Iterator[None]:
+        yield None
+
+    def spans(self) -> list[Span]:
+        return []
+
+    def __len__(self) -> int:
+        return 0
+
+
+#: Shared disabled recorder (the ``NULL_SENTINEL`` idiom from repro.health).
+NULL_RECORDER = NullRecorder()

@@ -39,6 +39,7 @@ from repro.execution.sim import SimExecutor
 from repro.health.report import HealthReport
 from repro.health.sentinel import HealthSentinel
 from repro.host.tiled import HostMatrix
+from repro.obs.span import NULL_RECORDER, SpanRecorder
 from repro.ooc.accounting import MovementReport, track
 from repro.qr.blocking import QrRunInfo, ooc_blocking_qr
 from repro.qr.options import QrOptions
@@ -114,7 +115,7 @@ def _as_host_matrix(a, element_bytes: int) -> tuple[HostMatrix, bool]:
 
 
 def _execute_qr_graph(
-    ex, config, method, host_a, options, mode, concurrency
+    ex, config, method, host_a, options, mode, concurrency, obs=NULL_RECORDER
 ) -> Trace | None:
     """Schedule the recorded QR task graph (runtime='dag' back half)."""
     from repro.runtime import DagScheduler, NumericGraphBackend, SimGraphBackend
@@ -125,7 +126,7 @@ def _execute_qr_graph(
     )
     if mode == "sim":
         return SimGraphBackend(config).run(graph)
-    backend = NumericGraphBackend(config)
+    backend = NumericGraphBackend(config, obs=obs)
     scheduler = DagScheduler(graph)
     if concurrency == "threads":
         scheduler.run_threaded(backend)
@@ -149,6 +150,7 @@ def ooc_qr(
     concurrency: str = "serial",
     checkpoint: CheckpointConfig | None = None,
     runtime: str = "legacy",
+    obs: SpanRecorder | None = None,
 ) -> QrResult:
     """Out-of-core QR factorization ``A = QR`` (classic Gram-Schmidt).
 
@@ -195,6 +197,13 @@ def ooc_qr(
         bitwise identical to legacy. Not yet combinable with
         ``mode="hybrid"``, ``checkpoint=`` or health monitoring. See
         docs/runtime.md.
+    obs
+        Optional :class:`~repro.obs.SpanRecorder`. When given, the run
+        records a root span plus per-op spans (engine lanes, tile rects,
+        dep edges on the DAG runtime) into it; export the result with
+        :mod:`repro.obs.export` or ``repro trace``. With the default
+        (no recorder) execution is bitwise identical to an
+        un-instrumented run. See docs/observability.md.
 
     Returns
     -------
@@ -265,6 +274,8 @@ def ooc_qr(
                 "use the legacy runtime"
             )
 
+    obs_rec = obs if obs is not None else NULL_RECORDER
+
     if runtime == "dag":
         from repro.runtime import GraphBuilder
 
@@ -279,9 +290,14 @@ def ooc_qr(
             if concurrency == "threads"
             else NumericExecutor(config)
         )
+        # Op spans come from the executor; the DAG path records them in
+        # its backend instead (graph *building* is not execution).
+        ex.obs = obs_rec
         if options.health.enabled:
             ex.health = HealthSentinel(
-                options.health, base_format=config.precision.input_format
+                options.health,
+                base_format=config.precision.input_format,
+                obs=obs_rec,
             )
     elif mode == "sim":
         ex = SimExecutor(config)
@@ -300,28 +316,40 @@ def ooc_qr(
         )
 
     driver = ooc_recursive_qr if method == "recursive" else ooc_blocking_qr
+    trace: Trace | None = None
     try:
-        with track(ex) as moved:
-            run_info = driver(ex, host_a, host_r, options, checkpoint=session)
+        # The run's root span: op spans issued inside (including ones
+        # recorded later on worker threads) parent under it.
+        with obs_rec.span(
+            f"ooc_qr[{method}]",
+            cat="run",
+            lane="driver",
+            attrs={
+                "method": method, "mode": mode, "runtime": runtime,
+                "m": host_a.rows, "n": host_a.cols,
+                "blocksize": options.blocksize, "concurrency": concurrency,
+            },
+        ):
+            with track(ex) as moved:
+                run_info = driver(ex, host_a, host_r, options, checkpoint=session)
+            if runtime == "dag":
+                trace = _execute_qr_graph(
+                    ex, config, method, host_a, options, mode, concurrency,
+                    obs=obs_rec,
+                )
+            elif mode in ("sim", "hybrid"):
+                trace = ex.finish()
+            else:
+                ex.synchronize()
+                if isinstance(ex, ConcurrentNumericExecutor):
+                    trace = ex.recorded_trace()
+                ex.close()
     except BaseException:
         # A typed refusal (NumericalError etc.) must not leak worker
         # threads; close() is idempotent and a no-op on serial executors.
         if mode == "numeric":
             ex.close()
         raise
-
-    trace: Trace | None = None
-    if runtime == "dag":
-        trace = _execute_qr_graph(
-            ex, config, method, host_a, options, mode, concurrency
-        )
-    elif mode in ("sim", "hybrid"):
-        trace = ex.finish()
-    else:
-        ex.synchronize()
-        if isinstance(ex, ConcurrentNumericExecutor):
-            trace = ex.recorded_trace()
-        ex.close()
     ex.allocator.check_balanced()
 
     return QrResult(

@@ -21,12 +21,13 @@ backend decides *what* running means.
 from __future__ import annotations
 
 import threading
-import time
 
 import numpy as np
 
 from repro.config import SystemConfig
 from repro.errors import ExecutionError
+from repro.obs.clock import monotonic as _monotonic
+from repro.obs.span import NULL_RECORDER
 from repro.runtime.task import TaskGraph, TileTask
 from repro.sim.memory import DeviceAllocator
 from repro.sim.ops import EngineKind, SimOp
@@ -35,21 +36,35 @@ from repro.sim.trace import Trace
 
 
 class NumericGraphBackend:
-    """Eager numeric execution of a materialized task graph."""
+    """Eager numeric execution of a materialized task graph.
 
-    def __init__(self, config: SystemConfig):
+    With a live span recorder (``obs=``) every executed task becomes a
+    span on its engine lane carrying its task id and dependency edges,
+    and alloc/free pseudo-tasks become instants on a ``mem`` lane — the
+    measured counterpart of the sim backend's predicted timeline.
+    """
+
+    def __init__(self, config: SystemConfig, *, obs=None):
         self.config = config
         self.allocator = DeviceAllocator(config.usable_device_bytes)
         self._t0: float | None = None
         self._t0_lock = threading.Lock()
         self.wall_s = 0.0
+        self.obs = obs if obs is not None else NULL_RECORDER
+        # Task spans run on pool threads with no open span stack; parent
+        # them under whatever span is open where the backend is built
+        # (the api layer constructs it inside the run's root span).
+        self._obs_parent = self.obs.current_id() if self.obs.enabled else None
+        self._obs_t0 = 0.0
 
     def _now(self) -> float:
         if self._t0 is None:
             with self._t0_lock:
                 if self._t0 is None:
-                    self._t0 = time.perf_counter()
-        return time.perf_counter() - self._t0
+                    if self.obs.enabled:
+                        self._obs_t0 = self.obs.now()
+                    self._t0 = _monotonic()
+        return _monotonic() - self._t0
 
     def execute(self, task: TileTask) -> None:
         if task.mem == "alloc":
@@ -62,6 +77,12 @@ class NumericGraphBackend:
             buf.payload["data"] = np.zeros(
                 (buf.rows, buf.cols), dtype=np.float32
             )
+            if self.obs.enabled:
+                self.obs.event(
+                    f"alloc {buf.name}", cat="mem", lane="mem",
+                    parent_id=self._obs_parent,
+                    attrs={"task": task.task_id, "nbytes": task.nbytes},
+                )
             return
         if task.mem == "free":
             buf = task.buffer
@@ -69,6 +90,12 @@ class NumericGraphBackend:
             self.allocator.free(buf.payload.pop("exec-allocation"))
             buf.payload.pop("data", None)
             buf.freed = True
+            if self.obs.enabled:
+                self.obs.event(
+                    f"free {buf.name}", cat="mem", lane="mem",
+                    parent_id=self._obs_parent,
+                    attrs={"task": task.task_id},
+                )
             return
         if task.body is None:
             raise ExecutionError(
@@ -81,10 +108,28 @@ class NumericGraphBackend:
         task.body()
         op.end = self._now()
         op.duration = op.end - op.start
+        if self.obs.enabled:
+            attrs = {
+                "task": task.task_id,
+                "deps": [dep.task_id for dep in task.deps],
+            }
+            if op.nbytes:
+                attrs["nbytes"] = op.nbytes
+            if op.flops:
+                attrs["flops"] = op.flops
+            self.obs.record(
+                op.name,
+                op.start + self._obs_t0,
+                op.end + self._obs_t0,
+                cat=op.kind.value,
+                lane=op.engine.value,
+                parent_id=self._obs_parent,
+                attrs=attrs,
+            )
 
     def finish(self, graph: TaskGraph) -> None:
         if self._t0 is not None:
-            self.wall_s = time.perf_counter() - self._t0
+            self.wall_s = _monotonic() - self._t0
             graph.stats.wall_s = self.wall_s
 
     def recorded_trace(self, graph: TaskGraph) -> Trace:

@@ -51,6 +51,8 @@ from repro.errors import (
     ShapeError,
     ValidationError,
 )
+from repro.obs.clock import monotonic as _monotonic
+from repro.obs.span import NULL_RECORDER, SpanRecorder
 from repro.serve.admission import AdmissionController, estimate_footprint_bytes
 from repro.serve.cache import ResultCache, job_cache_key
 from repro.serve.job import JobHandle, JobResult, JobSpec, JobState
@@ -142,6 +144,11 @@ class _Job:
     handle: JobHandle
     cache_key: str | None
     submitted_at: float
+    #: Pre-allocated root span id (admission -> verify -> wait -> execute
+    #: -> cache); the span itself is recorded when the job retires.
+    obs_root: int | None = None
+    #: Recorder-timebase submit instant (the root span's start).
+    obs_t0: float = 0.0
 
 
 class FactorService:
@@ -184,6 +191,11 @@ class FactorService:
         heuristic — is what admission charges. Plans with findings are
         quarantined with ``AdmissionError("plan-rejected")`` before they
         ever touch the queue. On by default; see docs/analysis.md.
+    obs
+        A shared :class:`~repro.obs.SpanRecorder`. Every job then records
+        one root span (submit to retire) on a ``jobs`` lane plus
+        verify/wait/attempt child spans on a ``serve`` lane; off by
+        default. See docs/observability.md.
     """
 
     def __init__(
@@ -201,6 +213,7 @@ class FactorService:
         metrics: MetricsRegistry | None = None,
         runner: Callable[[JobSpec, SystemConfig, str], JobResult] | None = None,
         verify_plans: bool = True,
+        obs: SpanRecorder | None = None,
     ):
         self.config = config or PAPER_SYSTEM
         if n_workers < 1:
@@ -221,6 +234,10 @@ class FactorService:
         self.cache = cache
         self.verify_plans = verify_plans
         self.metrics = metrics or MetricsRegistry()
+        # Span recorder (repro.obs): one root span per job spanning
+        # admission -> verify -> wait -> execute -> cache, with phase
+        # child spans; disabled by default (docs/observability.md).
+        self.obs = obs if obs is not None else NULL_RECORDER
         self.admission = AdmissionController(
             budget_bytes=(
                 device_budget
@@ -337,6 +354,11 @@ class FactorService:
         static plan verifier proves the job's op stream unsafe
         (``plan-rejected``).
         """
+        obs = self.obs
+        # Root span id + start are fixed at submit; the span itself is
+        # recorded whenever the job retires (any thread, any outcome).
+        t_submit = obs.now() if obs.enabled else 0.0
+        rid = obs.allocate_id() if obs.enabled else None
         footprint = estimate_footprint_bytes(spec, self.config)
         key = None
         if self.cache is not None and spec.mode == "numeric":
@@ -353,6 +375,7 @@ class FactorService:
                         health=cached.health,
                     )
                 )
+                self._record_job_root(spec, rid, t_submit, "cache-hit")
                 return handle
             self._cache_misses_c.inc()
 
@@ -360,14 +383,22 @@ class FactorService:
         # capture is pure (no data, no clock, no shared state).
         charge = footprint
         if self.verify_plans:
+            verify_t0 = obs.now() if obs.enabled else 0.0
             try:
                 report = self._verify_plan(spec, footprint)
             except AdmissionError:
                 self._rejected_c.inc()
+                self._record_job_root(spec, rid, t_submit, "rejected")
                 raise
+            if obs.enabled:
+                obs.record(
+                    "verify", verify_t0, obs.now(), cat="serve", lane="serve",
+                    parent_id=rid, attrs={"job": spec.label()},
+                )
             if report.findings:
                 self._plans_rejected_c.inc()
                 self._rejected_c.inc()
+                self._record_job_root(spec, rid, t_submit, "plan-rejected")
                 violation = PlanViolation(report)
                 raise AdmissionError("plan-rejected", str(violation)) from violation
             self._plans_verified_c.inc()
@@ -384,16 +415,19 @@ class FactorService:
         with self._cv:
             if self._closed:
                 self._rejected_c.inc()
+                self._record_job_root(spec, rid, t_submit, "rejected")
                 raise AdmissionError("service-closed", "submit after close()")
             try:
                 self.admission.check_submittable(charge, spec.label())
             except AdmissionError:
                 self._rejected_c.inc()
+                self._record_job_root(spec, rid, t_submit, "rejected")
                 raise
             handle = JobHandle(next(self._seq), spec, footprint, charged_bytes=charge)
             job = _Job(
                 spec=spec, handle=handle, cache_key=key,
-                submitted_at=time.perf_counter(),
+                submitted_at=_monotonic(),
+                obs_root=rid, obs_t0=t_submit,
             )
             heapq.heappush(
                 self._pending,
@@ -405,14 +439,33 @@ class FactorService:
             self._cv.notify_all()
         return handle
 
+    def _record_job_root(
+        self,
+        spec: JobSpec,
+        rid: int | None,
+        t_start: float,
+        outcome: str,
+        attempts: int | None = None,
+    ) -> None:
+        """Record a job's root span (pre-allocated id) at retirement."""
+        if not self.obs.enabled or rid is None:
+            return
+        attrs: dict[str, Any] = {"kind": spec.kind, "outcome": outcome}
+        if attempts is not None:
+            attrs["attempts"] = attempts
+        self.obs.record(
+            f"job:{spec.label()}", t_start, self.obs.now(),
+            cat="job", lane="jobs", span_id=rid, parent_id=None, attrs=attrs,
+        )
+
     def drain(self, timeout: float | None = None) -> bool:
         """Block until every accepted job has retired; False on timeout."""
-        deadline = None if timeout is None else time.monotonic() + timeout
+        deadline = None if timeout is None else _monotonic() + timeout
         with self._cv:
             while self._pending or self._active:
                 remaining = None
                 if deadline is not None:
-                    remaining = deadline - time.monotonic()
+                    remaining = deadline - _monotonic()
                     if remaining <= 0:
                         return False
                 self._cv.wait(remaining)
@@ -496,6 +549,10 @@ class FactorService:
                         entry = heapq.heappop(self._pending)
                         self.admission.drop_pending()
                         self._rejected_c.inc()
+                        self._record_job_root(
+                            entry.job.spec, entry.job.obs_root,
+                            entry.job.obs_t0, "rejected",
+                        )
                         entry.job.handle._fail(
                             AdmissionError(
                                 "service-closed",
@@ -539,18 +596,35 @@ class FactorService:
     def _execute(self, job: _Job) -> None:
         handle = job.handle
         spec = job.spec
+        obs = self.obs
         handle.state = JobState.RUNNING
-        handle.wait_s = time.perf_counter() - job.submitted_at
+        handle.wait_s = _monotonic() - job.submitted_at
         self._wait_h.observe(handle.wait_s)
+        if obs.enabled and job.obs_root is not None:
+            obs.record(
+                "wait", job.obs_t0, obs.now(), cat="serve", lane="serve",
+                parent_id=job.obs_root, attrs={"job": spec.label()},
+            )
         job_config = self._capped_config(handle.footprint_bytes)
 
         for attempt in range(self.max_retries + 1):
             handle.attempts = attempt + 1
-            t0 = time.perf_counter()
+            t0 = _monotonic()
+            attempt_t0 = obs.now() if obs.enabled else 0.0
+
+            def record_attempt(outcome: str) -> None:
+                if obs.enabled and job.obs_root is not None:
+                    obs.record(
+                        f"attempt {handle.attempts}", attempt_t0, obs.now(),
+                        cat="serve", lane="serve", parent_id=job.obs_root,
+                        attrs={"job": spec.label(), "outcome": outcome},
+                    )
+
             try:
                 result = self._runner(spec, job_config, self.job_concurrency)
             except Exception as exc:  # noqa: BLE001 - job isolation boundary
-                handle.run_s = time.perf_counter() - t0
+                handle.run_s = _monotonic() - t0
+                record_attempt(type(exc).__name__)
                 retryable = not isinstance(exc, DETERMINISTIC_ERRORS)
                 if retryable and attempt < self.max_retries:
                     self._retries_c.inc()
@@ -567,11 +641,16 @@ class FactorService:
                     if report is not None:
                         self._escalations_c.inc(report.n_escalations)
                 self._failed_c.inc()
+                self._record_job_root(
+                    spec, job.obs_root, job.obs_t0, "failed",
+                    attempts=handle.attempts,
+                )
                 handle._fail(exc)
                 return
-            handle.run_s = time.perf_counter() - t0
+            handle.run_s = _monotonic() - t0
+            record_attempt("ok")
             self._run_h.observe(handle.run_s)
-            self._turnaround_h.observe(time.perf_counter() - job.submitted_at)
+            self._turnaround_h.observe(_monotonic() - job.submitted_at)
             if result.ckpt is not None:
                 self._ckpt_written_c.inc(result.ckpt.checkpoints_written)
                 self._ckpt_bytes_c.inc(result.ckpt.checkpoint_bytes)
@@ -583,6 +662,15 @@ class FactorService:
                 result.makespan = handle.run_s
             if self.cache is not None and job.cache_key is not None:
                 self.cache.put(job.cache_key, result)
+                if obs.enabled and job.obs_root is not None:
+                    obs.event(
+                        "cache.put", cat="serve", lane="serve",
+                        parent_id=job.obs_root, attrs={"job": spec.label()},
+                    )
             self._completed_c.inc()
+            self._record_job_root(
+                spec, job.obs_root, job.obs_t0, "completed",
+                attempts=handle.attempts,
+            )
             handle._resolve(result)
             return

@@ -154,7 +154,13 @@ class Trace:
                     )
 
 
-def _merge_intervals(intervals: Iterable[tuple[float, float]]) -> list[tuple[float, float]]:
+def merge_intervals(intervals: Iterable[tuple[float, float]]) -> list[tuple[float, float]]:
+    """Union of (start, end) intervals as a sorted, disjoint list.
+
+    Shared by the sim's overlap accounting and the measured-span summary
+    in :mod:`repro.obs.derive`, so both layers define "busy time" and
+    "exposed transfer" identically.
+    """
     ivs = sorted((s, e) for s, e in intervals if e > s)
     merged: list[tuple[float, float]] = []
     for s, e in ivs:
@@ -165,7 +171,7 @@ def _merge_intervals(intervals: Iterable[tuple[float, float]]) -> list[tuple[flo
     return merged
 
 
-def _interval_difference(
+def interval_difference(
     a: list[tuple[float, float]], b: list[tuple[float, float]]
 ) -> list[tuple[float, float]]:
     """Parts of intervals *a* not covered by intervals *b* (both merged)."""
@@ -189,5 +195,12 @@ def _interval_difference(
     return result
 
 
-def _interval_length(intervals: list[tuple[float, float]]) -> float:
+def interval_length(intervals: list[tuple[float, float]]) -> float:
+    """Total covered length of a disjoint interval list."""
     return sum(e - s for s, e in intervals)
+
+
+# Historical private names, kept for callers predating the obs subsystem.
+_merge_intervals = merge_intervals
+_interval_difference = interval_difference
+_interval_length = interval_length

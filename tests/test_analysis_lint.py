@@ -57,8 +57,11 @@ class TestPrecisionOutsideTc:
 
 
 class TestWallclockInStepLogic:
-    def test_wallclock_flagged_in_checkpointed_dirs(self):
-        for parts in (("qr", "x.py"), ("factor", "x.py"), ("ckpt", "x.py")):
+    def test_wallclock_flagged_everywhere_outside_obs(self):
+        for parts in (
+            ("qr", "x.py"), ("factor", "x.py"), ("ckpt", "x.py"),
+            ("serve", "x.py"), ("bench", "x.py"), ("execution", "x.py"),
+        ):
             assert rules("t = time.time()", parts=parts) == [
                 "wallclock-in-step-logic"
             ], parts
@@ -66,12 +69,41 @@ class TestWallclockInStepLogic:
             "wallclock-in-step-logic"
         ]
 
-    def test_measurement_clocks_allowed(self):
-        assert rules("t = time.perf_counter()", parts=("qr", "x.py")) == []
-        assert rules("t = time.monotonic()", parts=("ckpt", "x.py")) == []
+    def test_measurement_clocks_also_flagged(self):
+        # perf_counter/monotonic used to be sanctioned anywhere; the span
+        # recorder made repro.obs.clock the single timebase
+        assert rules("t = time.perf_counter()", parts=("qr", "x.py")) == [
+            "wallclock-in-step-logic"
+        ]
+        assert rules("t = time.monotonic()", parts=("serve", "x.py")) == [
+            "wallclock-in-step-logic"
+        ]
+        assert rules("t = time.monotonic_ns()", parts=("bench", "x.py")) == [
+            "wallclock-in-step-logic"
+        ]
 
-    def test_wallclock_fine_outside_step_logic(self):
-        assert rules("t = time.time()", parts=("serve", "x.py")) == []
+    def test_from_import_cannot_dodge_the_rule(self):
+        assert rules("from time import perf_counter", parts=("qr", "x.py")) == [
+            "wallclock-in-step-logic"
+        ]
+        assert rules("from time import time as now", parts=("serve", "x.py")) == [
+            "wallclock-in-step-logic"
+        ]
+
+    def test_obs_owns_clock_access(self):
+        assert rules("t = time.perf_counter()", parts=("obs", "clock.py")) == []
+        assert rules("t = time.time()", parts=("obs", "clock.py")) == []
+        assert rules("from time import perf_counter", parts=("obs", "x.py")) == []
+
+    def test_sleep_is_not_a_clock_read(self):
+        assert rules("time.sleep(0.1)", parts=("serve", "x.py")) == []
+        assert rules("from time import sleep", parts=("serve", "x.py")) == []
+
+    def test_message_points_to_the_sanctioned_source(self):
+        (finding,) = lint_source(
+            "t = time.perf_counter()", "x.py", ("serve", "x.py")
+        )
+        assert "repro.obs.clock" in finding.message
 
 
 class TestSchedulerBypass:

@@ -1,0 +1,113 @@
+"""Tests for the open-loop serve load generator (repro.bench.loadgen)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.loadgen import (
+    LATENCY_KEYS,
+    SCHEMA_VERSION,
+    arrival_schedule,
+    run_loadgen,
+)
+from repro.errors import ValidationError
+from repro.obs import SpanRecorder
+
+#: One small, fast run shared by most assertions (module-scoped: the
+#: loadgen really drives the service, so we pay for it once).
+N_JOBS = 10
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_loadgen(
+        N_JOBS, rate_jobs_s=500.0, workers=2, size=48, blocksize=16, seed=0
+    )
+
+
+class TestArrivalSchedule:
+    def test_deterministic_for_a_seed(self):
+        assert arrival_schedule(20, 100.0, seed=5) == \
+            arrival_schedule(20, 100.0, seed=5)
+        assert arrival_schedule(20, 100.0, seed=5) != \
+            arrival_schedule(20, 100.0, seed=6)
+
+    def test_monotone_increasing(self):
+        times = arrival_schedule(50, 250.0, seed=1)
+        assert all(b > a for a, b in zip(times, times[1:]))
+
+    def test_mean_gap_tracks_rate(self):
+        times = arrival_schedule(2000, 100.0, seed=2)
+        assert times[-1] / len(times) == pytest.approx(1 / 100.0, rel=0.1)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            arrival_schedule(-1, 100.0)
+        with pytest.raises(ValidationError):
+            arrival_schedule(10, 0.0)
+
+
+class TestLoadgenRun:
+    def test_every_job_accounted_for(self, result):
+        assert result.submitted + result.rejected == N_JOBS
+        assert result.completed + result.failed == result.submitted
+        assert result.failed == 0
+
+    def test_goodput_positive(self, result):
+        assert result.goodput_jobs_s > 0
+        assert result.wall_s > 0
+
+    def test_percentiles_monotone(self, result):
+        lat = result.latency_s
+        assert 0 < lat["p50"] <= lat["p90"] <= lat["p99"] <= lat["max"]
+        assert lat["p50"] <= lat["max"]
+
+    def test_metrics_snapshot_included(self, result):
+        # the service's own registry, not a parallel accounting path
+        assert result.metrics["jobs_completed"]["value"] == result.completed
+        assert result.metrics["turnaround_s"]["count"] == result.completed
+
+
+class TestBenchServeJson:
+    def test_schema(self, result, tmp_path):
+        path = result.write(tmp_path / "BENCH_serve.json")
+        doc = json.loads(path.read_text())
+        assert list(doc) == [
+            "bench", "schema_version", "generated_by", "params", "jobs",
+            "latency_s", "goodput_jobs_s", "wall_s", "metrics",
+        ]
+        assert doc["bench"] == "serve-loadgen"
+        assert doc["schema_version"] == SCHEMA_VERSION
+        assert doc["generated_by"] == "repro.bench.loadgen"
+        assert list(doc["latency_s"]) == list(LATENCY_KEYS)
+        assert doc["jobs"]["submitted"] == result.submitted
+        assert doc["goodput_jobs_s"] == pytest.approx(result.goodput_jobs_s)
+
+    def test_params_recorded(self, result):
+        doc = result.to_json()
+        assert doc["params"]["n_jobs"] == N_JOBS
+        assert doc["params"]["rate_jobs_s"] == 500.0
+        assert doc["params"]["mix"] == ["qr", "gemm", "lu", "cholesky"]
+
+    def test_render_mentions_goodput(self, result):
+        out = result.render()
+        assert "goodput" in out and "latency p99" in out
+
+
+class TestLoadgenWithSpans:
+    def test_job_root_spans_recorded(self):
+        rec = SpanRecorder()
+        result = run_loadgen(
+            6, rate_jobs_s=500.0, workers=2, size=48, blocksize=16,
+            seed=1, mix=("qr", "gemm"), obs=rec,
+        )
+        spans = rec.spans()
+        roots = [s for s in spans if s.cat == "job"]
+        assert len(roots) == result.submitted + result.rejected
+        completed = [s for s in roots if s.attrs.get("outcome") == "completed"]
+        assert len(completed) == result.completed
+        root_ids = {s.span_id for s in roots}
+        children = [s for s in spans if s.cat == "serve"]
+        assert children and all(s.parent_id in root_ids for s in children)

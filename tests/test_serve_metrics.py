@@ -99,3 +99,34 @@ class TestRegistry:
         assert snap["c"]["count"] == 1
         assert snap["c"]["p50"] == 0.25
         assert list(snap) == sorted(snap)     # stable key order
+
+
+class TestObsCoreShim:
+    """The registry moved to repro.obs.metrics; serve re-exports it.
+
+    Both import paths must keep working and resolve to the *same*
+    classes, so isinstance checks and registries compose across the
+    subsystems (e.g. the loadgen reading a service's histograms).
+    """
+
+    def test_serve_names_are_the_obs_classes(self):
+        from repro.obs import metrics as obs_metrics
+        from repro.serve import metrics as serve_metrics
+
+        for name in ("Counter", "Gauge", "Histogram", "MetricsRegistry"):
+            assert getattr(serve_metrics, name) is getattr(obs_metrics, name)
+
+    def test_package_level_reexports_agree(self):
+        import repro.obs
+        import repro.serve
+
+        assert repro.serve.MetricsRegistry is repro.obs.MetricsRegistry
+
+    def test_snapshot_shape_unchanged(self):
+        # the byte-level contract serve-bench --metrics relies on
+        reg = MetricsRegistry()
+        reg.histogram("turnaround_s").observe(0.5)
+        snap = reg.snapshot()["turnaround_s"]
+        assert list(snap) == [
+            "type", "count", "sum", "min", "max", "mean", "p50", "p90", "p99",
+        ]
