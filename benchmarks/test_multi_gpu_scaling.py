@@ -1,9 +1,18 @@
 """Multi-GPU OOC GEMM scaling — the §2.2 cuBLASXt/BLASX problem space:
-column-split scaling with independent vs shared host links."""
+column-split scaling with independent vs shared host links — plus the
+``repro.dist`` multi-device CAQR sweep (S15), which persists
+``BENCH_dist.json`` next to the rendered report."""
 
+from repro.bench.dist import exp_dist_scaling, run_dist_bench
 from repro.bench.studies import exp_multi_gpu_scaling
 
 
 def test_multi_gpu_scaling(benchmark, record_experiment):
     result = benchmark(exp_multi_gpu_scaling)
     record_experiment(result)
+
+
+def test_dist_caqr_scaling(benchmark, record_experiment, results_dir):
+    result = benchmark(exp_dist_scaling)
+    record_experiment(result)
+    run_dist_bench().write(results_dir / "BENCH_dist.json")

@@ -1,6 +1,6 @@
 """Repo lint pack: AST rules encoding this codebase's invariants.
 
-Four rules, each guarding a property the test suite and docs rely on but
+Five rules, each guarding a property the test suite and docs rely on but
 ordinary linters cannot express:
 
 ``reproerror-raises``
@@ -35,6 +35,14 @@ ordinary linters cannot express:
     ``execution/``, ``sim/`` and ``analysis/`` bypasses the
     happens-before bookkeeping the race detector and verifier prove
     things about.
+
+``layering-imports``
+    Lower layers may not import up: ``dist/`` sits below the serving
+    layer (``repro.serve`` *places jobs onto* device pools, not the
+    other way around), so any ``import repro.serve`` under ``dist/``
+    inverts the dependency and is a finding. The forbidden-edge map
+    (:data:`_LAYERING_FORBIDDEN`) is the place to add further edges as
+    layers accrete.
 
 A finding on a given line is waived by a same-line comment
 ``# lint: allow[<rule>]``. Run via ``tools/lint_repro.py`` (CI runs it
@@ -103,6 +111,12 @@ _OBS_DIR = "obs"
 
 #: Directories allowed to call ``._issue`` / touch ``.deps`` directly.
 _SCHEDULER_DIRS = ("execution", "sim", "analysis")
+
+#: Layering edges that must not exist: top-level directory under
+#: ``src/repro`` -> module prefixes it may never import.
+_LAYERING_FORBIDDEN: dict[str, tuple[str, ...]] = {
+    "dist": ("repro.serve",),
+}
 
 
 @dataclass(frozen=True)
@@ -178,7 +192,26 @@ def lint_source(source: str, path: str, rel_parts: tuple[str, ...]) -> list[Lint
             return
         findings.append(LintFinding(path, line, rule, message))
 
+    forbidden_imports = _LAYERING_FORBIDDEN.get(top, ())
+
+    def check_layering(node: ast.AST, module: str | None) -> None:
+        if module is None:
+            return
+        for prefix in forbidden_imports:
+            if module == prefix or module.startswith(prefix + "."):
+                report(
+                    node,
+                    "layering-imports",
+                    f"{top}/ must not import {prefix} (lower layer "
+                    f"importing up; see _LAYERING_FORBIDDEN)",
+                )
+
     for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                check_layering(node, alias.name)
+        if isinstance(node, ast.ImportFrom):
+            check_layering(node, node.module)
         if isinstance(node, ast.ImportFrom) and node.module == "time":
             for alias in node.names:
                 if not in_obs and alias.name in _WALLCLOCK_FROM_IMPORTS:

@@ -11,6 +11,9 @@ Commands
 ``trace``         run a numeric QR under the span recorder and render the
                   measured per-engine timeline (docs/observability.md)
 ``analyze``       static plan verifier + repo lint pack (docs/analysis.md)
+``dist``          multi-device sharded QR: simulated scaling sweep over a
+                  device pool, or the numeric process-pool backend
+                  (docs/dist.md)
 ``gpus``          list built-in GPU specs and their §3.3 thresholds
 
 Domain failures (bad shapes, unknown GPUs, unplannable configs) exit with
@@ -369,6 +372,49 @@ def main(argv: list[str] | None = None) -> int:
     p_an.add_argument("--gpu", default=V100_32GB.name)
     p_an.add_argument("--memory-gib", type=float, default=None)
 
+    p_dist = sub.add_parser(
+        "dist",
+        help="multi-device sharded QR over a CAQR reduction tree: "
+        "simulated scaling sweep or numeric process-pool run "
+        "(docs/dist.md)",
+    )
+    p_dist.add_argument("-m", "--rows", type=int, default=1_048_576)
+    p_dist.add_argument("-n", "--cols", type=int, default=1024)
+    p_dist.add_argument(
+        "--devices", type=int, nargs="+", default=[1, 8, 16, 32, 64],
+        help="device counts to sweep (sim) or run (numeric)",
+    )
+    p_dist.add_argument(
+        "--tree", choices=["binomial", "flat"], default="binomial",
+        help="reduction tree: binomial meets the CAQR bound, flat is the "
+        "instructive root-hotspot baseline",
+    )
+    p_dist.add_argument(
+        "--mode", choices=["sim", "numeric"], default="sim",
+        help="sim: partitioned-graph device-pool model; numeric: really "
+        "factor random data through the memmap shard backend "
+        "(use small -m/-n)",
+    )
+    p_dist.add_argument(
+        "--processes", type=int, default=0,
+        help="numeric mode worker processes (0 = inline, default)",
+    )
+    p_dist.add_argument(
+        "--shared-link", action="store_true",
+        help="sim: all devices contend for one host link",
+    )
+    p_dist.add_argument("--gpu", default=V100_32GB.name)
+    p_dist.add_argument("--memory-gib", type=float, default=None)
+    p_dist.add_argument(
+        "--bench-out", default=None, metavar="JSON",
+        help="sim: write the sweep as a BENCH_dist.json document",
+    )
+    p_dist.add_argument(
+        "--trace-out", default=None, metavar="JSON",
+        help="sim: export per-device span lanes of the largest sweep "
+        "point as a Chrome trace (Perfetto-loadable)",
+    )
+
     sub.add_parser("gpus", help="list built-in GPU specs")
 
     args = parser.parse_args(argv)
@@ -471,7 +517,86 @@ def _dispatch(args) -> int:
     if args.command == "analyze":
         return _run_analyze(args)
 
+    if args.command == "dist":
+        return _run_dist(args)
+
     return _run_factorization(args, args.command)
+
+
+def _run_dist(args) -> int:
+    config = _config(args)
+    counts = sorted(set(args.devices))
+
+    if args.mode == "numeric":
+        import numpy as np
+
+        from repro.dist.numeric import dist_qr_numeric
+        from repro.util.rng import default_rng
+
+        a = default_rng(0).standard_normal((args.rows, args.cols))
+        rows = []
+        for p in counts:
+            res = dist_qr_numeric(
+                a, n_devices=p, tree=args.tree, processes=args.processes
+            )
+            resid = np.linalg.norm(res.q @ res.r - a) / np.linalg.norm(a)
+            rows.append([
+                str(p),
+                f"{res.comm.max_up_words}",
+                f"{res.comm.caqr_ratio:.3f}",
+                "yes" if res.comm.meets_bound else "NO",
+                f"{resid:.2e}",
+                str(res.processes),
+            ])
+        print(render_table(
+            ["devices", "up words/dev", "caqr ratio", "meets bound",
+             "residual", "procs"],
+            rows,
+        ))
+        return 0
+
+    from repro.dist.sim import dist_scaling_sweep, dist_trace_spans
+
+    sweep = dist_scaling_sweep(
+        config, m=args.rows, n=args.cols, device_counts=tuple(counts),
+        tree=args.tree, shared_host_link=args.shared_link,
+    )
+    baseline = sweep[min(sweep)]
+    rows = []
+    failures = 0
+    for p in counts:
+        r = sweep[p]
+        failures += 0 if r.all_verified else 1
+        rows.append([
+            str(p),
+            f"{r.makespan * 1e3:.1f} ms",
+            f"{r.speedup_over(baseline):.2f}x",
+            f"{r.peak_bytes / 1e9:.2f} GB",
+            f"{r.transfer_bytes / 1e9:.2f} GB",
+            f"{r.comm.caqr_ratio:.3f}",
+            "ok" if r.all_verified else "FINDINGS",
+        ])
+    print(render_table(
+        ["devices", "makespan", "speedup", "peak/dev", "transfers",
+         "caqr ratio", "verify"],
+        rows,
+    ))
+    if args.bench_out is not None:
+        from repro.bench.dist import run_dist_bench
+
+        doc = run_dist_bench(
+            config, m=args.rows, n=args.cols,
+            device_counts=tuple(counts), tree=args.tree,
+        )
+        print(f"wrote {doc.write(args.bench_out)}")
+    if args.trace_out is not None:
+        from repro.obs import spans_to_chrome_trace
+
+        spans = dist_trace_spans(sweep[max(sweep)])
+        spans_to_chrome_trace(spans, args.trace_out)
+        print(f"wrote {args.trace_out} ({len(spans)} spans, "
+              f"{max(sweep)} device lanes)")
+    return 1 if failures else 0
 
 
 def _run_analyze(args) -> int:

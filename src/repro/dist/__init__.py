@@ -1,0 +1,72 @@
+"""repro.dist — communication-optimal multi-device sharding.
+
+Shards a tall-skinny QR across a modeled device pool: block-cyclic
+ownership (:mod:`~repro.dist.shard`) over an explicit link topology
+(:mod:`~repro.dist.topology`), CAQR reduction trees with measured-vs-
+lower-bound accounting (:mod:`~repro.dist.tree`), a placement pass that
+partitions the tile-DAG task graph and inserts priced inter-device
+transfers (:mod:`~repro.dist.placement`), and two executors: a per-
+device simulator sweep (:mod:`~repro.dist.sim`) and a process-pool
+numeric backend with memmap shard handoff whose binomial tree bitwise-
+matches the single-device TSQR (:mod:`~repro.dist.numeric`).
+
+Layering: ``repro.dist`` sits beside the runtime/analysis layers and
+below ``repro.serve`` — it must not import the serving layer (enforced
+by the repo lint pack).
+"""
+
+from repro.dist.api import DIST_MODES, dist_qr
+from repro.dist.numeric import DistNumericResult, dist_qr_numeric
+from repro.dist.placement import (
+    DeviceProgram,
+    Placement,
+    TransferTask,
+    partition_graph,
+)
+from repro.dist.shard import BlockCyclicLayout, ShardedMatrix, slab_offsets
+from repro.dist.sim import (
+    DistSimResult,
+    build_dist_qr_graph,
+    dist_scaling_sweep,
+    dist_trace_spans,
+    simulate_dist_qr,
+)
+from repro.dist.topology import HOST, DeviceTopology, LinkSpec
+from repro.dist.tree import (
+    CAQR_SLACK,
+    TREE_KINDS,
+    ReductionTree,
+    TreeCommReport,
+    build_tree,
+    caqr_lower_bound_words,
+    triangle_words,
+)
+
+__all__ = [
+    "BlockCyclicLayout",
+    "CAQR_SLACK",
+    "DIST_MODES",
+    "DeviceProgram",
+    "DeviceTopology",
+    "DistNumericResult",
+    "DistSimResult",
+    "HOST",
+    "LinkSpec",
+    "Placement",
+    "ReductionTree",
+    "ShardedMatrix",
+    "TransferTask",
+    "TreeCommReport",
+    "TREE_KINDS",
+    "build_dist_qr_graph",
+    "build_tree",
+    "caqr_lower_bound_words",
+    "dist_qr",
+    "dist_qr_numeric",
+    "dist_scaling_sweep",
+    "dist_trace_spans",
+    "partition_graph",
+    "simulate_dist_qr",
+    "slab_offsets",
+    "triangle_words",
+]

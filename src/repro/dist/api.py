@@ -1,0 +1,72 @@
+"""Front door for multi-device QR: one call, two backends.
+
+``mode="numeric"`` runs the process-pool sharded TSQR on a real matrix
+(:func:`repro.dist.numeric.dist_qr_numeric`) and returns factors plus
+measured communication. ``mode="sim"`` builds the global task graph for
+a matrix of the given shape, partitions it across a simulated device
+pool, verifies every per-device program, and returns the modeled
+timeline (:func:`repro.dist.sim.simulate_dist_qr`). When *mode* is
+omitted it is inferred: a concrete matrix means numeric, a bare shape
+means sim.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import PAPER_SYSTEM, SystemConfig
+from repro.dist.numeric import DistNumericResult, dist_qr_numeric
+from repro.dist.sim import DistSimResult, simulate_dist_qr
+from repro.errors import ValidationError
+from repro.util.validation import one_of, positive_int
+
+DIST_MODES = ("numeric", "sim")
+
+
+def dist_qr(
+    a: np.ndarray | None = None,
+    *,
+    m: int | None = None,
+    n: int | None = None,
+    n_devices: int,
+    tree: str = "binomial",
+    mode: str | None = None,
+    processes: int | None = None,
+    config: SystemConfig | None = None,
+    shared_host_link: bool = False,
+    budget_bytes: int | None = None,
+) -> DistNumericResult | DistSimResult:
+    """Factor a tall matrix across a device pool.
+
+    Exactly one of *a* (numeric) or *m*/*n* (sim) describes the input;
+    *mode* may force the choice explicitly. Numeric mode accepts
+    *processes* (0 = inline); sim mode accepts *config*,
+    *shared_host_link* and *budget_bytes*.
+    """
+    if mode is None:
+        mode = "numeric" if a is not None else "sim"
+    mode = one_of(mode, DIST_MODES, "mode")
+    if mode == "numeric":
+        if a is None:
+            raise ValidationError("numeric mode needs a concrete matrix `a`")
+        return dist_qr_numeric(
+            a, n_devices=n_devices, tree=tree, processes=processes
+        )
+    if a is not None:
+        raise ValidationError(
+            "sim mode takes a shape (m, n), not a concrete matrix"
+        )
+    if m is None or n is None:
+        raise ValidationError("sim mode needs both m and n")
+    return simulate_dist_qr(
+        config if config is not None else PAPER_SYSTEM,
+        m=positive_int(m, "m"),
+        n=positive_int(n, "n"),
+        n_devices=n_devices,
+        tree=tree,
+        shared_host_link=shared_host_link,
+        budget_bytes=budget_bytes,
+    )
+
+
+__all__ = ["DIST_MODES", "dist_qr"]

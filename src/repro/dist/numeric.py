@@ -1,0 +1,278 @@
+"""Process-pool numeric backend: sharded TSQR with memmap shard handoff.
+
+Each device of the pool is realized as one worker process; the shards
+move through two memory-mapped files in a scratch directory (``a.dat``
+holds the input slabs, ``q.dat`` accumulates the per-slab Q pieces), so
+workers exchange zero array bytes with the coordinator beyond the b-by-b
+R factors and tree factors — the exact payloads the CAQR bound counts.
+
+Bitwise parity: every worker applies the same operations, in the same
+order, on the same float64 values as :func:`repro.qr.tsqr.tsqr` does for
+the corresponding leaf — leaf ``np.linalg.qr``, one GEMM per reduction
+round against the group's b-by-b tree factor, and the final column sign
+scaling. Because :func:`~repro.qr.tsqr._tsqr_tree` keeps per-leaf Q
+pieces flat (never vstacking groups before a GEMM), the distributed
+result equals ``tsqr(a, leaf_rows=ceil(m / n_devices))`` *bitwise*, not
+just to tolerance — the differential tests assert exactly that.
+
+Communication is measured, not assumed: the coordinator counts the words
+of every packed-triangular R it relays upward and every b-by-b factor it
+broadcasts downward, and reports them as a
+:class:`~repro.dist.tree.TreeCommReport` against the Demmel et al.
+lower bound.
+
+``processes=0`` runs the same memmap task functions inline (identical
+arithmetic, no pool) — the cheap path for serve jobs and small tests.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import tempfile
+from dataclasses import dataclass
+from multiprocessing import get_context
+
+import numpy as np
+
+from repro.dist.shard import slab_offsets
+from repro.dist.tree import (
+    ReductionTree,
+    TreeCommReport,
+    build_tree,
+    caqr_lower_bound_words,
+)
+from repro.errors import ShapeError, ValidationError
+from repro.util.validation import positive_int
+
+
+def _open_maps(scratch: str, m: int, n: int, mode: str = "r+"):
+    a = np.memmap(
+        os.path.join(scratch, "a.dat"), dtype=np.float64, mode="r",
+        shape=(m, n),
+    )
+    q = np.memmap(
+        os.path.join(scratch, "q.dat"), dtype=np.float64, mode=mode,
+        shape=(m, n),
+    )
+    return a, q
+
+
+def _leaf_qr(scratch: str, m: int, n: int, r0: int, r1: int) -> np.ndarray:
+    """Worker: factor one slab; Q piece lands in the shared map, R is the
+    only array returned (the upward payload)."""
+    a, q = _open_maps(scratch, m, n)
+    q_leaf, r = np.linalg.qr(np.asarray(a[r0:r1]))
+    q[r0:r1] = q_leaf
+    q.flush()
+    return r
+
+
+def _apply_factor(
+    scratch: str, m: int, n: int, r0: int, r1: int, factor: np.ndarray
+) -> None:
+    """Worker: one pushdown GEMM — multiply the slab's Q piece by its
+    group's b-by-b tree factor (the downward payload)."""
+    _, q = _open_maps(scratch, m, n)
+    q[r0:r1] = np.asarray(q[r0:r1]) @ factor
+    q.flush()
+
+
+def _scale_columns(
+    scratch: str, m: int, n: int, r0: int, r1: int, signs: np.ndarray
+) -> None:
+    """Worker: final diag(R) > 0 sign normalization on one slab."""
+    _, q = _open_maps(scratch, m, n)
+    q[r0:r1] = np.asarray(q[r0:r1]) * signs[None, :]
+    q.flush()
+
+
+class _InlinePool:
+    """Same task surface as a multiprocessing pool, run in-process."""
+
+    def starmap(self, fn, argss):
+        return [fn(*args) for args in argss]
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+
+@dataclass
+class DistNumericResult:
+    """Factors plus the measured communication of one sharded QR."""
+
+    q: np.ndarray
+    r: np.ndarray
+    n_devices: int
+    tree: ReductionTree
+    #: Measured words (packed triangles up, b-by-b factors down).
+    comm: TreeCommReport
+    #: Worker processes used (0 = inline execution).
+    processes: int
+
+
+def dist_qr_numeric(
+    a: np.ndarray,
+    *,
+    n_devices: int,
+    tree: str = "binomial",
+    processes: int | None = None,
+) -> DistNumericResult:
+    """Sharded TSQR of *a* across *n_devices* row slabs.
+
+    Parameters
+    ----------
+    a
+        Tall matrix (m >= n); not modified. Computation is float64,
+        exactly like :func:`repro.qr.tsqr.tsqr`.
+    n_devices
+        Pool size; each device owns one row slab
+        (:func:`~repro.dist.shard.slab_offsets`), and ``ceil(m / P)``
+        must be at least ``n``.
+    tree
+        ``"binomial"`` (pairwise rounds; bitwise-matches ``tsqr``) or
+        ``"flat"`` (all R factors stacked into one QR at the root).
+    processes
+        Worker process count (capped at *n_devices*); default
+        ``min(n_devices, cpu_count)``. 0 runs the same tasks inline.
+    """
+    a = np.asarray(a)
+    if a.ndim != 2 or a.shape[0] < a.shape[1] or a.shape[1] < 1:
+        raise ShapeError(f"dist_qr_numeric needs a tall 2D matrix, got {a.shape}")
+    m, n = a.shape
+    n_devices = positive_int(n_devices, "n_devices")
+    slabs = slab_offsets(m, n, n_devices)
+    if len(slabs) != n_devices:
+        raise ValidationError(
+            f"{m}x{n} splits into {len(slabs)} slabs of >= {n} rows; cannot "
+            f"occupy {n_devices} devices (need ceil(m / P) >= n)"
+        )
+    tree_obj = build_tree(tree, n_devices)
+    if processes is None:
+        processes = min(n_devices, os.cpu_count() or 1)
+    if processes < 0:
+        raise ValidationError(f"processes must be >= 0, got {processes}")
+    processes = min(processes, n_devices)
+
+    scratch = tempfile.mkdtemp(prefix="repro-dist-")
+    try:
+        staged = np.memmap(
+            os.path.join(scratch, "a.dat"), dtype=np.float64, mode="w+",
+            shape=(m, n),
+        )
+        staged[:] = a.astype(np.float64, copy=False)
+        staged.flush()
+        del staged
+        np.memmap(
+            os.path.join(scratch, "q.dat"), dtype=np.float64, mode="w+",
+            shape=(m, n),
+        ).flush()
+
+        if processes:
+            ctx = get_context("spawn")
+            pool_cm = ctx.Pool(processes)
+        else:
+            pool_cm = _InlinePool()
+        with pool_cm as pool:
+            rs = {
+                d: r
+                for d, r in enumerate(
+                    pool.starmap(
+                        _leaf_qr,
+                        [(scratch, m, n, r0, r1) for r0, r1 in slabs],
+                    )
+                )
+            }
+            up_sent = [0] * n_devices
+            up_recv = [0] * n_devices
+            down_recv = [0] * n_devices
+            tri = np.triu_indices(n)
+
+            if tree_obj.kind == "flat" and n_devices > 1:
+                # every leaf sends its packed R to the root, which
+                # factors the whole stack at once
+                for src in range(1, n_devices):
+                    words = int(rs[src][tri].size)
+                    up_sent[src] += words
+                    up_recv[0] += words
+                stacked = np.vstack([rs[d] for d in range(n_devices)])
+                q_all, r_final = np.linalg.qr(stacked)
+                factors = [(d, q_all[d * n : (d + 1) * n]) for d in range(n_devices)]
+                for d, factor in factors:
+                    down_recv[d] += int(factor.size)
+                pool.starmap(
+                    _apply_factor,
+                    [
+                        (scratch, m, n, slabs[d][0], slabs[d][1],
+                         np.ascontiguousarray(factor))
+                        for d, factor in factors
+                    ],
+                )
+            else:
+                for merges, groups in zip(
+                    tree_obj.rounds, tree_obj.group_schedule()
+                ):
+                    applies = []
+                    for dst, src in merges:
+                        words = int(rs[src][tri].size)
+                        up_sent[src] += words
+                        up_recv[dst] += words
+                        stacked = np.vstack([rs[dst], rs.pop(src)])
+                        q_pair, r_pair = np.linalg.qr(stacked)
+                        rs[dst] = r_pair
+                        top = np.ascontiguousarray(q_pair[:n])
+                        bot = np.ascontiguousarray(q_pair[n:])
+                        for member in groups[dst]:
+                            down_recv[member] += int(top.size)
+                            applies.append((member, top))
+                        for member in groups[src]:
+                            down_recv[member] += int(bot.size)
+                            applies.append((member, bot))
+                    # round barrier: factors of round k land before k+1
+                    pool.starmap(
+                        _apply_factor,
+                        [
+                            (scratch, m, n, slabs[d][0], slabs[d][1], f)
+                            for d, f in applies
+                        ],
+                    )
+                (r_final,) = rs.values()
+
+            signs = np.sign(np.diag(r_final))
+            signs[signs == 0] = 1.0
+            pool.starmap(
+                _scale_columns,
+                [(scratch, m, n, r0, r1, signs) for r0, r1 in slabs],
+            )
+        q = np.array(
+            np.memmap(
+                os.path.join(scratch, "q.dat"), dtype=np.float64, mode="r",
+                shape=(m, n),
+            )
+        )
+    finally:
+        shutil.rmtree(scratch, ignore_errors=True)
+
+    comm = TreeCommReport(
+        kind=tree_obj.kind,
+        n_devices=n_devices,
+        b=n,
+        up_sent_words=tuple(up_sent),
+        up_recv_words=tuple(up_recv),
+        down_recv_words=tuple(down_recv),
+        lower_bound_words=caqr_lower_bound_words(n, n_devices),
+    )
+    return DistNumericResult(
+        q=q,
+        r=np.triu(r_final * signs[:, None]),
+        n_devices=n_devices,
+        tree=tree_obj,
+        comm=comm,
+        processes=processes,
+    )
+
+
+__all__ = ["DistNumericResult", "dist_qr_numeric"]

@@ -1,0 +1,168 @@
+"""2D block-cyclic sharding of a :class:`~repro.host.tiled.HostMatrix`.
+
+The classic ScaLAPACK distribution: the matrix is cut into tile_rows x
+tile_cols tiles and tile (bi, bj) lives on device ``(bi mod Pr) * Pc +
+(bj mod Pc)`` of a Pr x Pc device grid. Block-cyclic keeps every device
+busy through a factorization's shrinking trailing matrix; the degenerate
+``Pr = P, Pc = 1`` layout with one tile row per device is the 1D row
+sharding TSQR wants (each device's shard is one reduction leaf).
+
+:class:`ShardedMatrix` binds a layout to a concrete host matrix and
+answers the ownership questions the placement pass and the executors
+ask: which device owns an element / a region, and which regions of the
+matrix make up one device's shard.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ShapeError, ValidationError
+from repro.host.tiled import HostMatrix, HostRegion, tile_ranges
+from repro.util.validation import positive_int
+
+
+@dataclass(frozen=True)
+class BlockCyclicLayout:
+    """A Pr x Pc device grid with tile_rows x tile_cols tiles."""
+
+    grid_rows: int
+    grid_cols: int
+    tile_rows: int
+    tile_cols: int
+
+    def __post_init__(self) -> None:
+        positive_int(self.grid_rows, "grid_rows")
+        positive_int(self.grid_cols, "grid_cols")
+        positive_int(self.tile_rows, "tile_rows")
+        positive_int(self.tile_cols, "tile_cols")
+
+    @property
+    def n_devices(self) -> int:
+        return self.grid_rows * self.grid_cols
+
+    @classmethod
+    def row_slabs(cls, m: int, n: int, n_devices: int) -> "BlockCyclicLayout":
+        """The 1D TSQR layout: one contiguous row slab per device.
+
+        Degenerate block-cyclic (``Pr = P, Pc = 1``) with the tile height
+        chosen so each device owns exactly one tile row — device g holds
+        rows ``[g * ceil(m / P), ...)``.
+        """
+        m = positive_int(m, "m")
+        n = positive_int(n, "n")
+        n_devices = positive_int(n_devices, "n_devices")
+        if n_devices > m:
+            raise ShapeError(
+                f"cannot shard {m} rows across {n_devices} devices"
+            )
+        return cls(
+            grid_rows=n_devices,
+            grid_cols=1,
+            tile_rows=-(-m // n_devices),
+            tile_cols=n,
+        )
+
+    def owner(self, bi: int, bj: int) -> int:
+        """Device owning tile (*bi*, *bj*) of the tile grid."""
+        if bi < 0 or bj < 0:
+            raise ValidationError(
+                f"tile indices must be non-negative, got ({bi}, {bj})"
+            )
+        return (bi % self.grid_rows) * self.grid_cols + (bj % self.grid_cols)
+
+    def owner_of_element(self, i: int, j: int) -> int:
+        """Device owning matrix element (*i*, *j*)."""
+        if i < 0 or j < 0:
+            raise ValidationError(
+                f"element indices must be non-negative, got ({i}, {j})"
+            )
+        return self.owner(i // self.tile_rows, j // self.tile_cols)
+
+    def owner_map(self, m: int, n: int) -> list[list[int]]:
+        """Owner of every tile of an m x n matrix, as a tile-grid matrix."""
+        n_bi = -(-positive_int(m, "m") // self.tile_rows)
+        n_bj = -(-positive_int(n, "n") // self.tile_cols)
+        return [
+            [self.owner(bi, bj) for bj in range(n_bj)] for bi in range(n_bi)
+        ]
+
+
+@dataclass(frozen=True)
+class ShardedMatrix:
+    """A host matrix bound to a block-cyclic layout."""
+
+    matrix: HostMatrix
+    layout: BlockCyclicLayout
+
+    def owner_of_region(self, region: HostRegion) -> int:
+        """Device owning *region*'s top-left element (regions produced by
+        the tiled engines never straddle a shard boundary when the engine
+        blocksize divides the tile size; ownership by anchor is the
+        placement convention either way)."""
+        return self.layout.owner_of_element(region.row0, region.col0)
+
+    def tiles_of(self, device: int) -> list[HostRegion]:
+        """Every tile of the matrix owned by *device*, in row-major order."""
+        lay = self.layout
+        if not 0 <= device < lay.n_devices:
+            raise ValidationError(
+                f"device must be 0..{lay.n_devices - 1}, got {device}"
+            )
+        out = []
+        rows = list(tile_ranges(self.matrix.rows, lay.tile_rows))
+        cols = list(tile_ranges(self.matrix.cols, lay.tile_cols))
+        for bi, (r0, r1) in enumerate(rows):
+            for bj, (c0, c1) in enumerate(cols):
+                if lay.owner(bi, bj) == device:
+                    out.append(self.matrix.region(r0, r1, c0, c1))
+        return out
+
+    def shard_elements(self, device: int) -> int:
+        """Total elements of *device*'s shard (its peak-memory floor)."""
+        return sum(
+            (t.row1 - t.row0) * (t.col1 - t.col0) for t in self.tiles_of(device)
+        )
+
+    def row_slab(self, device: int) -> HostRegion:
+        """Device *device*'s single row slab under a :meth:`BlockCyclicLayout
+        .row_slabs` layout (raises for genuinely 2D layouts)."""
+        lay = self.layout
+        if lay.grid_cols != 1 or lay.tile_cols < self.matrix.cols:
+            raise ValidationError(
+                "row_slab() requires a 1D row-slab layout "
+                f"(grid {lay.grid_rows}x{lay.grid_cols}, "
+                f"tile_cols {lay.tile_cols} < {self.matrix.cols})"
+            )
+        tiles = self.tiles_of(device)
+        if len(tiles) != 1:
+            raise ValidationError(
+                f"device {device} owns {len(tiles)} row slabs; the TSQR "
+                "layout gives exactly one (fewer devices than tile rows?)"
+            )
+        return tiles[0]
+
+
+def slab_offsets(m: int, n: int, n_devices: int) -> list[tuple[int, int]]:
+    """Row ranges of the TSQR leaves, one per device.
+
+    Exactly :func:`repro.qr.tsqr.tsqr`'s leaf split for ``leaf_rows =
+    ceil(m / n_devices)`` — offsets every ``leaf_rows`` rows, with a tail
+    shorter than ``n`` merged into the previous leaf. Keeping the two
+    splits identical is what makes the distributed factors bitwise equal
+    to the single-device TSQR (see docs/dist.md).
+    """
+    m = positive_int(m, "m")
+    n = positive_int(n, "n")
+    n_devices = positive_int(n_devices, "n_devices")
+    leaf_rows = max(-(-m // n_devices), n)
+    offsets = list(range(0, m, leaf_rows))
+    if offsets and m - offsets[-1] < n and len(offsets) > 1:
+        offsets.pop()
+    return [
+        (off, offsets[i + 1] if i + 1 < len(offsets) else m)
+        for i, off in enumerate(offsets)
+    ]
+
+
+__all__ = ["BlockCyclicLayout", "ShardedMatrix", "slab_offsets"]

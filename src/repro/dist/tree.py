@@ -1,0 +1,218 @@
+"""CAQR/TSQR reduction trees and the Demmel et al. communication bounds.
+
+TSQR reduces P leaf R factors to one along a tree
+(Demmel-Grigori-Hoemmen-Langou, arXiv:0806.2159 / 0809.2407). Two shapes
+are provided:
+
+``binomial``
+    ceil(log2 P) rounds pairing surviving group leaders in slab order.
+    Each device sends or receives at most one packed-triangular R per
+    round, so its upward communication is ``ceil(log2 P) * b(b+1)/2``
+    words — within a factor ``(b+1)/b`` of the lower bound below. This
+    pairing order is exactly :func:`repro.qr.tsqr._tsqr_tree`'s, which is
+    what the bitwise differential test relies on.
+
+``flat``
+    One round: every leaf sends its R to device 0, which factors the
+    P-stacked pile at once. Minimal rounds (one), but the root moves
+    ``(P-1) * b(b+1)/2`` words — past the lower bound's log factor for
+    P >= 8. Included as the instructive non-optimal baseline.
+
+The per-processor lower bound for the panel reduction is
+``W >= (b^2 / 2) * log2 P`` words and ``log2 P`` messages (Demmel et al.
+Table 4; b = panel width). :func:`caqr_lower_bound_words` is that
+formula; the verifier compares *measured* upward words against it with
+the documented :data:`CAQR_SLACK` (packed triangles carry b(b+1)/2, not
+b^2/2, words — a ``(b+1)/b`` factor, under 1.25x for b >= 4). The
+downward explicit-Q sweep is accounted separately
+(:meth:`TreeCommReport.down_words`): the lower bound covers the
+factorization proper (R plus implicit Q), and forming the explicit Q is
+an optional second pass.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ValidationError
+from repro.util.validation import one_of, positive_int
+
+TREE_KINDS = ("binomial", "flat")
+
+#: Documented slack for measured-vs-bound comparisons: packed-triangular
+#: R transfers carry b(b+1)/2 words against the bound's b^2/2 — a factor
+#: (b+1)/b, below 1.25 for every panel width b >= 4.
+CAQR_SLACK = 1.25
+
+
+def caqr_lower_bound_words(b: int, n_devices: int) -> float:
+    """Per-processor words of the CAQR panel-reduction lower bound:
+    ``(b^2 / 2) * log2 P`` (0 for a single device)."""
+    b = positive_int(b, "b")
+    n_devices = positive_int(n_devices, "n_devices")
+    if n_devices == 1:
+        return 0.0
+    return (b * b / 2.0) * math.log2(n_devices)
+
+
+def triangle_words(b: int) -> int:
+    """Words of one packed upper-triangular b x b R factor."""
+    b = positive_int(b, "b")
+    return b * (b + 1) // 2
+
+
+@dataclass(frozen=True)
+class ReductionTree:
+    """A reduction schedule over *n_leaves* devices.
+
+    ``rounds`` is a tuple of rounds; each round is a tuple of merges
+    ``(dst, src)``: the R held by group leader *src* flows to group
+    leader *dst*, whose group absorbs *src*'s. Leaders are device ids;
+    group membership evolves round by round (:meth:`group_schedule`).
+    """
+
+    kind: str
+    n_leaves: int
+    rounds: tuple[tuple[tuple[int, int], ...], ...]
+
+    @property
+    def depth(self) -> int:
+        return len(self.rounds)
+
+    @property
+    def n_messages(self) -> int:
+        """Total upward R messages across the tree."""
+        return sum(len(r) for r in self.rounds)
+
+    def group_schedule(self) -> list[dict[int, tuple[int, ...]]]:
+        """Group membership *before* each round: one ``{leader: members}``
+        map per round (members in slab order)."""
+        groups: dict[int, tuple[int, ...]] = {
+            g: (g,) for g in range(self.n_leaves)
+        }
+        out = []
+        for merges in self.rounds:
+            out.append({k: v for k, v in groups.items()})
+            for dst, src in merges:
+                if dst not in groups or src not in groups:
+                    raise ValidationError(
+                        f"merge ({dst}, {src}) names a non-leader group"
+                    )
+                groups[dst] = groups[dst] + groups.pop(src)
+        return out
+
+    def comm_report(self, b: int) -> "TreeCommReport":
+        """Per-device word accounting for this tree at panel width *b*."""
+        up_sent = [0] * self.n_leaves
+        up_recv = [0] * self.n_leaves
+        down_recv = [0] * self.n_leaves
+        tri = triangle_words(b)
+        square = b * b
+        for merges, groups in zip(self.rounds, self.group_schedule()):
+            for dst, src in merges:
+                up_sent[src] += tri
+                up_recv[dst] += tri
+                if self.kind == "flat":
+                    continue
+                # explicit-Q pushdown: every member of both merged groups
+                # receives its group's b x b tree factor
+                for member in groups[dst] + groups[src]:
+                    down_recv[member] += square
+        if self.kind == "flat" and self.n_leaves > 1:
+            # one stacked QR at the root: each device gets exactly one
+            # b x b slice of the stacked Q as its tree factor
+            down_recv = [square] * self.n_leaves
+        return TreeCommReport(
+            kind=self.kind,
+            n_devices=self.n_leaves,
+            b=b,
+            up_sent_words=tuple(up_sent),
+            up_recv_words=tuple(up_recv),
+            down_recv_words=tuple(down_recv),
+            lower_bound_words=caqr_lower_bound_words(b, self.n_leaves),
+        )
+
+
+@dataclass(frozen=True)
+class TreeCommReport:
+    """Measured per-device communication of one panel reduction."""
+
+    kind: str
+    n_devices: int
+    b: int
+    up_sent_words: tuple[int, ...]
+    up_recv_words: tuple[int, ...]
+    down_recv_words: tuple[int, ...]
+    #: Demmel et al. per-processor bound ``(b^2/2) log2 P`` in words.
+    lower_bound_words: float
+
+    @property
+    def max_up_words(self) -> int:
+        """Worst per-device upward traffic (sent + received) — the number
+        the CAQR bound constrains."""
+        return max(
+            s + r for s, r in zip(self.up_sent_words, self.up_recv_words)
+        )
+
+    @property
+    def down_words(self) -> int:
+        """Total downward explicit-Q factor words (all devices)."""
+        return sum(self.down_recv_words)
+
+    @property
+    def total_up_words(self) -> int:
+        return sum(self.up_sent_words)
+
+    @property
+    def caqr_ratio(self) -> float:
+        """``max_up_words`` over the lower bound (inf-free: 0.0 for one
+        device, where the bound is zero and nothing moves)."""
+        if self.lower_bound_words == 0.0:
+            return 0.0
+        return self.max_up_words / self.lower_bound_words
+
+    @property
+    def meets_bound(self) -> bool:
+        """Within the documented :data:`CAQR_SLACK` of the lower bound."""
+        return self.caqr_ratio <= CAQR_SLACK
+
+
+def build_tree(kind: str, n_devices: int) -> ReductionTree:
+    """Construct a reduction tree over *n_devices* leaves."""
+    kind = one_of(kind, TREE_KINDS, "tree")
+    n_devices = positive_int(n_devices, "n_devices")
+    if n_devices == 1:
+        return ReductionTree(kind=kind, n_leaves=1, rounds=())
+    if kind == "flat":
+        return ReductionTree(
+            kind="flat",
+            n_leaves=n_devices,
+            rounds=(tuple((0, src) for src in range(1, n_devices)),),
+        )
+    rounds: list[tuple[tuple[int, int], ...]] = []
+    survivors = list(range(n_devices))
+    while len(survivors) > 1:
+        merges = []
+        nxt = []
+        for i in range(0, len(survivors) - 1, 2):
+            merges.append((survivors[i], survivors[i + 1]))
+            nxt.append(survivors[i])
+        if len(survivors) % 2:
+            nxt.append(survivors[-1])
+        rounds.append(tuple(merges))
+        survivors = nxt
+    return ReductionTree(
+        kind="binomial", n_leaves=n_devices, rounds=tuple(rounds)
+    )
+
+
+__all__ = [
+    "CAQR_SLACK",
+    "TREE_KINDS",
+    "ReductionTree",
+    "TreeCommReport",
+    "build_tree",
+    "caqr_lower_bound_words",
+    "triangle_words",
+]

@@ -65,7 +65,19 @@ def tsqr(
 def _tsqr_tree(
     blocks: list[np.ndarray], dtype
 ) -> tuple[list[np.ndarray], np.ndarray]:
-    """Recursive pairwise reduction; returns (per-block thin Q pieces, R)."""
+    """Pairwise (binomial-tree) reduction; returns (per-leaf thin Q
+    pieces, R).
+
+    The leaf Q pieces stay a *flat* list for the whole reduction: each
+    round multiplies every leaf piece of a merged group by that group's
+    b-by-b tree factor individually, instead of vstacking groups first.
+    Every leaf therefore sees exactly the GEMM sequence
+    ``q_leaf @ f_1 @ f_2 ...`` regardless of how leaves are grouped —
+    which is what lets :mod:`repro.dist.numeric` run one leaf per device
+    and still produce bitwise-identical factors (each device applies its
+    group's factors to its own slab; no cross-leaf row blocking exists
+    whose BLAS decomposition could differ).
+    """
     qs = []
     rs = []
     for block in blocks:
@@ -78,52 +90,30 @@ def _tsqr_tree(
         qs.append(q)
         rs.append(r)
 
+    # sizes[g] = number of consecutive leaves in surviving group g
+    sizes = [1] * len(rs)
     while len(rs) > 1:
-        next_qs: list[list[np.ndarray]] = []
-        next_rs = []
         n = rs[0].shape[1]
+        starts = []
+        s = 0
+        for size in sizes:
+            starts.append(s)
+            s += size
+        next_rs = []
+        next_sizes = []
         for i in range(0, len(rs) - 1, 2):
             stacked = np.vstack([rs[i], rs[i + 1]])
             q_pair, r_pair = np.linalg.qr(stacked)
+            top, bot = q_pair[:n], q_pair[n:]
+            for leaf in range(starts[i], starts[i] + sizes[i]):
+                qs[leaf] = qs[leaf] @ top
+            for leaf in range(starts[i + 1], starts[i + 1] + sizes[i + 1]):
+                qs[leaf] = qs[leaf] @ bot
             next_rs.append(r_pair)
-            next_qs.append([q_pair[:n], q_pair[n:]])
+            next_sizes.append(sizes[i] + sizes[i + 1])
         if len(rs) % 2:
             next_rs.append(rs[-1])
-            next_qs.append(None)
-
-        # push the tree factors back down into the leaf Q pieces
-        new_qs = []
-        group = 0
-        i = 0
-        while i < len(qs):
-            pair = next_qs[group]
-            if pair is None:
-                new_qs.append(qs[i])
-                i += 1
-            else:
-                new_qs.append(qs[i] @ pair[0])
-                new_qs.append(qs[i + 1] @ pair[1])
-                i += 2
-            group += 1
-        qs = new_qs
+            next_sizes.append(sizes[-1])
         rs = next_rs
-        # after one round, each entry of qs corresponds to an entry of rs
-        # pairing again at the next level
-        qs = _regroup(qs, len(rs))
-    return qs if isinstance(qs[0], np.ndarray) else qs, rs[0]
-
-
-def _regroup(qs: list[np.ndarray], n_groups: int) -> list[np.ndarray]:
-    """Merge leaf Q pieces so the list length matches the R count for the
-    next reduction level (concatenate pieces that now share one R)."""
-    if len(qs) == n_groups:
-        return qs
-    per = len(qs) // n_groups
-    extra = len(qs) % n_groups
-    out = []
-    idx = 0
-    for g in range(n_groups):
-        take = per + (1 if g < extra else 0)
-        out.append(np.vstack(qs[idx : idx + take]))
-        idx += take
-    return out
+        sizes = next_sizes
+    return qs, rs[0]

@@ -8,10 +8,12 @@ op stream. :data:`GRAPH_BUILDERS` is the registry the CLI ``analyze
 
 Migration status lives in :data:`ENGINE_RUNTIME_STATUS`: engines marked
 ``"dag"`` also *execute* through ``runtime="dag"`` on the public APIs
-(blocking QR, recursive QR, both OOC GEMM engines); the rest
-(LU/Cholesky/TSQR) stay on the legacy execution path but register graph
+(blocking QR, recursive QR, TSQR panels, both OOC GEMM engines); the
+rest (LU/Cholesky) stay on the legacy execution path but register graph
 adapters here so the verifier sweep covers their DAGs ahead of the
-follow-up migration.
+follow-up migration. TSQR's migration is also what anchors the
+``repro.dist`` bitwise chain: sharded numeric QR == single-device TSQR
+== the dag-executed OOC path.
 """
 
 from __future__ import annotations
@@ -196,7 +198,7 @@ GRAPH_BUILDERS: dict[
 ENGINE_RUNTIME_STATUS: dict[str, str] = {
     "qr-blocking": "dag",
     "qr-recursive": "dag",
-    "qr-tsqr": "graph-adapter",
+    "qr-tsqr": "dag",
     "lu-blocking": "graph-adapter",
     "lu-recursive": "graph-adapter",
     "chol-blocking": "graph-adapter",

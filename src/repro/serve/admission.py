@@ -87,6 +87,19 @@ def estimate_footprint_bytes(spec: JobSpec, config: SystemConfig) -> int:
         elements = elements + elements // 8 + _FLOOR_SLACK_ELEMENTS
         return min(elements * eb, usable)
 
+    if spec.devices > 1:
+        # multi-device QR (repro.dist): each device of the pool holds one
+        # row slab of ceil(m / devices) rows plus the small tree-merge
+        # scratch (a 2b-by-b stack, its R, and one b-by-b factor) — the
+        # charge is the *per-device* peak, matching what the dist
+        # verifier proves against each device's budget
+        m, n = shapes[0]
+        slab_rows = -(-m // spec.devices)
+        elements = slab_rows * n + 4 * n * n + _FLOOR_SLACK_ELEMENTS
+        if explicit is not None:
+            return max(explicit, min(elements * eb, usable))
+        return min(elements * eb, usable)
+
     # qr / lu / cholesky: persistent panel + the top-level GEMM pipelines
     m, n = shapes[0]
     b = min(opts.blocksize, n)

@@ -48,7 +48,12 @@ def job_cache_key(
     """Hex digest addressing the result of running *spec* on *config*
     under a *footprint_bytes* device cap."""
     h = hashlib.sha256()
-    h.update(f"{spec.kind}|{spec.method}|{spec.mode}|{spec.trans_a}".encode())
+    h.update(
+        f"{spec.kind}|{spec.method}|{spec.mode}|{spec.trans_a}"
+        # device count changes the reduction tree and therefore the
+        # floating-point result — distinct pool sizes must miss
+        f"|{spec.devices}".encode()
+    )
     h.update(
         f"|{config.precision.name}|{config.element_bytes}"
         f"|{config.panel_algorithm}|{footprint_bytes}".encode()

@@ -62,6 +62,14 @@ class JobSpec:
         docs/checkpoint.md.
     checkpoint_every
         Persist every N completed steps (default 1: every boundary).
+    devices
+        Place the job across a pool of this many devices (QR only).
+        ``devices > 1`` routes through :mod:`repro.dist`: numeric jobs
+        run the sharded TSQR backend, sim jobs the partitioned-graph
+        device-pool simulation. Admission then charges the *per-device*
+        slab footprint, and the per-device programs are verified by the
+        dist runner instead of the single-device submit-time plan
+        verifier. See docs/dist.md.
     """
 
     kind: str
@@ -75,11 +83,26 @@ class JobSpec:
     name: str = ""
     checkpoint_dir: str | None = None
     checkpoint_every: int = 1
+    devices: int = 1
 
     def __post_init__(self) -> None:
         one_of(self.kind, JOB_KINDS, "kind")
         one_of(self.mode, ("numeric", "sim"), "mode")
         one_of(self.method, ("recursive", "blocking"), "method")
+        if self.devices < 1:
+            raise ValidationError(
+                f"devices must be >= 1, got {self.devices}"
+            )
+        if self.devices > 1:
+            if self.kind != "qr":
+                raise ValidationError(
+                    f"multi-device placement supports kind='qr' only, "
+                    f"got {self.kind!r}"
+                )
+            if self.checkpoint_dir is not None:
+                raise ValidationError(
+                    "multi-device jobs do not support checkpointing"
+                )
         if self.checkpoint_every < 1:
             raise ValidationError(
                 f"checkpoint_every must be >= 1, got {self.checkpoint_every}"

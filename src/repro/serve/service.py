@@ -100,6 +100,9 @@ def run_job(spec: JobSpec, config: SystemConfig, concurrency: str) -> JobResult:
             moved_bytes=res.stats.moved_bytes,
         )
 
+    if spec.devices > 1:
+        return _run_dist_job(spec, config)
+
     kwargs: dict[str, Any] = dict(
         method=spec.method, mode=spec.mode, config=config, options=opts,
     )
@@ -126,6 +129,44 @@ def run_job(spec: JobSpec, config: SystemConfig, concurrency: str) -> JobResult:
     return JobResult(
         kind=spec.kind, arrays=arrays, makespan=res.makespan,
         moved_bytes=res.stats.moved_bytes, ckpt=res.ckpt, health=res.health,
+    )
+
+
+def _run_dist_job(spec: JobSpec, config: SystemConfig) -> JobResult:
+    """Place one QR job across a device pool via :mod:`repro.dist`.
+
+    Numeric jobs run the sharded TSQR backend inline (the service's
+    worker threads are the concurrency layer; no per-job process pool).
+    Sim jobs partition the global task graph across a symmetric pool
+    built from the job's capped per-device config and *verify every
+    per-device program* — this is where the plan verification that
+    submit skips for multi-device jobs actually happens; an unsafe
+    placement fails the job deterministically with the report attached.
+    """
+    if spec.mode == "numeric":
+        from repro.dist.numeric import dist_qr_numeric
+
+        res = dist_qr_numeric(
+            spec.operands[0], n_devices=spec.devices, processes=0
+        )
+        comm = res.comm
+        return JobResult(
+            kind=spec.kind,
+            arrays={"q": res.q, "r": res.r},
+            moved_bytes=(comm.total_up_words + comm.down_words) * 8,
+        )
+    from repro.dist.sim import simulate_dist_qr
+
+    m, n = spec.shapes()[0]
+    sim = simulate_dist_qr(config, m=m, n=n, n_devices=spec.devices)
+    if not sim.all_verified:
+        bad = next(r for r in sim.reports if not r.ok)
+        raise PlanViolation(bad)
+    return JobResult(
+        kind=spec.kind,
+        arrays={},
+        makespan=sim.makespan,
+        moved_bytes=sim.transfer_bytes,
     )
 
 
@@ -290,6 +331,10 @@ class FactorService:
             "submissions quarantined because the static plan verifier "
             "found violations (race, leak, over-budget peak, ...)",
         )
+        self._distributed_c = m.counter(
+            "jobs_distributed",
+            "jobs placed across a multi-device pool via repro.dist",
+        )
 
         self._cv = threading.Condition()
         self._pending: list[_QueueEntry] = []
@@ -381,8 +426,11 @@ class FactorService:
 
         # Static plan verification happens outside the scheduler lock: the
         # capture is pure (no data, no clock, no shared state).
+        # Multi-device jobs skip the single-device capture: their
+        # placement is verified per-device by the dist runner instead
+        # (every DeviceProgram through verify_program; see _run_dist_job).
         charge = footprint
-        if self.verify_plans:
+        if self.verify_plans and spec.devices == 1:
             verify_t0 = obs.now() if obs.enabled else 0.0
             try:
                 report = self._verify_plan(spec, footprint)
@@ -435,6 +483,8 @@ class FactorService:
             )
             self.admission.enqueue()
             self._submitted_c.inc()
+            if spec.devices > 1:
+                self._distributed_c.inc()
             self._queue_depth_g.set(len(self._pending))
             self._cv.notify_all()
         return handle

@@ -123,6 +123,44 @@ class TestSchedulerBypass:
             assert rules("op.deps = []", parts=parts) == [], parts
 
 
+class TestLayeringImports:
+    def test_dist_may_not_import_serve(self):
+        assert rules(
+            "from repro.serve.service import FactorService",
+            parts=("dist", "placement.py"),
+        ) == ["layering-imports"]
+        assert rules(
+            "import repro.serve", parts=("dist", "api.py")
+        ) == ["layering-imports"]
+        assert rules(
+            "from repro.serve import job", parts=("dist", "api.py")
+        ) == ["layering-imports"]
+
+    def test_prefix_match_not_substring(self):
+        # repro.server (hypothetical) is not repro.serve
+        assert rules(
+            "import repro.server_tools", parts=("dist", "x.py")
+        ) == []
+
+    def test_serve_may_import_dist(self):
+        assert rules(
+            "from repro.dist.numeric import dist_qr_numeric",
+            parts=("serve", "service.py"),
+        ) == []
+
+    def test_other_layers_unconstrained(self):
+        assert rules(
+            "from repro.serve.job import JobSpec", parts=("bench", "x.py")
+        ) == []
+
+    def test_message_names_the_edge(self):
+        (finding,) = lint_source(
+            "import repro.serve", "x.py", ("dist", "x.py")
+        )
+        assert "repro.serve" in finding.message
+        assert "dist" in finding.message
+
+
 class TestWaivers:
     def test_same_line_waiver_suppresses(self):
         src = "raise ValueError('x')  # lint: allow[reproerror-raises]"

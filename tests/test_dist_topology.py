@@ -1,0 +1,195 @@
+"""Device-pool topology, links, and block-cyclic sharding
+(`repro.dist.topology` / `repro.dist.shard`)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.config import PAPER_SYSTEM
+from repro.dist.shard import BlockCyclicLayout, ShardedMatrix, slab_offsets
+from repro.dist.topology import HOST, DeviceTopology, LinkSpec
+from repro.errors import ShapeError, ValidationError
+from repro.host.tiled import HostMatrix
+from repro.qr.tsqr import tsqr
+
+
+class TestLinkSpec:
+    def test_time_is_latency_plus_linear(self):
+        link = LinkSpec(bytes_per_s=1e9, latency_s=1e-5)
+        assert link.time(1_000_000) == pytest.approx(1e-5 + 1e-3)
+
+    def test_zero_bytes_is_free(self):
+        assert LinkSpec(bytes_per_s=1e9, latency_s=1e-5).time(0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            LinkSpec(bytes_per_s=0.0)
+        with pytest.raises(ValidationError):
+            LinkSpec(bytes_per_s=1e9, latency_s=-1.0)
+        with pytest.raises(ValidationError):
+            LinkSpec(bytes_per_s=1e9).time(-1)
+
+
+class TestDeviceTopology:
+    def test_symmetric_builds_one_link_per_device(self):
+        topo = DeviceTopology.symmetric(PAPER_SYSTEM, 8)
+        assert topo.n_devices == 8
+        assert len(topo.host_links) == 8
+        assert "8x" in topo.describe()
+
+    def test_link_count_must_match(self):
+        link = LinkSpec(bytes_per_s=1e9)
+        with pytest.raises(ValidationError):
+            DeviceTopology(PAPER_SYSTEM, n_devices=2, host_links=(link,))
+
+    def test_host_transfers_price_one_link(self):
+        topo = DeviceTopology.symmetric(PAPER_SYSTEM, 4)
+        t = topo.host_link(0).time(1 << 20)
+        assert topo.transfer_time(HOST, 0, 1 << 20) == pytest.approx(t)
+        assert topo.transfer_time(3, HOST, 1 << 20) == pytest.approx(t)
+
+    def test_device_to_device_stages_through_host(self):
+        topo = DeviceTopology.symmetric(PAPER_SYSTEM, 4)
+        one_leg = topo.host_link(0).time(1 << 20)
+        assert topo.transfer_time(1, 2, 1 << 20) == pytest.approx(2 * one_leg)
+        assert topo.transfer_time(2, 2, 1 << 20) == 0.0
+
+    def test_peer_link_bypasses_host_staging(self):
+        peer = LinkSpec(bytes_per_s=300e9, latency_s=1e-6)
+        topo = DeviceTopology.symmetric(PAPER_SYSTEM, 4, peer_link=peer)
+        assert topo.transfer_time(0, 3, 1 << 20) == pytest.approx(
+            peer.time(1 << 20)
+        )
+
+    def test_shared_host_link_derates_by_device_count(self):
+        solo = DeviceTopology.symmetric(PAPER_SYSTEM, 8)
+        shared = DeviceTopology.symmetric(
+            PAPER_SYSTEM, 8, shared_host_link=True
+        )
+        assert shared.host_link(0).bytes_per_s == pytest.approx(
+            solo.host_link(0).bytes_per_s / 8
+        )
+        assert shared.shared_host_link
+
+    def test_device_out_of_range_rejected(self):
+        topo = DeviceTopology.symmetric(PAPER_SYSTEM, 2)
+        with pytest.raises(ValidationError):
+            topo.host_link(2)
+        with pytest.raises(ValidationError):
+            topo.transfer_time(0, 5, 1)
+
+
+class TestBlockCyclicLayout:
+    def test_owner_follows_scalapack_formula(self):
+        lay = BlockCyclicLayout(
+            grid_rows=2, grid_cols=3, tile_rows=4, tile_cols=4
+        )
+        assert lay.n_devices == 6
+        for bi in range(5):
+            for bj in range(7):
+                assert lay.owner(bi, bj) == (bi % 2) * 3 + (bj % 3)
+
+    def test_owner_of_element_uses_tile_coordinates(self):
+        lay = BlockCyclicLayout(
+            grid_rows=2, grid_cols=2, tile_rows=4, tile_cols=8
+        )
+        assert lay.owner_of_element(0, 0) == 0
+        assert lay.owner_of_element(3, 7) == 0
+        assert lay.owner_of_element(4, 0) == 2
+        assert lay.owner_of_element(0, 8) == 1
+        assert lay.owner_of_element(5, 9) == 3
+
+    def test_owner_map_shape(self):
+        lay = BlockCyclicLayout(
+            grid_rows=2, grid_cols=1, tile_rows=8, tile_cols=8
+        )
+        omap = lay.owner_map(24, 8)
+        assert omap == [[0], [1], [0]]
+
+    def test_row_slabs_is_degenerate_block_cyclic(self):
+        lay = BlockCyclicLayout.row_slabs(100, 8, 4)
+        assert (lay.grid_rows, lay.grid_cols) == (4, 1)
+        assert lay.tile_rows == 25
+        with pytest.raises(ShapeError):
+            BlockCyclicLayout.row_slabs(3, 2, 4)
+
+    def test_negative_indices_rejected(self):
+        lay = BlockCyclicLayout(
+            grid_rows=2, grid_cols=2, tile_rows=4, tile_cols=4
+        )
+        with pytest.raises(ValidationError):
+            lay.owner(-1, 0)
+        with pytest.raises(ValidationError):
+            lay.owner_of_element(0, -1)
+
+
+class TestShardedMatrix:
+    def test_tiles_partition_the_matrix(self):
+        host = HostMatrix.shape_only(64, 16, name="A")
+        lay = BlockCyclicLayout(
+            grid_rows=2, grid_cols=2, tile_rows=16, tile_cols=8
+        )
+        sharded = ShardedMatrix(host, lay)
+        total = sum(sharded.shard_elements(d) for d in range(4))
+        assert total == 64 * 16
+        # block-cyclic: every device owns some part of a 4x2 tile grid
+        assert all(sharded.tiles_of(d) for d in range(4))
+
+    def test_row_slab_of_tsqr_layout(self):
+        host = HostMatrix.shape_only(100, 8, name="A")
+        sharded = ShardedMatrix(host, BlockCyclicLayout.row_slabs(100, 8, 4))
+        slab = sharded.row_slab(2)
+        assert (slab.row0, slab.row1) == (50, 75)
+        assert (slab.col0, slab.col1) == (0, 8)
+
+    def test_row_slab_rejects_2d_layouts(self):
+        host = HostMatrix.shape_only(64, 16, name="A")
+        lay = BlockCyclicLayout(
+            grid_rows=2, grid_cols=2, tile_rows=16, tile_cols=8
+        )
+        with pytest.raises(ValidationError):
+            ShardedMatrix(host, lay).row_slab(0)
+
+    def test_owner_of_region_by_anchor(self):
+        host = HostMatrix.shape_only(64, 8, name="A")
+        sharded = ShardedMatrix(host, BlockCyclicLayout.row_slabs(64, 8, 4))
+        assert sharded.owner_of_region(host.region(16, 32, 0, 8)) == 1
+        assert sharded.owner_of_region(host.region(63, 64, 0, 8)) == 3
+
+
+class TestSlabOffsets:
+    def test_matches_tsqr_leaf_split(self):
+        """The invariant the bitwise differential rests on: the dist slab
+        split is exactly tsqr's leaf split at leaf_rows = ceil(m / P)."""
+        for m, n, p in [(128, 16, 2), (128, 8, 4), (256, 8, 8), (130, 8, 4)]:
+            leaf_rows = max(-(-m // p), n)
+            offsets = list(range(0, m, leaf_rows))
+            if offsets and m - offsets[-1] < n and len(offsets) > 1:
+                offsets.pop()
+            expected = [
+                (off, offsets[i + 1] if i + 1 < len(offsets) else m)
+                for i, off in enumerate(offsets)
+            ]
+            assert slab_offsets(m, n, p) == expected
+
+    def test_covers_all_rows_without_gaps(self):
+        slabs = slab_offsets(130, 8, 4)
+        assert slabs[0][0] == 0 and slabs[-1][1] == 130
+        for (_, r1), (r0, _) in zip(slabs, slabs[1:]):
+            assert r1 == r0
+        assert all(r1 - r0 >= 8 for r0, r1 in slabs)
+
+    def test_too_many_devices_yields_fewer_slabs(self):
+        # callers detect the shortfall by comparing len() to n_devices
+        assert len(slab_offsets(16, 8, 4)) < 4
+
+    def test_split_agrees_with_tsqr_numerically(self):
+        import numpy as np
+
+        rng = np.random.default_rng(3)
+        a = rng.standard_normal((96, 8))
+        q, r = tsqr(a, leaf_rows=-(-96 // 4))
+        assert np.allclose(q @ r, a)
+        assert math.isclose(np.linalg.norm(np.triu(r) - r), 0.0)

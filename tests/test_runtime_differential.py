@@ -16,6 +16,8 @@ with no capture pass (the tentpole's acceptance criterion).
 
 from __future__ import annotations
 
+from dataclasses import replace
+
 import numpy as np
 import pytest
 
@@ -174,7 +176,7 @@ class TestGraphVerification:
         [n for n, s in ENGINE_RUNTIME_STATUS.items() if s == "graph-adapter"],
     )
     def test_adapter_engine_graphs_verify_clean(self, name):
-        # LU/Cholesky/TSQR stay on the legacy execution path, but their
+        # LU/Cholesky stay on the legacy execution path, but their
         # registered graph adapters must already verify for the follow-up
         report = verify_engine_graph(name, _config())
         assert report.ok, [str(f) for f in report.findings]
@@ -190,6 +192,30 @@ class TestGraphVerification:
         assert report.ok, [str(f) for f in report.findings]
         assert report.peak_bytes > 0
         assert report.peak_bytes <= cfg.usable_device_bytes
+
+
+class TestTsqrMigration:
+    """TSQR panels execute through ``runtime="dag"`` (migrated with the
+    ``repro.dist`` PR — the sharded numeric backend's bitwise chain ends
+    at this path)."""
+
+    def test_tsqr_status_is_dag(self):
+        assert ENGINE_RUNTIME_STATUS["qr-tsqr"] == "dag"
+
+    @pytest.mark.parametrize("concurrency", CONCURRENCY)
+    @pytest.mark.parametrize("tag,m,n", QR_SHAPES)
+    def test_tsqr_bitwise_identical(self, tag, m, n, concurrency):
+        cfg = replace(_config(), panel_algorithm="tsqr")
+        a = _matrix("qr-tsqr", tag, shape=(m, n))
+        legacy = ooc_qr(a, method="recursive", config=cfg, blocksize=BLOCK)
+        dag = ooc_qr(
+            a, method="recursive", config=cfg, blocksize=BLOCK,
+            runtime="dag", concurrency=concurrency,
+        )
+        assert np.array_equal(legacy.q, dag.q)
+        assert np.array_equal(legacy.r, dag.r)
+        assert legacy.stats.h2d_bytes == dag.stats.h2d_bytes
+        assert legacy.stats.d2h_bytes == dag.stats.d2h_bytes
 
 
 class TestRuntimeGates:
