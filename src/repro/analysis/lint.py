@@ -26,8 +26,10 @@ ordinary linters cannot express:
     state break bitwise-identical resume, and scattered measurement-clock
     reads are exactly the per-layer double timing the span recorder
     replaced — one timebase, one place to fake it in tests.
-    ``time.sleep`` (pacing, backoff) is not a clock read and stays
-    allowed.
+    ``time.sleep`` is covered too: pacing and backoff sleeps route
+    through ``repro.obs.clock.sleep`` so a single monkeypatch fakes
+    every retry ladder and injected stall in tests
+    (docs/robustness.md).
 
 ``scheduler-bypass``
     Concurrent paths must route ops through the scheduler: calling an
@@ -94,6 +96,7 @@ _WALLCLOCK_CALLS = {
     ("time", "perf_counter_ns"),
     ("time", "monotonic"),
     ("time", "monotonic_ns"),
+    ("time", "sleep"),
     ("datetime", "now"),
     ("datetime", "utcnow"),
     ("datetime", "today"),
@@ -116,6 +119,9 @@ _SCHEDULER_DIRS = ("execution", "sim", "analysis")
 #: ``src/repro`` -> module prefixes it may never import.
 _LAYERING_FORBIDDEN: dict[str, tuple[str, ...]] = {
     "dist": ("repro.serve",),
+    # the injection plane is infrastructure every execution layer may
+    # guard with; it must never know about the layers it faults
+    "faults": ("repro.serve", "repro.dist", "repro.runtime"),
 }
 
 

@@ -26,7 +26,7 @@ trace via :func:`repro.obs.export.spans_to_chrome_trace`.
 from __future__ import annotations
 
 import json
-import time  # sleep-only (arrival pacing); clock reads go via repro.obs.clock
+from repro.obs import clock as _clock  # pacing sleeps + clock reads
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
@@ -177,7 +177,7 @@ def run_loadgen(
         for spec, due in zip(specs, arrivals):
             lag = due - (_monotonic() - t0)
             if lag > 0:
-                time.sleep(lag)
+                _clock.sleep(lag)
             try:
                 handles.append(svc.submit(spec))
                 submitted += 1

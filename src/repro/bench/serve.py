@@ -89,6 +89,10 @@ class ServeLevelResult:
     #: Full metrics snapshot taken from the service that actually ran the
     #: benchmark jobs (``FactorService.snapshot_metrics()``).
     metrics: dict = field(default_factory=dict)
+    #: Per-job fault/retry provenance (label, attempts, degraded pool
+    #: size, fault summary) — non-trivial entries only: jobs that needed
+    #: more than one attempt, degraded, or saw injected faults.
+    provenance: list = field(default_factory=list)
 
 
 @dataclass
@@ -146,12 +150,17 @@ def bench_serve(
     seed: int = 0,
     job_concurrency: str = "serial",
     config: SystemConfig | None = None,
+    faults=None,
 ) -> ServeBenchResult:
     """Benchmark the service against the serial baseline.
 
     The baseline runs every job back-to-back under the exact per-job
     capped config the service would grant, so both sides do identical
     numeric work; the service's edge is pure scheduling overlap.
+    *faults* (a :class:`~repro.faults.plan.FaultPlan`) is injected into
+    every service-level job — the serial baseline stays fault-free, so
+    the bench doubles as a recovery-overhead measurement
+    (docs/robustness.md).
     """
     config = config or SystemConfig(gpu=bench_spec(), precision=Precision.FP32)
     specs = synthetic_workload(n_jobs, size=size, blocksize=blocksize, seed=seed)
@@ -179,14 +188,28 @@ def bench_serve(
             queue_limit=max(n_jobs, 1),
             cache=None,  # every job must really run
             job_concurrency=job_concurrency,
+            faults=faults,
         )
         try:
             t0 = _monotonic()
             handles = [svc.submit(spec) for spec in specs]
-            for h in handles:
-                h.result(timeout=600)
+            results = [h.result(timeout=600) for h in handles]
             wall_s = _monotonic() - t0
             snap = svc.snapshot_metrics()
+            provenance = [
+                {
+                    "job": spec.label(),
+                    "attempts": res.attempts,
+                    "degraded_to": res.degraded_to,
+                    "faults": (
+                        res.faults.summary() if res.faults is not None else None
+                    ),
+                }
+                for spec, res in zip(specs, results)
+                if res.attempts > 1
+                or res.degraded_to is not None
+                or res.faults is not None
+            ]
             result.levels.append(
                 ServeLevelResult(
                     n_workers=n_workers,
@@ -197,6 +220,7 @@ def bench_serve(
                     p50_wait_s=snap["queue_wait_s"]["p50"],
                     peak_admitted_bytes=int(snap["admitted_bytes"]["max"]),
                     metrics=snap,
+                    provenance=provenance,
                 )
             )
         finally:

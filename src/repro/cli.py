@@ -286,7 +286,15 @@ def main(argv: list[str] | None = None) -> int:
     )
     p_serve.add_argument(
         "--metrics", action="store_true",
-        help="also print the final run's metrics snapshot as JSON",
+        help="also print the final run's metrics snapshot as JSON, plus "
+        "per-job fault/retry provenance (attempts, degraded pool size, "
+        "injected faults) for any job that needed them",
+    )
+    p_serve.add_argument(
+        "--inject", action="append", default=None,
+        metavar="KIND[:DEV[:ROUND]]",
+        help="inject one fault per flag into every service job "
+        "(docs/robustness.md); the serial baseline stays fault-free",
     )
 
     p_lg = sub.add_parser(
@@ -406,6 +414,19 @@ def main(argv: list[str] | None = None) -> int:
     p_dist.add_argument("--gpu", default=V100_32GB.name)
     p_dist.add_argument("--memory-gib", type=float, default=None)
     p_dist.add_argument(
+        "--inject", action="append", default=None,
+        metavar="KIND[:DEV[:ROUND]]",
+        help="inject one fault per flag: KIND is worker_crash, "
+        "device_loss, transfer_timeout, transfer_stall or task_error, "
+        "optionally pinned to a device and reduction round "
+        "(docs/robustness.md); repeatable",
+    )
+    p_dist.add_argument(
+        "--no-recover", action="store_true",
+        help="numeric: disable device-loss recovery so an injected loss "
+        "fails the run loudly (the chaos-smoke negative control)",
+    )
+    p_dist.add_argument(
         "--bench-out", default=None, metavar="JSON",
         help="sim: write the sweep as a BENCH_dist.json document",
     )
@@ -523,9 +544,35 @@ def _dispatch(args) -> int:
     return _run_factorization(args, args.command)
 
 
+def _parse_inject(values) -> "object | None":
+    """``--inject KIND[:DEV[:ROUND]]`` flags -> a :class:`FaultPlan`."""
+    if not values:
+        return None
+    from repro.errors import ValidationError
+    from repro.faults import FaultPlan, FaultSpec
+
+    specs = []
+    for raw in values:
+        parts = raw.split(":")
+        if len(parts) > 3:
+            raise ValidationError(
+                f"--inject takes KIND[:DEV[:ROUND]], got {raw!r}"
+            )
+        try:
+            device = int(parts[1]) if len(parts) > 1 and parts[1] else None
+            rnd = int(parts[2]) if len(parts) > 2 and parts[2] else None
+        except ValueError as exc:
+            raise ValidationError(
+                f"--inject device/round must be integers, got {raw!r}"
+            ) from exc
+        specs.append(FaultSpec(parts[0], device=device, round_index=rnd))
+    return FaultPlan(specs=tuple(specs))
+
+
 def _run_dist(args) -> int:
     config = _config(args)
     counts = sorted(set(args.devices))
+    faults = _parse_inject(args.inject)
 
     if args.mode == "numeric":
         import numpy as np
@@ -537,7 +584,8 @@ def _run_dist(args) -> int:
         rows = []
         for p in counts:
             res = dist_qr_numeric(
-                a, n_devices=p, tree=args.tree, processes=args.processes
+                a, n_devices=p, tree=args.tree, processes=args.processes,
+                faults=faults, recover=not args.no_recover,
             )
             resid = np.linalg.norm(res.q @ res.r - a) / np.linalg.norm(a)
             rows.append([
@@ -547,10 +595,11 @@ def _run_dist(args) -> int:
                 "yes" if res.comm.meets_bound else "NO",
                 f"{resid:.2e}",
                 str(res.processes),
+                res.faults.summary() if res.faults is not None else "off",
             ])
         print(render_table(
             ["devices", "up words/dev", "caqr ratio", "meets bound",
-             "residual", "procs"],
+             "residual", "procs", "faults"],
             rows,
         ))
         return 0
@@ -559,7 +608,7 @@ def _run_dist(args) -> int:
 
     sweep = dist_scaling_sweep(
         config, m=args.rows, n=args.cols, device_counts=tuple(counts),
-        tree=args.tree, shared_host_link=args.shared_link,
+        tree=args.tree, shared_host_link=args.shared_link, faults=faults,
     )
     baseline = sweep[min(sweep)]
     rows = []
@@ -581,6 +630,11 @@ def _run_dist(args) -> int:
          "caqr ratio", "verify"],
         rows,
     ))
+    if faults is not None:
+        for p in counts:
+            r = sweep[p]
+            if r.faults is not None and not r.faults.clean:
+                print(f"faults @{p} devices: {r.faults.summary()}")
     if args.bench_out is not None:
         from repro.bench.dist import run_dist_bench
 
@@ -671,6 +725,7 @@ def _run_serve_bench(args) -> int:
         blocksize=args.blocksize,
         seed=args.seed,
         job_concurrency=args.job_concurrency,
+        faults=_parse_inject(args.inject),
     )
     print(result.render())
     if args.metrics:
@@ -681,6 +736,15 @@ def _run_serve_bench(args) -> int:
         for level in result.levels:
             print(f"metrics (workers={level.n_workers}):")
             print(json.dumps(level.metrics, indent=2))
+            for row in level.provenance:
+                degraded = (
+                    "" if row["degraded_to"] is None
+                    else f", degraded to {row['degraded_to']} devices"
+                )
+                print(
+                    f"  {row['job']}: {row['attempts']} attempt(s)"
+                    f"{degraded}; {row['faults'] or 'no faults'}"
+                )
     return 0
 
 

@@ -8,7 +8,11 @@ partitions the tile-DAG task graph and inserts priced inter-device
 transfers (:mod:`~repro.dist.placement`), and two executors: a per-
 device simulator sweep (:mod:`~repro.dist.sim`) and a process-pool
 numeric backend with memmap shard handoff whose binomial tree bitwise-
-matches the single-device TSQR (:mod:`~repro.dist.numeric`).
+matches the single-device TSQR (:mod:`~repro.dist.numeric`). Both
+executors accept a :class:`~repro.faults.plan.FaultPlan`; device losses
+are absorbed by regraft-and-replay recovery (:mod:`~repro.dist.recovery`,
+docs/robustness.md) with every re-placed program re-verified before
+execution resumes.
 
 Layering: ``repro.dist`` sits beside the runtime/analysis layers and
 below ``repro.serve`` — it must not import the serving layer (enforced
@@ -22,6 +26,13 @@ from repro.dist.placement import (
     Placement,
     TransferTask,
     partition_graph,
+)
+from repro.dist.recovery import (
+    RecoveryPlan,
+    injection_matrix,
+    plan_recovery,
+    recover_placement,
+    remap_devices,
 )
 from repro.dist.shard import BlockCyclicLayout, ShardedMatrix, slab_offsets
 from repro.dist.sim import (
@@ -53,6 +64,7 @@ __all__ = [
     "HOST",
     "LinkSpec",
     "Placement",
+    "RecoveryPlan",
     "ReductionTree",
     "ShardedMatrix",
     "TransferTask",
@@ -65,7 +77,11 @@ __all__ = [
     "dist_qr_numeric",
     "dist_scaling_sweep",
     "dist_trace_spans",
+    "injection_matrix",
     "partition_graph",
+    "plan_recovery",
+    "recover_placement",
+    "remap_devices",
     "simulate_dist_qr",
     "slab_offsets",
     "triangle_words",

@@ -35,13 +35,18 @@ def dist_qr(
     config: SystemConfig | None = None,
     shared_host_link: bool = False,
     budget_bytes: int | None = None,
+    faults=None,
+    recover: bool = True,
 ) -> DistNumericResult | DistSimResult:
     """Factor a tall matrix across a device pool.
 
     Exactly one of *a* (numeric) or *m*/*n* (sim) describes the input;
     *mode* may force the choice explicitly. Numeric mode accepts
     *processes* (0 = inline); sim mode accepts *config*,
-    *shared_host_link* and *budget_bytes*.
+    *shared_host_link* and *budget_bytes*. Both accept a *faults*
+    :class:`~repro.faults.plan.FaultPlan` (docs/robustness.md); numeric
+    mode additionally honors *recover* (``False`` surfaces a device
+    loss instead of running lineage recovery).
     """
     if mode is None:
         mode = "numeric" if a is not None else "sim"
@@ -50,7 +55,8 @@ def dist_qr(
         if a is None:
             raise ValidationError("numeric mode needs a concrete matrix `a`")
         return dist_qr_numeric(
-            a, n_devices=n_devices, tree=tree, processes=processes
+            a, n_devices=n_devices, tree=tree, processes=processes,
+            faults=faults, recover=recover, config=config,
         )
     if a is not None:
         raise ValidationError(
@@ -66,6 +72,7 @@ def dist_qr(
         tree=tree,
         shared_host_link=shared_host_link,
         budget_bytes=budget_bytes,
+        faults=faults,
     )
 
 

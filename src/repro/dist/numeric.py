@@ -19,7 +19,25 @@ Communication is measured, not assumed: the coordinator counts the words
 of every packed-triangular R it relays upward and every b-by-b factor it
 broadcasts downward, and reports them as a
 :class:`~repro.dist.tree.TreeCommReport` against the Demmel et al.
-lower bound.
+lower bound. The accounting is *logical* — one count per schedule edge,
+never per retransmission — so the CAQR comparison describes the
+algorithm, not the luck of a particular faulty run.
+
+Fault tolerance (docs/robustness.md): every fallible step is guarded by
+a :class:`~repro.faults.inject.FaultInjector` check at a named site
+(``leaf`` / ``transfer-up`` / ``merge`` / ``transfer-down`` /
+``pushdown`` / ``scale``). Transient faults (worker crash, task error,
+transfer timeout/stall) retry the guarded step with exponential backoff;
+worker tasks additionally run under a heartbeat/timeout watchdog. A
+``device_loss`` triggers lineage recovery: the surviving pool is
+re-planned and re-verified (:func:`repro.dist.recovery.plan_recovery` —
+execution refuses to resume unless every re-placed program passes
+``verify_program``), and the lost slab's task lineage (leaf QR plus
+every tree factor already applied, logged by the coordinator) is
+replayed on the scratch maps — identical float64 ops in identical order,
+so recovered runs stay bitwise-identical to fault-free ones. With no
+``faults`` plan all guards short-circuit; the fault-free path is
+bitwise-identical to a build without the fault plane.
 
 ``processes=0`` runs the same memmap task functions inline (identical
 arithmetic, no pool) — the cheap path for serve jobs and small tests.
@@ -42,7 +60,16 @@ from repro.dist.tree import (
     build_tree,
     caqr_lower_bound_words,
 )
-from repro.errors import ShapeError, ValidationError
+from repro.errors import (
+    DeviceLostError,
+    FaultError,
+    InjectedFaultError,
+    ShapeError,
+    ValidationError,
+)
+from repro.faults.inject import as_injector
+from repro.faults.report import FaultReport
+from repro.obs import clock
 from repro.util.validation import positive_int
 
 
@@ -65,6 +92,7 @@ def _leaf_qr(scratch: str, m: int, n: int, r0: int, r1: int) -> np.ndarray:
     q_leaf, r = np.linalg.qr(np.asarray(a[r0:r1]))
     q[r0:r1] = q_leaf
     q.flush()
+    del a, q  # release the maps before the scratch dir is torn down
     return r
 
 
@@ -76,6 +104,7 @@ def _apply_factor(
     _, q = _open_maps(scratch, m, n)
     q[r0:r1] = np.asarray(q[r0:r1]) @ factor
     q.flush()
+    del q
 
 
 def _scale_columns(
@@ -85,6 +114,7 @@ def _scale_columns(
     _, q = _open_maps(scratch, m, n)
     q[r0:r1] = np.asarray(q[r0:r1]) * signs[None, :]
     q.flush()
+    del q
 
 
 class _InlinePool:
@@ -100,6 +130,222 @@ class _InlinePool:
         return False
 
 
+class _FaultTolerantRun:
+    """Coordinator-side fault plane for one ``dist_qr_numeric`` call.
+
+    Holds the injector, the retry/backoff policy, the per-slab lineage
+    log (every tree factor already applied, in order) and the loss
+    bookkeeping. With no injector the guards are single attribute reads
+    and the dispatch paths match the fault-free build exactly.
+    """
+
+    def __init__(
+        self,
+        pool,
+        injector,
+        *,
+        inline: bool,
+        n_devices: int,
+        tree: ReductionTree,
+        m: int,
+        n: int,
+        slabs,
+        scratch: str,
+        recover: bool,
+        max_retries: int,
+        backoff_base_s: float,
+        backoff_max_s: float,
+        task_timeout_s: float,
+        heartbeat_s: float,
+        config,
+    ):
+        self.pool = pool
+        self.injector = injector
+        self.inline = inline
+        self.n_devices = n_devices
+        self.tree = tree
+        self.m = m
+        self.n = n
+        self.slabs = slabs
+        self.scratch = scratch
+        self.recover = recover
+        self.max_retries = max_retries
+        self.backoff_base_s = backoff_base_s
+        self.backoff_max_s = backoff_max_s
+        self.task_timeout_s = task_timeout_s
+        self.heartbeat_s = heartbeat_s
+        self.config = config
+        #: Per-slab lineage: tree factors applied so far, in order. A
+        #: lost slab replays leaf QR + this log to restore bit-identical
+        #: state.
+        self.applied: list[list[np.ndarray]] = [[] for _ in range(n_devices)]
+        self.lost: list[int] = []
+        self.remap: dict[int, int] = {}
+        self.retries = 0
+        self.recoveries = 0
+        self.replacements_verified = 0
+
+    # -- guards -----------------------------------------------------------------
+
+    def _backoff(self, attempt: int) -> None:
+        clock.sleep(
+            min(self.backoff_max_s, self.backoff_base_s * 2 ** (attempt - 1))
+        )
+
+    def guard(
+        self, site: str, device: int | None = None,
+        round_index: int | None = None,
+    ) -> None:
+        """One injection point. Transients retry with backoff until the
+        spec burns out or the retry budget is spent; a device loss runs
+        recovery and re-checks (another spec may still be pending)."""
+        if self.injector is None:
+            return
+        attempt = 0
+        while True:
+            try:
+                self.injector.check(
+                    site, device=device, round_index=round_index
+                )
+                return
+            except DeviceLostError as exc:
+                self._on_device_loss(exc)
+            except InjectedFaultError as exc:
+                attempt += 1
+                if attempt > self.max_retries:
+                    raise FaultError(
+                        "retries-exhausted",
+                        f"{site} on device {device} still failing after "
+                        f"{self.max_retries} retries: {exc}",
+                    ) from exc
+                self.retries += 1
+                self._backoff(attempt)
+
+    # -- dispatch ---------------------------------------------------------------
+
+    def run_batch(self, tasks) -> list:
+        """Run a batch of worker tasks ``(site, device, round, fn, args)``.
+
+        All guards fire before any dispatch (a fault never half-applies
+        a batch); with a real pool every task runs async under the
+        heartbeat/timeout watchdog, and a failed task is re-dispatched
+        with backoff before the run gives up.
+        """
+        for site, device, rnd, _fn, _args in tasks:
+            self.guard(site, device=device, round_index=rnd)
+        if self.inline:
+            return [fn(*args) for _s, _d, _r, fn, args in tasks]
+        handles = [
+            (task, self.pool.apply_async(task[3], task[4])) for task in tasks
+        ]
+        return [self._collect(task, handle) for task, handle in handles]
+
+    def _collect(self, task, handle):
+        site, device, _rnd, fn, args = task
+        attempt = 0
+        while True:
+            try:
+                return self._wait(handle, site, device)
+            except FaultError as exc:
+                attempt += 1
+                if attempt > self.max_retries:
+                    raise FaultError(
+                        "retries-exhausted",
+                        f"{site} task on device {device}: {exc}",
+                    ) from exc
+                self.retries += 1
+                self._backoff(attempt)
+                handle = self.pool.apply_async(fn, args)
+
+    def _wait(self, handle, site: str, device: int | None):
+        """Heartbeat-poll one async result against the task deadline."""
+        deadline = clock.monotonic() + self.task_timeout_s
+        while not handle.ready():
+            if clock.monotonic() >= deadline:
+                raise FaultError(
+                    "task-timeout",
+                    f"{site} task on device {device} missed its "
+                    f"{self.task_timeout_s:g}s deadline",
+                )
+            clock.sleep(self.heartbeat_s)
+        try:
+            return handle.get()
+        except FaultError:
+            raise
+        except Exception as exc:  # noqa: BLE001 - pool relays arbitrary worker errors
+            raise FaultError(
+                "worker-fault",
+                f"{site} worker on device {device} died: {exc!r}",
+            ) from exc
+
+    # -- device-loss recovery ---------------------------------------------------
+
+    def _on_device_loss(self, exc: DeviceLostError) -> None:
+        device = exc.device
+        if not self.recover:
+            raise DeviceLostError(
+                device,
+                detail=f"{exc} — recovery disabled",
+                lost=tuple(self.lost) + (device,),
+            ) from exc
+        if device not in self.lost:
+            self.lost.append(device)
+        if len(set(self.lost)) >= self.n_devices:
+            raise FaultError(
+                "pool-exhausted",
+                f"all {self.n_devices} devices lost; nothing to regraft "
+                f"onto",
+            ) from exc
+        self._recover(device)
+
+    def _recover(self, device: int) -> None:
+        """Regraft + replay: re-plan the survivors (verified) and re-run
+        the lost slab's lineage on the scratch maps."""
+        # lazy import: spawn workers re-import this module, and the
+        # recovery planner pulls in the sim/placement stack
+        from repro.dist.recovery import plan_recovery
+
+        plan = plan_recovery(
+            m=self.m, n=self.n, tree=self.tree, lost=set(self.lost),
+            config=self.config,
+        ).check()
+        self.remap = dict(plan.remap)
+        self.replacements_verified += sum(1 for r in plan.reports if r.ok)
+
+        # lineage replay, coordinator-side: identical float64 ops in
+        # identical order restore the slab bitwise. The slab is zeroed
+        # first so the test suite can prove the replay (not stale state)
+        # produced the bits.
+        r0, r1 = self.slabs[device]
+        q = np.memmap(
+            os.path.join(self.scratch, "q.dat"), dtype=np.float64,
+            mode="r+", shape=(self.m, self.n),
+        )
+        q[r0:r1] = 0.0
+        q.flush()
+        del q
+        _leaf_qr(self.scratch, self.m, self.n, r0, r1)
+        for factor in self.applied[device]:
+            _apply_factor(self.scratch, self.m, self.n, r0, r1, factor)
+        self.recoveries += 1
+
+    # -- reporting --------------------------------------------------------------
+
+    def report(self) -> FaultReport | None:
+        if self.injector is None:
+            return None
+        plan = self.injector.plan
+        return FaultReport(
+            plan_seed=plan.seed if plan is not None else None,
+            events=self.injector.events,
+            retries=self.retries,
+            recoveries=self.recoveries,
+            devices_lost=tuple(dict.fromkeys(self.lost)),
+            replacements_verified=self.replacements_verified,
+            details={"remap": dict(self.remap)} if self.remap else {},
+        )
+
+
 @dataclass
 class DistNumericResult:
     """Factors plus the measured communication of one sharded QR."""
@@ -112,6 +358,8 @@ class DistNumericResult:
     comm: TreeCommReport
     #: Worker processes used (0 = inline execution).
     processes: int
+    #: Fault-plane provenance; ``None`` when no injector was active.
+    faults: FaultReport | None = None
 
 
 def dist_qr_numeric(
@@ -120,6 +368,15 @@ def dist_qr_numeric(
     n_devices: int,
     tree: str = "binomial",
     processes: int | None = None,
+    faults=None,
+    recover: bool = True,
+    max_retries: int = 2,
+    backoff_base_s: float = 0.02,
+    backoff_max_s: float = 0.25,
+    task_timeout_s: float = 60.0,
+    heartbeat_s: float = 0.01,
+    scratch_dir: str | None = None,
+    config=None,
 ) -> DistNumericResult:
     """Sharded TSQR of *a* across *n_devices* row slabs.
 
@@ -138,6 +395,29 @@ def dist_qr_numeric(
     processes
         Worker process count (capped at *n_devices*); default
         ``min(n_devices, cpu_count)``. 0 runs the same tasks inline.
+    faults
+        A :class:`~repro.faults.plan.FaultPlan` (or a live
+        :class:`~repro.faults.inject.FaultInjector`, as the serve layer
+        passes so retries share burnt specs). ``None`` or a disabled
+        plan skips every guard — bitwise-identical to the fault-free
+        build.
+    recover
+        Whether ``device_loss`` triggers lineage recovery. ``False``
+        surfaces the loss as :class:`~repro.errors.DeviceLostError`
+        (the chaos-smoke negative control).
+    max_retries
+        Transient-fault retry budget per guarded step (exponential
+        backoff from *backoff_base_s*, capped at *backoff_max_s*).
+    task_timeout_s / heartbeat_s
+        Worker watchdog: async task results are polled every
+        *heartbeat_s* and declared hung after *task_timeout_s*.
+    scratch_dir
+        Parent directory for the run's scratch files (default: the
+        system temp dir). The scratch subdirectory is always removed —
+        loudly, not best-effort — on every exit path.
+    config
+        :class:`~repro.config.SystemConfig` for recovery re-planning
+        and verification (default: the paper system).
     """
     a = np.asarray(a)
     if a.ndim != 2 or a.shape[0] < a.shape[1] or a.shape[1] < 1:
@@ -156,8 +436,11 @@ def dist_qr_numeric(
     if processes < 0:
         raise ValidationError(f"processes must be >= 0, got {processes}")
     processes = min(processes, n_devices)
+    injector = as_injector(faults)
 
-    scratch = tempfile.mkdtemp(prefix="repro-dist-")
+    if scratch_dir is not None:
+        os.makedirs(scratch_dir, exist_ok=True)
+    scratch = tempfile.mkdtemp(prefix="repro-dist-", dir=scratch_dir)
     try:
         staged = np.memmap(
             os.path.join(scratch, "a.dat"), dtype=np.float64, mode="w+",
@@ -177,12 +460,32 @@ def dist_qr_numeric(
         else:
             pool_cm = _InlinePool()
         with pool_cm as pool:
+            run = _FaultTolerantRun(
+                pool,
+                injector,
+                inline=not processes,
+                n_devices=n_devices,
+                tree=tree_obj,
+                m=m,
+                n=n,
+                slabs=slabs,
+                scratch=scratch,
+                recover=recover,
+                max_retries=max_retries,
+                backoff_base_s=backoff_base_s,
+                backoff_max_s=backoff_max_s,
+                task_timeout_s=task_timeout_s,
+                heartbeat_s=heartbeat_s,
+                config=config,
+            )
             rs = {
                 d: r
                 for d, r in enumerate(
-                    pool.starmap(
-                        _leaf_qr,
-                        [(scratch, m, n, r0, r1) for r0, r1 in slabs],
+                    run.run_batch(
+                        [
+                            ("leaf", d, None, _leaf_qr, (scratch, m, n, r0, r1))
+                            for d, (r0, r1) in enumerate(slabs)
+                        ]
                     )
                 )
             }
@@ -195,57 +498,77 @@ def dist_qr_numeric(
                 # every leaf sends its packed R to the root, which
                 # factors the whole stack at once
                 for src in range(1, n_devices):
+                    run.guard("transfer-up", device=src, round_index=0)
                     words = int(rs[src][tri].size)
                     up_sent[src] += words
                     up_recv[0] += words
+                run.guard("merge", device=0, round_index=0)
                 stacked = np.vstack([rs[d] for d in range(n_devices)])
                 q_all, r_final = np.linalg.qr(stacked)
-                factors = [(d, q_all[d * n : (d + 1) * n]) for d in range(n_devices)]
+                factors = [
+                    (d, np.ascontiguousarray(q_all[d * n : (d + 1) * n]))
+                    for d in range(n_devices)
+                ]
                 for d, factor in factors:
+                    run.guard("transfer-down", device=d, round_index=0)
                     down_recv[d] += int(factor.size)
-                pool.starmap(
-                    _apply_factor,
+                run.run_batch(
                     [
-                        (scratch, m, n, slabs[d][0], slabs[d][1],
-                         np.ascontiguousarray(factor))
+                        ("pushdown", d, 0, _apply_factor,
+                         (scratch, m, n, slabs[d][0], slabs[d][1], factor))
                         for d, factor in factors
-                    ],
+                    ]
                 )
+                for d, factor in factors:
+                    run.applied[d].append(factor)
             else:
-                for merges, groups in zip(
-                    tree_obj.rounds, tree_obj.group_schedule()
+                for k, (merges, groups) in enumerate(
+                    zip(tree_obj.rounds, tree_obj.group_schedule())
                 ):
                     applies = []
                     for dst, src in merges:
+                        run.guard("transfer-up", device=src, round_index=k)
                         words = int(rs[src][tri].size)
                         up_sent[src] += words
                         up_recv[dst] += words
+                        run.guard("merge", device=dst, round_index=k)
                         stacked = np.vstack([rs[dst], rs.pop(src)])
                         q_pair, r_pair = np.linalg.qr(stacked)
                         rs[dst] = r_pair
                         top = np.ascontiguousarray(q_pair[:n])
                         bot = np.ascontiguousarray(q_pair[n:])
                         for member in groups[dst]:
+                            run.guard(
+                                "transfer-down", device=member, round_index=k
+                            )
                             down_recv[member] += int(top.size)
                             applies.append((member, top))
                         for member in groups[src]:
+                            run.guard(
+                                "transfer-down", device=member, round_index=k
+                            )
                             down_recv[member] += int(bot.size)
                             applies.append((member, bot))
                     # round barrier: factors of round k land before k+1
-                    pool.starmap(
-                        _apply_factor,
+                    run.run_batch(
                         [
-                            (scratch, m, n, slabs[d][0], slabs[d][1], f)
+                            ("pushdown", d, k, _apply_factor,
+                             (scratch, m, n, slabs[d][0], slabs[d][1], f))
                             for d, f in applies
-                        ],
+                        ]
                     )
+                    for d, f in applies:
+                        run.applied[d].append(f)
                 (r_final,) = rs.values()
 
             signs = np.sign(np.diag(r_final))
             signs[signs == 0] = 1.0
-            pool.starmap(
-                _scale_columns,
-                [(scratch, m, n, r0, r1, signs) for r0, r1 in slabs],
+            run.run_batch(
+                [
+                    ("scale", d, None, _scale_columns,
+                     (scratch, m, n, r0, r1, signs))
+                    for d, (r0, r1) in enumerate(slabs)
+                ]
             )
         q = np.array(
             np.memmap(
@@ -255,6 +578,10 @@ def dist_qr_numeric(
         )
     finally:
         shutil.rmtree(scratch, ignore_errors=True)
+        if os.path.isdir(scratch):
+            # best-effort pass left debris behind: fail loudly rather
+            # than leak scratch files across runs (docs/robustness.md)
+            shutil.rmtree(scratch)
 
     comm = TreeCommReport(
         kind=tree_obj.kind,
@@ -272,6 +599,7 @@ def dist_qr_numeric(
         tree=tree_obj,
         comm=comm,
         processes=processes,
+        faults=run.report(),
     )
 
 

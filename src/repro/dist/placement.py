@@ -207,6 +207,7 @@ def partition_graph(
     *,
     default_device: int = 0,
     pin: dict[str, int] | None = None,
+    remap: dict[int, int] | None = None,
 ) -> Placement:
     """Partition *graph* across *topology* by tile ownership.
 
@@ -232,6 +233,14 @@ def partition_graph(
     Every dependency edge between op tasks on different devices that
     carries data (overlapping producer writes / consumer reads) becomes
     one :class:`TransferTask` priced by the topology.
+
+    *remap* redirects logical devices to physical ones — the device-loss
+    regraft of :mod:`repro.dist.recovery`: ownership and pins are still
+    computed against the logical layout, then every resolved device is
+    mapped through ``remap`` before it lands in ``device_of`` /
+    ``buffer_home``. Edges between logical devices that collapse onto
+    one physical device naturally stop being transfers. Remap targets
+    (and every placed task) must be surviving members of *topology*.
     """
     shards = sharded if isinstance(sharded, tuple) else (sharded,)
     if not shards:
@@ -250,6 +259,22 @@ def partition_graph(
             return None
         return shard.owner_of_region(region)
 
+    if remap:
+        for logical, physical in remap.items():
+            for dev, what in ((logical, "source"), (physical, "target")):
+                if not 0 <= dev < topology.n_devices:
+                    raise ValidationError(
+                        f"remap {what} device {dev} outside the "
+                        f"{topology.n_devices}-device topology"
+                    )
+            if physical in topology.lost:
+                raise ValidationError(
+                    f"remap target device {physical} is itself lost"
+                )
+
+    def phys(dev: int) -> int:
+        return remap.get(dev, dev) if remap else dev
+
     eb = graph.config.element_bytes
     device_of: dict[int, int] = {}
     buffer_home: dict[int, int] = {}
@@ -264,7 +289,7 @@ def partition_graph(
         for task in graph.tasks:
             if task.mem == "alloc" and task.buffer.name in pin:
                 handle = task.buffer.payload["allocation"].handle
-                buffer_home[handle] = pin[task.buffer.name]
+                buffer_home[handle] = phys(pin[task.buffer.name])
 
     def buffer_handles(task: TileTask) -> list[int]:
         return [acc[0] for acc in task.accesses]
@@ -279,14 +304,20 @@ def partition_graph(
                 dev = buffer_home[handle]
                 break
         if dev is None:
-            dev = _anchor_device(task, owner_of)
+            anchor = _anchor_device(task, owner_of)
+            dev = None if anchor is None else phys(anchor)
         if dev is None:
             for dep in task.deps:
                 if dep.task_id in device_of:
                     dev = device_of[dep.task_id]
                     break
         if dev is None:
-            dev = default_device
+            dev = phys(default_device)
+        if dev in topology.lost:
+            raise ValidationError(
+                f"task {task.name} placed on lost device {dev}; the remap "
+                f"must regraft every lost device onto a survivor"
+            )
         device_of[task.task_id] = dev
         for handle in buffer_handles(task):
             buffer_home.setdefault(handle, dev)

@@ -1,0 +1,209 @@
+"""Device-loss recovery: regraft the reduction tree over survivors.
+
+Demmel et al.'s CAQR formulation makes this tractable: the binomial
+reduction tree is just a dataflow over R-factors, so a lost subtree can
+be regrafted onto any survivor without changing the arithmetic — the
+lost leaf's slab work simply *runs somewhere else*, in the same order,
+on the same float64 values. Recovery therefore has three steps, all
+here or in :mod:`repro.dist.numeric`:
+
+1. **remap** — :func:`remap_devices` picks each lost device's regraft
+   target: the nearest surviving binomial sibling (XOR of successive
+   low bits — the partner it would have merged with), falling back to
+   the lowest survivor.
+2. **re-place + re-verify** — :func:`plan_recovery` re-derives the lost
+   shards' tasks from the same :class:`~repro.runtime.task.TaskGraph`
+   the sim backend builds, re-runs
+   :func:`~repro.dist.placement.partition_graph` against the surviving
+   :class:`~repro.dist.topology.DeviceTopology` with the remap, and runs
+   :func:`~repro.analysis.verify.verify_program` over every re-placed
+   :class:`~repro.dist.placement.DeviceProgram`. Execution refuses to
+   resume unless every program verifies (``FaultError`` with reason
+   ``recovery-unverified`` otherwise).
+3. **lineage replay** — the numeric backend re-runs the lost slab's
+   task lineage (leaf QR plus every tree factor already applied) on the
+   scratch memmaps, restoring bit-identical state before resuming.
+
+:func:`injection_matrix` enumerates the single-fault schedules the
+acceptance criterion sweeps: worker crash and device loss at every leaf
+and every reduction round, and a transfer fault at every round.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.verify import AnalysisReport
+from repro.config import PAPER_SYSTEM, SystemConfig
+from repro.dist.placement import Placement, partition_graph
+from repro.dist.topology import DeviceTopology
+from repro.dist.tree import ReductionTree, build_tree
+from repro.errors import FaultError, ValidationError
+from repro.faults.plan import FaultPlan
+
+
+def remap_devices(n_devices: int, lost) -> dict[int, int]:
+    """Regraft map for *lost* devices: ``{lost_id: survivor_id}``.
+
+    Each lost device goes to its nearest surviving binomial partner
+    (``d ^ 1``, then ``d ^ 2``, ``d ^ 4``, ... — the merge partners of
+    successive reduction rounds), so the regrafted work lands on the
+    device that was going to consume the lost leaf's R factor anyway;
+    when the whole sibling chain is gone, the lowest survivor takes it.
+    """
+    lost_set = {int(d) for d in lost}
+    for d in lost_set:
+        if not 0 <= d < n_devices:
+            raise ValidationError(
+                f"lost device {d} outside 0..{n_devices - 1}"
+            )
+    survivors = [d for d in range(n_devices) if d not in lost_set]
+    if not survivors:
+        raise FaultError(
+            "pool-exhausted", f"all {n_devices} devices lost"
+        )
+    remap: dict[int, int] = {}
+    for d in sorted(lost_set):
+        target = None
+        bit = 1
+        while bit < n_devices:
+            partner = d ^ bit
+            if partner < n_devices and partner not in lost_set:
+                target = partner
+                break
+            bit <<= 1
+        remap[d] = survivors[0] if target is None else target
+    return remap
+
+
+@dataclass
+class RecoveryPlan:
+    """A verified re-placement of the distributed QR over survivors."""
+
+    lost: tuple[int, ...]
+    remap: dict[int, int]
+    topology: DeviceTopology
+    placement: Placement
+    reports: list[AnalysisReport] = field(default_factory=list)
+
+    @property
+    def surviving(self) -> int:
+        return self.topology.n_devices - len(self.topology.lost)
+
+    @property
+    def all_verified(self) -> bool:
+        return all(r.ok for r in self.reports)
+
+    def check(self) -> "RecoveryPlan":
+        """Raise ``FaultError("recovery-unverified")`` unless every
+        re-placed per-device program passed the plan verifier."""
+        if not self.all_verified:
+            bad = next(r for r in self.reports if not r.ok)
+            raise FaultError(
+                "recovery-unverified",
+                f"re-placed program {bad.label}: {bad.findings[0]}",
+            )
+        return self
+
+
+def recover_placement(
+    graph,
+    shards,
+    topology: DeviceTopology,
+    lost,
+    *,
+    pin: dict[str, int] | None = None,
+    budget_bytes: int | None = None,
+) -> RecoveryPlan:
+    """Re-place an already-built dist graph over the survivors of *lost*
+    and verify every re-placed program (does **not** raise on findings —
+    call :meth:`RecoveryPlan.check` before resuming execution)."""
+    surviving_topology = topology.without(lost)
+    remap = remap_devices(
+        topology.n_devices, surviving_topology.lost
+    )
+    placement = partition_graph(
+        graph, shards, surviving_topology, pin=pin, remap=remap
+    )
+    reports = placement.verify(budget_bytes=budget_bytes)
+    return RecoveryPlan(
+        lost=tuple(sorted(surviving_topology.lost)),
+        remap=remap,
+        topology=surviving_topology,
+        placement=placement,
+        reports=reports,
+    )
+
+
+def plan_recovery(
+    *,
+    m: int,
+    n: int,
+    tree: ReductionTree,
+    lost,
+    config: SystemConfig | None = None,
+    budget_bytes: int | None = None,
+) -> RecoveryPlan:
+    """Build the dist-QR task graph for this shape and recover it.
+
+    The numeric backend's device-loss path: re-derives the lost shards'
+    tasks from the :class:`TaskGraph`, re-places over the surviving
+    topology, and hands back the verified plan (check before resuming).
+    """
+    from repro.dist.sim import build_dist_qr_graph
+
+    cfg = config if config is not None else PAPER_SYSTEM
+    topology = DeviceTopology.symmetric(cfg, tree.n_leaves)
+    graph, shards, pin = build_dist_qr_graph(
+        topology.device_config(0), m=m, n=n, tree=tree
+    )
+    return recover_placement(
+        graph, shards, topology, lost, pin=pin, budget_bytes=budget_bytes
+    )
+
+
+def injection_matrix(
+    n_devices: int,
+    *,
+    tree: str = "binomial",
+    kinds: tuple[str, ...] = (
+        "worker_crash", "device_loss", "transfer_timeout",
+    ),
+) -> list[FaultPlan]:
+    """The acceptance sweep: one single-fault :class:`FaultPlan` per
+    (kind, coordinate) — compute kinds at every leaf and every reduction
+    round's merge, transfer kinds on every round's upward relay. Every
+    plan carries its own stable seed, so the CI chaos matrix replays
+    each schedule exactly."""
+    tree_obj = build_tree(tree, n_devices)
+    plans: list[FaultPlan] = []
+    for kind in kinds:
+        if kind in ("transfer_timeout", "transfer_stall"):
+            for k, merges in enumerate(tree_obj.rounds):
+                for _dst, src in merges:
+                    plans.append(
+                        FaultPlan.single(
+                            kind, device=src, round_index=k,
+                            site="transfer-up",
+                        )
+                    )
+        else:
+            for d in range(n_devices):
+                plans.append(FaultPlan.single(kind, device=d, site="leaf"))
+            for k, merges in enumerate(tree_obj.rounds):
+                for dst, _src in merges:
+                    plans.append(
+                        FaultPlan.single(
+                            kind, device=dst, round_index=k, site="merge",
+                        )
+                    )
+    return plans
+
+
+__all__ = [
+    "RecoveryPlan",
+    "injection_matrix",
+    "plan_recovery",
+    "recover_placement",
+    "remap_devices",
+]

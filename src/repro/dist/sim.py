@@ -44,10 +44,13 @@ from dataclasses import dataclass, replace
 from repro.analysis.verify import AnalysisReport
 from repro.config import SystemConfig
 from repro.dist.placement import DeviceProgram, Placement, partition_graph
+from repro.dist.recovery import RecoveryPlan, recover_placement
 from repro.dist.shard import BlockCyclicLayout, ShardedMatrix, slab_offsets
 from repro.dist.topology import DeviceTopology
 from repro.dist.tree import ReductionTree, TreeCommReport, build_tree
-from repro.errors import ValidationError
+from repro.errors import DeviceLostError, InjectedFaultError, ValidationError
+from repro.faults.inject import as_injector
+from repro.faults.report import FaultReport
 from repro.host.tiled import HostMatrix
 from repro.obs.span import Span
 from repro.runtime.builder import GraphBuilder
@@ -78,6 +81,11 @@ class DistSimResult:
     #: the per-lane busy picture, not the end-to-end time.
     local_makespans: tuple[float, ...]
     comm: TreeCommReport
+    #: Fault-plane provenance; ``None`` when no injector was active.
+    faults: FaultReport | None = None
+    #: The verified re-placement over survivors after injected device
+    #: losses (``None`` on fault-free runs).
+    recovery: RecoveryPlan | None = None
 
     @property
     def all_verified(self) -> bool:
@@ -284,6 +292,38 @@ def _simulate_global(placement: Placement) -> float:
     return makespan
 
 
+def _play_plan(injector) -> tuple[FaultReport, tuple[int, ...], int]:
+    """The sim's static fault model: fire every spec in the plan at its
+    declared coordinates. Device losses become structural (the topology
+    loses members and the placement is recovered); transient kinds are
+    modeled as absorbed by one backoff retry each — they perturb timing
+    in the real backend, never the schedule, so the sim records the
+    event and the retry and moves on."""
+    lost: list[int] = []
+    retries = 0
+    for spec in injector.plan.specs:
+        for _ in range(spec.count):
+            try:
+                injector.check(
+                    spec.sites[0],
+                    device=spec.device,
+                    round_index=spec.round_index,
+                    op_index=spec.op_index,
+                )
+            except DeviceLostError as exc:
+                if exc.device not in lost:
+                    lost.append(exc.device)
+            except InjectedFaultError:
+                retries += 1
+    report = FaultReport(
+        plan_seed=injector.plan.seed,
+        events=injector.events,
+        retries=retries,
+        devices_lost=tuple(lost),
+    )
+    return report, tuple(lost), retries
+
+
 def simulate_dist_qr(
     config: SystemConfig,
     *,
@@ -293,8 +333,18 @@ def simulate_dist_qr(
     tree: str = "binomial",
     shared_host_link: bool = False,
     budget_bytes: int | None = None,
+    faults=None,
 ) -> DistSimResult:
-    """Build, place, verify, and time one distributed QR."""
+    """Build, place, verify, and time one distributed QR.
+
+    With a ``faults`` plan, injected device losses are applied
+    structurally: the surviving topology is re-placed with the binomial
+    regraft map (:func:`~repro.dist.recovery.recover_placement`), every
+    re-placed program is re-verified, and the reported makespan is the
+    recovered schedule's. Transient fault kinds are recorded on the
+    :class:`~repro.faults.report.FaultReport` (one retry each) but do
+    not change the schedule — that is the numeric backend's territory.
+    """
     n_devices = positive_int(n_devices, "n_devices")
     topology = DeviceTopology.symmetric(
         config, n_devices, shared_host_link=shared_host_link
@@ -303,8 +353,34 @@ def simulate_dist_qr(
     graph, shards, pin = build_dist_qr_graph(
         topology.device_config(0), m=m, n=n, tree=tree_obj
     )
-    placement = partition_graph(graph, shards, topology, pin=pin)
-    reports = placement.verify(budget_bytes=budget_bytes)
+    injector = as_injector(faults)
+    fault_report = None
+    recovery = None
+    if injector is not None:
+        fault_report, lost, _ = _play_plan(injector)
+        if lost:
+            recovery = recover_placement(
+                graph, shards, topology, lost,
+                pin=pin, budget_bytes=budget_bytes,
+            ).check()
+            topology = recovery.topology
+            fault_report = FaultReport(
+                plan_seed=fault_report.plan_seed,
+                events=fault_report.events,
+                retries=fault_report.retries,
+                recoveries=1,
+                devices_lost=recovery.lost,
+                replacements_verified=sum(
+                    1 for r in recovery.reports if r.ok
+                ),
+                details={"remap": dict(recovery.remap)},
+            )
+    if recovery is not None:
+        placement = recovery.placement
+        reports = recovery.reports
+    else:
+        placement = partition_graph(graph, shards, topology, pin=pin)
+        reports = placement.verify(budget_bytes=budget_bytes)
     traces = [_simulate_program(prog) for prog in placement.programs]
     return DistSimResult(
         m=m,
@@ -319,6 +395,8 @@ def simulate_dist_qr(
         makespan=_simulate_global(placement),
         local_makespans=tuple(t.makespan for t in traces),
         comm=tree_obj.comm_report(n),
+        faults=fault_report,
+        recovery=recovery,
     )
 
 
@@ -330,12 +408,18 @@ def dist_scaling_sweep(
     device_counts: tuple[int, ...] = (1, 8, 16, 32, 64),
     tree: str = "binomial",
     shared_host_link: bool = False,
+    faults=None,
 ) -> dict[int, DistSimResult]:
-    """The same tall-skinny QR at each pool size; returns {P: result}."""
+    """The same tall-skinny QR at each pool size; returns {P: result}.
+
+    A :class:`~repro.faults.plan.FaultPlan` in *faults* is replayed
+    against every sweep point independently (each point gets a fresh
+    injector, so the schedule fires identically at each pool size it
+    matches)."""
     return {
         p: simulate_dist_qr(
             config, m=m, n=n, n_devices=p, tree=tree,
-            shared_host_link=shared_host_link,
+            shared_host_link=shared_host_link, faults=faults,
         )
         for p in device_counts
     }
@@ -378,6 +462,26 @@ def dist_trace_spans(result: DistSimResult) -> list[Span]:
                 attrs={"round": k, "merges": len(merges)},
             )
         )
+    if result.faults is not None:
+        for ev in result.faults.events:
+            sid += 1
+            spans.append(
+                Span(
+                    span_id=sid,
+                    parent_id=None,
+                    name=ev.describe(),
+                    cat="fault",
+                    lane="faults",
+                    start_s=t,
+                    end_s=t,
+                    attrs={
+                        "kind": ev.kind,
+                        "site": ev.site,
+                        "device": ev.device,
+                        "plan_seed": result.faults.plan_seed,
+                    },
+                )
+            )
     return spans
 
 

@@ -20,7 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 
 from repro.config import SystemConfig
-from repro.errors import ValidationError
+from repro.errors import DeviceLostError, ValidationError
 from repro.hw.transfer import Direction
 from repro.util.validation import positive_int
 
@@ -87,6 +87,11 @@ class DeviceTopology:
     host_links: tuple[LinkSpec, ...]
     peer_link: LinkSpec | None = None
     shared_host_link: bool = False
+    #: Devices that dropped out of the pool (device-loss recovery,
+    #: docs/robustness.md). Ids stay stable — the pool keeps its
+    #: numbering so shard ownership and remaps stay meaningful — but a
+    #: lost device prices no transfers and may receive no work.
+    lost: frozenset[int] = frozenset()
 
     def __post_init__(self) -> None:
         positive_int(self.n_devices, "n_devices")
@@ -94,6 +99,18 @@ class DeviceTopology:
             raise ValidationError(
                 f"need one host link per device: {self.n_devices} devices, "
                 f"{len(self.host_links)} links"
+            )
+        if not isinstance(self.lost, frozenset):
+            object.__setattr__(self, "lost", frozenset(self.lost))
+        for d in self.lost:
+            if not 0 <= d < self.n_devices:
+                raise ValidationError(
+                    f"lost device {d} outside 0..{self.n_devices - 1}"
+                )
+        if len(self.lost) >= self.n_devices:
+            raise ValidationError(
+                f"all {self.n_devices} devices lost; no survivors to "
+                f"build a topology over"
             )
 
     # -- constructors -----------------------------------------------------------
@@ -135,7 +152,19 @@ class DeviceTopology:
             shared_host_link=shared_host_link,
         )
 
+    def without(self, lost) -> "DeviceTopology":
+        """The surviving topology after losing *lost* devices (ids are
+        preserved; the lost members are marked, not renumbered)."""
+        return replace(self, lost=self.lost | frozenset(lost))
+
     # -- queries ----------------------------------------------------------------
+
+    @property
+    def surviving(self) -> tuple[int, ...]:
+        """Device ids still in the pool, ascending."""
+        return tuple(
+            d for d in range(self.n_devices) if d not in self.lost
+        )
 
     def _check_device(self, device: int, what: str) -> int:
         if device == HOST:
@@ -163,6 +192,11 @@ class DeviceTopology:
         destination link."""
         self._check_device(src, "src")
         self._check_device(dst, "dst")
+        for end in (src, dst):
+            if end in self.lost:
+                raise DeviceLostError(
+                    end, detail="no link to a device that left the pool"
+                )
         if src == dst:
             return 0.0
         if src == HOST:
@@ -180,9 +214,11 @@ class DeviceTopology:
         link = self.host_links[0]
         kind = "shared" if self.shared_host_link else "independent"
         peer = ", peer" if self.peer_link is not None else ""
+        gone = f", {len(self.lost)} lost" if self.lost else ""
         return (
             f"{self.n_devices}x {self.config.gpu.name} "
-            f"({kind} host links @ {link.bytes_per_s / 1e9:.1f} GB/s{peer})"
+            f"({kind} host links @ {link.bytes_per_s / 1e9:.1f} GB/s{peer}"
+            f"{gone})"
         )
 
 

@@ -187,3 +187,53 @@ class EscalationExhaustedError(NumericalError):
 
     def __init__(self, detail: str = "", report=None):
         super().__init__("escalation-exhausted", detail, report)
+
+
+class FaultError(ReproError):
+    """An execution fault in the distributed pool that recovery could not
+    (or was told not to) absorb: retries exhausted on a transient fault,
+    every device lost, or a recovered placement that failed
+    re-verification. ``reason`` is a short machine-readable tag
+    (``retries-exhausted``, ``task-timeout``, ``pool-exhausted``,
+    ``recovery-unverified``, ...); the message carries the details.
+
+    Deliberately *not* in the serve layer's ``DETERMINISTIC_ERRORS``:
+    a fault is transient by definition, so the service's retry ladder
+    applies to it (see docs/robustness.md).
+    """
+
+    def __init__(self, reason: str, detail: str = ""):
+        self.reason = reason
+        super().__init__(f"{reason}{': ' + detail if detail else ''}")
+
+
+class InjectedFaultError(FaultError):
+    """A transient fault fired by the :mod:`repro.faults` injection plane
+    (``worker_crash``, ``task_error``, ``transfer_timeout``,
+    ``transfer_stall``). Raised at the guarded site exactly where the
+    real fault would surface, so detection and recovery exercise the
+    production path; ``event`` is the :class:`repro.faults.FaultEvent`
+    that fired."""
+
+    def __init__(self, reason: str, detail: str = "", event=None):
+        self.event = event
+        super().__init__(reason, detail)
+
+
+class DeviceLostError(FaultError):
+    """A device dropped out of the pool mid-run.
+
+    ``device`` is the lost member; ``lost`` accumulates every device lost
+    so far in the run (so the serve layer can re-admit at the surviving
+    size). Recoverable below the job boundary via lineage replay
+    (:mod:`repro.dist.recovery`); when recovery is disabled or the pool
+    is exhausted this escapes to the caller.
+    """
+
+    def __init__(self, device: int, detail: str = "", lost=()):
+        self.device = int(device)
+        self.lost = tuple(lost) if lost else (self.device,)
+        super().__init__(
+            "device-lost",
+            detail or f"device {device} dropped out of the pool",
+        )

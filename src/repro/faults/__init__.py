@@ -1,0 +1,43 @@
+"""repro.faults — deterministic seeded fault injection (docs/robustness.md).
+
+The injection plane for fault-tolerant distributed execution: a
+:class:`FaultPlan` of :class:`FaultSpec` entries describes *what* fails
+(worker crash, device loss, transfer timeout/stall, task error), *where*
+(guarded site, device, reduction round, op index) and *how often*; a
+:class:`FaultInjector` fires those faults at the guarded sites threaded
+through :mod:`repro.dist.numeric`'s spawn pool, :mod:`repro.dist.sim`,
+the DAG scheduler and the serve workers. Schedules are keyed by
+:func:`~repro.util.rng.stable_seed` and firing is a pure function of the
+guarded call sequence, so every schedule replays exactly.
+
+Off by default, bitwise-off: with no plan (or ``enabled=False``) the
+guarded paths run through :data:`NULL_INJECTOR`, the same inert-object
+guard pattern as :data:`repro.obs.NULL_RECORDER`.
+
+Layering: ``repro.faults`` sits at the bottom, beside ``repro.errors``
+and ``repro.obs`` — it must not import the runtime, dist or serve layers
+(enforced by the repo lint pack).
+"""
+
+from repro.faults.inject import (
+    NULL_INJECTOR,
+    FaultEvent,
+    FaultInjector,
+    NullInjector,
+    as_injector,
+)
+from repro.faults.plan import DEFAULT_SITES, FAULT_KINDS, FaultPlan, FaultSpec
+from repro.faults.report import FaultReport
+
+__all__ = [
+    "DEFAULT_SITES",
+    "FAULT_KINDS",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultReport",
+    "FaultSpec",
+    "NULL_INJECTOR",
+    "NullInjector",
+    "as_injector",
+]

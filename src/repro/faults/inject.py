@@ -1,0 +1,202 @@
+"""The stateful injector: guarded sites call :meth:`FaultInjector.check`.
+
+Execution layers thread an injector through their hot paths and guard
+each fallible step with one ``check(site, ...)`` call *before* the
+step's side effects (so an injected fault never half-applies an
+operation). A matching unburnt spec records a :class:`FaultEvent` and
+raises the fault's error type at exactly the place the real fault would
+surface; a non-matching call is a handful of tuple compares, and the
+shared :data:`NULL_INJECTOR` (``enabled=False``) short-circuits to a
+no-op so un-faulted runs stay bitwise identical.
+
+Determinism: firing depends only on the sequence of guarded calls and
+the plan's spec list — no clock, no randomness — so a seeded schedule
+replays exactly (the property the chaos-smoke CI matrix relies on).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+from repro.errors import DeviceLostError, InjectedFaultError
+from repro.faults.plan import FaultPlan, FaultSpec
+from repro.obs import clock
+
+#: InjectedFaultError reason tags per transient kind.
+_TRANSIENT_REASONS = {
+    "worker_crash": "worker-crash",
+    "task_error": "task-error",
+    "transfer_timeout": "transfer-timeout",
+    "transfer_stall": "transfer-stall",
+}
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One fault that actually fired, with the coordinates it fired at."""
+
+    kind: str
+    site: str
+    device: int | None
+    round_index: int | None
+    op_index: int | None
+    spec_index: int
+
+    def describe(self) -> str:
+        coords = [
+            self.site,
+            f"dev{self.device}" if self.device is not None else None,
+            f"r{self.round_index}" if self.round_index is not None else None,
+            f"op{self.op_index}" if self.op_index is not None else None,
+        ]
+        return f"{self.kind}@{' '.join(c for c in coords if c)}"
+
+
+class FaultInjector:
+    """One run's worth of injection state for a :class:`FaultPlan`.
+
+    Thread-safe: spec burn-down and the event log share one lock (serve
+    worker threads and the DAG scheduler's compute workers may guard
+    concurrently). Create one injector per logical run — the serve layer
+    makes one per *job* so retries and degraded re-runs see the specs
+    already burnt and can make progress.
+    """
+
+    enabled = True
+
+    def __init__(self, plan: FaultPlan, *, sleep=None):
+        self.plan = plan
+        self._remaining = [spec.count for spec in plan.specs]
+        self._events: list[FaultEvent] = []
+        self._lock = threading.Lock()
+        self._sleep = sleep
+
+    # -- introspection ----------------------------------------------------------
+
+    @property
+    def events(self) -> tuple[FaultEvent, ...]:
+        with self._lock:
+            return tuple(self._events)
+
+    @property
+    def fired(self) -> int:
+        """Total faults injected so far."""
+        with self._lock:
+            return len(self._events)
+
+    @property
+    def lost_devices(self) -> tuple[int, ...]:
+        """Devices taken by ``device_loss`` events, in firing order."""
+        return tuple(
+            ev.device if ev.device is not None else 0
+            for ev in self.events
+            if ev.kind == "device_loss"
+        )
+
+    @property
+    def exhausted(self) -> bool:
+        """Whether every spec has burnt out (nothing left to fire)."""
+        with self._lock:
+            return all(r == 0 for r in self._remaining)
+
+    # -- the guard --------------------------------------------------------------
+
+    def check(
+        self,
+        site: str,
+        *,
+        device: int | None = None,
+        round_index: int | None = None,
+        op_index: int | None = None,
+    ) -> None:
+        """Fire the first matching unburnt spec at this site, if any.
+
+        Raises :class:`~repro.errors.DeviceLostError` for ``device_loss``
+        and :class:`~repro.errors.InjectedFaultError` for the transient
+        kinds; returns silently when nothing matches.
+        """
+        fired: tuple[FaultSpec, FaultEvent] | None = None
+        with self._lock:
+            for i, spec in enumerate(self.plan.specs):
+                if self._remaining[i] == 0:
+                    continue
+                if not spec.matches(site, device, round_index, op_index):
+                    continue
+                self._remaining[i] -= 1
+                event = FaultEvent(
+                    kind=spec.kind,
+                    site=site,
+                    device=device if device is not None else spec.device,
+                    round_index=round_index,
+                    op_index=op_index,
+                    spec_index=i,
+                )
+                self._events.append(event)
+                fired = (spec, event)
+                break
+        if fired is None:
+            return
+        spec, event = fired
+        if spec.kind == "device_loss":
+            raise DeviceLostError(
+                event.device if event.device is not None else 0,
+                detail=f"injected at {event.describe()} "
+                f"(plan seed {self.plan.seed})",
+            )
+        if spec.kind == "transfer_stall" and spec.delay_s > 0:
+            # the link hangs for delay_s before detection kicks in;
+            # module-attribute call so one monkeypatch fakes the stall
+            (self._sleep or clock.sleep)(spec.delay_s)
+        raise InjectedFaultError(
+            _TRANSIENT_REASONS[spec.kind],
+            detail=f"injected at {event.describe()} "
+            f"(plan seed {self.plan.seed})",
+            event=event,
+        )
+
+
+class NullInjector:
+    """The do-nothing injector: ``check`` is a constant no-op.
+
+    Mirrors :class:`repro.obs.span.NullRecorder`: guarded code tests
+    ``injector.enabled`` (or just calls ``check``) and a disabled plan
+    costs one attribute read — off is bitwise-off.
+    """
+
+    enabled = False
+    plan = None
+    events: tuple[FaultEvent, ...] = ()
+    fired = 0
+    lost_devices: tuple[int, ...] = ()
+    exhausted = True
+
+    def check(self, site, *, device=None, round_index=None, op_index=None):
+        return None
+
+
+#: Shared inert injector (same pattern as ``repro.obs.NULL_RECORDER``).
+NULL_INJECTOR = NullInjector()
+
+
+def as_injector(faults) -> FaultInjector | None:
+    """Normalize a ``faults=`` argument: a plan becomes a fresh injector,
+    an injector passes through (shared across serve retries), and
+    ``None`` / a disabled plan / the null injector become ``None`` so
+    callers can skip guards entirely."""
+    if faults is None:
+        return None
+    if isinstance(faults, FaultPlan):
+        return faults.injector() if faults.enabled else None
+    if not getattr(faults, "enabled", False):
+        return None
+    return faults
+
+
+__all__ = [
+    "FaultEvent",
+    "FaultInjector",
+    "NULL_INJECTOR",
+    "NullInjector",
+    "as_injector",
+]

@@ -1,0 +1,220 @@
+"""Deterministic fault schedules: what fails, where, and how often.
+
+A :class:`FaultSpec` names one injectable fault — its kind, the site(s)
+it may fire at, and optional device / reduction-round / op-index
+coordinates narrowing the match. A :class:`FaultPlan` bundles specs with
+a :func:`~repro.util.rng.stable_seed`-derived identity so every schedule
+replays exactly: injection is a pure function of the guarded call
+sequence, and the seed names the schedule in reports, benchmarks and CI
+matrices. Plans are inert descriptions; :meth:`FaultPlan.injector`
+instantiates the stateful :class:`~repro.faults.inject.FaultInjector`
+that actually fires.
+
+Matching semantics: a spec field left ``None`` is a wildcard; a set
+field must equal the coordinate the guarded site reports. A spec burns
+out after firing ``count`` times, which is what lets retry and recovery
+make progress past an injected fault (the re-run's guard passes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ValidationError
+from repro.util.rng import stable_seed
+
+#: Injectable fault kinds, in the fault-model table's order
+#: (docs/robustness.md).
+FAULT_KINDS = (
+    "worker_crash",
+    "device_loss",
+    "transfer_timeout",
+    "transfer_stall",
+    "task_error",
+)
+
+#: Sites each kind fires at when the spec names none. Compute sites kill
+#: the worker mid-task; transfer sites hang the link at the relay point;
+#: ``task`` is the DAG scheduler's per-task guard and ``serve-worker``
+#: the service's per-attempt guard.
+DEFAULT_SITES: dict[str, tuple[str, ...]] = {
+    "worker_crash": ("leaf", "merge", "pushdown", "scale", "serve-worker"),
+    "device_loss": (
+        "leaf", "merge", "pushdown", "scale", "transfer-up", "transfer-down",
+    ),
+    "transfer_timeout": ("transfer-up", "transfer-down"),
+    "transfer_stall": ("transfer-up", "transfer-down"),
+    "task_error": ("task", "serve-worker", "leaf", "merge", "pushdown"),
+}
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One injectable fault.
+
+    Parameters
+    ----------
+    kind
+        One of :data:`FAULT_KINDS`.
+    device
+        Only fire at sites reporting this device (``None``: any device).
+    round_index
+        Only fire during this reduction round (``None``: any round,
+        including the leaf phase, which reports no round).
+    site
+        Only fire at this named site; ``None`` means any of the kind's
+        :data:`DEFAULT_SITES`.
+    op_index
+        Only fire at this op index (the DAG scheduler's per-task guard).
+    count
+        Times the spec fires before burning out (>= 1).
+    delay_s
+        For ``transfer_stall``: seconds the link hangs before the stall
+        is detected (slept through the injectable
+        :func:`repro.obs.clock.sleep`).
+    """
+
+    kind: str
+    device: int | None = None
+    round_index: int | None = None
+    site: str | None = None
+    op_index: int | None = None
+    count: int = 1
+    delay_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValidationError(
+                f"unknown fault kind {self.kind!r}; one of {FAULT_KINDS}"
+            )
+        if self.count < 1:
+            raise ValidationError(f"count must be >= 1, got {self.count}")
+        if self.delay_s < 0:
+            raise ValidationError(
+                f"delay_s must be >= 0, got {self.delay_s}"
+            )
+        for name in ("device", "round_index", "op_index"):
+            value = getattr(self, name)
+            if value is not None and value < 0:
+                raise ValidationError(
+                    f"{name} must be >= 0 or None, got {value}"
+                )
+        if self.site is not None and not self.site:
+            raise ValidationError("site must be a non-empty string or None")
+
+    @property
+    def sites(self) -> tuple[str, ...]:
+        return (self.site,) if self.site else DEFAULT_SITES[self.kind]
+
+    def matches(
+        self,
+        site: str,
+        device: int | None,
+        round_index: int | None,
+        op_index: int | None,
+    ) -> bool:
+        """Whether a guarded call at these coordinates triggers this spec."""
+        if site not in self.sites:
+            return False
+        if self.device is not None and self.device != device:
+            return False
+        if self.round_index is not None and self.round_index != round_index:
+            return False
+        if self.op_index is not None and self.op_index != op_index:
+            return False
+        return True
+
+    def seed_parts(self) -> tuple:
+        return (
+            self.kind,
+            -1 if self.device is None else self.device,
+            -1 if self.round_index is None else self.round_index,
+            self.site or "*",
+            -1 if self.op_index is None else self.op_index,
+            self.count,
+        )
+
+    def describe(self) -> str:
+        coords = [
+            f"dev{self.device}" if self.device is not None else None,
+            f"r{self.round_index}" if self.round_index is not None else None,
+            f"@{self.site}" if self.site else None,
+            f"op{self.op_index}" if self.op_index is not None else None,
+        ]
+        where = " ".join(c for c in coords if c) or "first match"
+        times = "" if self.count == 1 else f" x{self.count}"
+        return f"{self.kind}[{where}]{times}"
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A replayable schedule of faults.
+
+    ``enabled=False`` plans are bitwise-off: :meth:`injector` hands back
+    the shared no-op :data:`~repro.faults.inject.NULL_INJECTOR` (the
+    same guard pattern as :data:`repro.obs.NULL_RECORDER`), so guarded
+    code paths with a disabled plan are identical to code run with no
+    plan at all.
+    """
+
+    specs: tuple[FaultSpec, ...]
+    seed: int | None = field(default=None)
+    enabled: bool = True
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.specs, tuple):
+            object.__setattr__(self, "specs", tuple(self.specs))
+        if not self.specs:
+            raise ValidationError("a FaultPlan needs at least one FaultSpec")
+        if self.seed is None:
+            parts: list = ["faults"]
+            for spec in self.specs:
+                parts.extend(spec.seed_parts())
+            object.__setattr__(self, "seed", stable_seed(*parts))
+
+    @classmethod
+    def single(
+        cls,
+        kind: str,
+        *,
+        device: int | None = None,
+        round_index: int | None = None,
+        site: str | None = None,
+        op_index: int | None = None,
+        count: int = 1,
+        delay_s: float = 0.0,
+        seed: int | None = None,
+        enabled: bool = True,
+    ) -> "FaultPlan":
+        """The common one-fault schedule in one call."""
+        return cls(
+            specs=(
+                FaultSpec(
+                    kind,
+                    device=device,
+                    round_index=round_index,
+                    site=site,
+                    op_index=op_index,
+                    count=count,
+                    delay_s=delay_s,
+                ),
+            ),
+            seed=seed,
+            enabled=enabled,
+        )
+
+    def injector(self, *, sleep=None):
+        """A fresh stateful injector for one run of this plan."""
+        from repro.faults.inject import NULL_INJECTOR, FaultInjector
+
+        if not self.enabled:
+            return NULL_INJECTOR
+        return FaultInjector(self, sleep=sleep)
+
+    def describe(self) -> str:
+        body = ", ".join(spec.describe() for spec in self.specs)
+        state = "" if self.enabled else " (disabled)"
+        return f"FaultPlan(seed={self.seed}: {body}){state}"
+
+
+__all__ = ["DEFAULT_SITES", "FAULT_KINDS", "FaultPlan", "FaultSpec"]

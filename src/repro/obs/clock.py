@@ -30,3 +30,12 @@ def wall_time() -> float:
     (checkpoint manifests, bench reports). Never use for measuring
     durations or in checkpointed step state."""
     return time.time()
+
+
+def sleep(seconds: float) -> None:
+    """The sanctioned pacing/backoff sleep (serve retry ladders, the
+    dist pool's fault backoff, load-generator pacing, injected transfer
+    stalls). Call it as ``clock.sleep(...)`` — a module-attribute call —
+    so one monkeypatch makes every backoff ladder in the repo run in
+    microseconds under test."""
+    time.sleep(seconds)

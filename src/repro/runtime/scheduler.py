@@ -34,6 +34,7 @@ from collections import deque
 from typing import Protocol
 
 from repro.errors import DeadlockError, ValidationError
+from repro.faults.inject import as_injector
 from repro.runtime.task import TaskGraph, TileTask
 from repro.sim.ops import EngineKind
 
@@ -62,9 +63,15 @@ class DagScheduler:
 
     # -- serial -----------------------------------------------------------------
 
-    def run_serial(self, backend: GraphBackend) -> None:
+    def run_serial(self, backend: GraphBackend, *, faults=None) -> None:
         self.validate()
+        injector = as_injector(faults)
         for task in self.graph.tasks:
+            if injector is not None:
+                # per-task guard (site "task", coordinate = task_id);
+                # the scheduler has no retry/recovery of its own — an
+                # injected fault surfaces loudly to the caller
+                injector.check("task", op_index=task.task_id)
             backend.execute(task)
         finish = getattr(backend, "finish", None)
         if finish is not None:
@@ -78,12 +85,14 @@ class DagScheduler:
         *,
         compute_workers: int = 2,
         timeout_s: float = _WAIT_TIMEOUT_S,
+        faults=None,
     ) -> None:
         if compute_workers < 1:
             raise ValidationError("compute_workers must be >= 1")
         self.validate()
         run = _ThreadedRun(
-            self.graph, backend, compute_workers, self.lookahead, timeout_s
+            self.graph, backend, compute_workers, self.lookahead, timeout_s,
+            injector=as_injector(faults),
         )
         run.execute()
         finish = getattr(backend, "finish", None)
@@ -108,11 +117,13 @@ class _ThreadedRun:
         compute_workers: int,
         lookahead: int | None,
         timeout_s: float,
+        injector=None,
     ):
         self.graph = graph
         self.backend = backend
         self.lookahead = lookahead
         self.timeout_s = timeout_s
+        self.injector = injector
         self.tasks = graph.tasks
         n = len(self.tasks)
         self.indegree = [len(t.deps) for t in self.tasks]
@@ -211,6 +222,11 @@ class _ThreadedRun:
                         self.cond.notify_all()
                         return
             try:
+                if self.injector is not None:
+                    # same per-task guard as the serial path; the
+                    # injector is thread-safe and the failure latch
+                    # surfaces the fault like any backend error
+                    self.injector.check("task", op_index=task.task_id)
                 self.backend.execute(task)
             except BaseException as exc:  # noqa: BLE001 - latched + re-raised
                 with self.cond:

@@ -187,6 +187,31 @@ class AdmissionController:
         if self.in_use_bytes > self.peak_in_use:
             self.peak_in_use = self.in_use_bytes
 
+    def recharge(self, job_id: int, new_bytes: int) -> None:
+        """Re-price a *running* job in place.
+
+        The device-loss degradation path: a ``devices=P`` job whose pool
+        shrank re-admits at the surviving size, which changes its
+        per-device footprint (docs/robustness.md). The swap must still
+        fit the budget — a degraded job that would now exceed it fails
+        with ``degraded-over-budget`` instead of silently overcommitting.
+        """
+        old = self._charged.get(job_id)
+        if old is None:
+            raise AdmissionError(
+                "unknown-job", f"recharge of uncharged job {job_id}"
+            )
+        if self.in_use_bytes - old + new_bytes > self.budget_bytes:
+            raise AdmissionError(
+                "degraded-over-budget",
+                f"job {job_id}: re-pricing {old} -> {new_bytes} bytes "
+                f"exceeds the {self.budget_bytes}-byte budget",
+            )
+        self._charged[job_id] = new_bytes
+        self.in_use_bytes += new_bytes - old
+        if self.in_use_bytes > self.peak_in_use:
+            self.peak_in_use = self.in_use_bytes
+
     def release(self, job_id: int) -> None:
         """Return a retired job's footprint to the budget."""
         footprint = self._charged.pop(job_id, None)

@@ -190,6 +190,17 @@ class JobResult:
     #: the numerical-health sentinel enabled (see docs/health.md); None
     #: otherwise.
     health: Any | None = None
+    #: :class:`~repro.faults.report.FaultReport` when the job ran under
+    #: fault injection (docs/robustness.md); None otherwise, including
+    #: cache hits.
+    faults: Any | None = None
+    #: Execution attempts the service spent on this job (0 for cache
+    #: hits — the job never ran).
+    attempts: int = 0
+    #: Surviving pool size a ``devices=P`` job was re-admitted at after
+    #: losing devices (graceful degradation); None when the job ran at
+    #: its requested size.
+    degraded_to: int | None = None
 
     def freeze(self) -> "JobResult":
         """Mark all result arrays read-only (shared safely via the cache)."""

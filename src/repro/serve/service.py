@@ -33,7 +33,6 @@ import heapq
 import itertools
 import queue
 import threading
-import time
 from dataclasses import dataclass, field, replace
 from typing import Any, Callable
 
@@ -43,6 +42,7 @@ from repro.errors import (
     AnalysisError,
     CheckpointError,
     ConfigError,
+    DeviceLostError,
     NumericalError,
     OutOfDeviceMemoryError,
     OutOfHostMemoryError,
@@ -51,6 +51,9 @@ from repro.errors import (
     ShapeError,
     ValidationError,
 )
+from repro.faults.inject import as_injector
+from repro.faults.report import FaultReport
+from repro.obs import clock as _clock
 from repro.obs.clock import monotonic as _monotonic
 from repro.obs.span import NULL_RECORDER, SpanRecorder
 from repro.serve.admission import AdmissionController, estimate_footprint_bytes
@@ -64,6 +67,11 @@ from repro.util.validation import one_of
 #: whose data NaN'd or whose escalation ladder was exhausted will do so
 #: identically on every retry; the service quarantines it instead (one
 #: attempt, failure report attached, ``jobs_quarantined`` incremented).
+#: :class:`~repro.errors.FaultError` is deliberately *not* here: faults
+#: are transient by definition, so a faulted attempt retries (and its
+#: injected spec has burnt, so the retry makes progress). Its
+#: ``DeviceLostError`` subclass is handled separately — the degradation
+#: path, not the retry ladder.
 DETERMINISTIC_ERRORS = (
     ValidationError,
     ShapeError,
@@ -78,11 +86,24 @@ DETERMINISTIC_ERRORS = (
 )
 
 
-def run_job(spec: JobSpec, config: SystemConfig, concurrency: str) -> JobResult:
+def run_job(
+    spec: JobSpec,
+    config: SystemConfig,
+    concurrency: str,
+    *,
+    faults=None,
+    dist_recover: bool = True,
+) -> JobResult:
     """Execute one job on *config* and package its outputs.
 
-    This is the default runner; the service accepts a replacement (same
-    signature) for fault injection and capacity experiments.
+    This is the default runner; the service accepts a replacement (the
+    positional three-argument signature suffices — the keyword-only
+    fault-plane arguments are passed to the default runner only) for
+    fault injection and capacity experiments. *faults* is a
+    :class:`~repro.faults.plan.FaultPlan` or a live per-job injector;
+    *dist_recover* controls whether multi-device jobs absorb device
+    losses via lineage recovery or surface them to the service's
+    degradation path.
     """
     opts = spec.options
     if spec.kind == "gemm":
@@ -101,7 +122,7 @@ def run_job(spec: JobSpec, config: SystemConfig, concurrency: str) -> JobResult:
         )
 
     if spec.devices > 1:
-        return _run_dist_job(spec, config)
+        return _run_dist_job(spec, config, faults=faults, recover=dist_recover)
 
     kwargs: dict[str, Any] = dict(
         method=spec.method, mode=spec.mode, config=config, options=opts,
@@ -132,7 +153,9 @@ def run_job(spec: JobSpec, config: SystemConfig, concurrency: str) -> JobResult:
     )
 
 
-def _run_dist_job(spec: JobSpec, config: SystemConfig) -> JobResult:
+def _run_dist_job(
+    spec: JobSpec, config: SystemConfig, *, faults=None, recover: bool = True
+) -> JobResult:
     """Place one QR job across a device pool via :mod:`repro.dist`.
 
     Numeric jobs run the sharded TSQR backend inline (the service's
@@ -142,23 +165,32 @@ def _run_dist_job(spec: JobSpec, config: SystemConfig) -> JobResult:
     per-device program* — this is where the plan verification that
     submit skips for multi-device jobs actually happens; an unsafe
     placement fails the job deterministically with the report attached.
+    With ``recover=True`` (the default) injected device losses are
+    absorbed inside the backend — lineage recovery, results bitwise
+    identical to fault-free; ``recover=False`` lets the loss escape as
+    :class:`~repro.errors.DeviceLostError` for the service's graceful
+    degradation path.
     """
     if spec.mode == "numeric":
         from repro.dist.numeric import dist_qr_numeric
 
         res = dist_qr_numeric(
-            spec.operands[0], n_devices=spec.devices, processes=0
+            spec.operands[0], n_devices=spec.devices, processes=0,
+            faults=faults, recover=recover,
         )
         comm = res.comm
         return JobResult(
             kind=spec.kind,
             arrays={"q": res.q, "r": res.r},
             moved_bytes=(comm.total_up_words + comm.down_words) * 8,
+            faults=res.faults,
         )
     from repro.dist.sim import simulate_dist_qr
 
     m, n = spec.shapes()[0]
-    sim = simulate_dist_qr(config, m=m, n=n, n_devices=spec.devices)
+    sim = simulate_dist_qr(
+        config, m=m, n=n, n_devices=spec.devices, faults=faults
+    )
     if not sim.all_verified:
         bad = next(r for r in sim.reports if not r.ok)
         raise PlanViolation(bad)
@@ -167,6 +199,7 @@ def _run_dist_job(spec: JobSpec, config: SystemConfig) -> JobResult:
         arrays={},
         makespan=sim.makespan,
         moved_bytes=sim.transfer_bytes,
+        faults=sim.faults,
     )
 
 
@@ -237,6 +270,22 @@ class FactorService:
         one root span (submit to retire) on a ``jobs`` lane plus
         verify/wait/attempt child spans on a ``serve`` lane; off by
         default. See docs/observability.md.
+    faults
+        A :class:`~repro.faults.plan.FaultPlan` injected into every job:
+        each execution gets its *own* injector (specs burn down per job,
+        so retries and degraded re-runs make progress past an injected
+        fault), guarding the worker attempt (site ``serve-worker``) and,
+        for multi-device jobs, every dist-backend site. Off by default;
+        a disabled plan is bitwise-off. See docs/robustness.md.
+    on_device_loss
+        Policy for a ``devices=P`` job whose pool loses members:
+        ``"recover"`` (default) absorbs the loss inside the dist backend
+        — lineage recovery, results bitwise identical to fault-free at
+        the full pool size; ``"degrade"`` re-admits the job at the
+        surviving pool size (re-priced through the admission charger,
+        ``jobs_degraded`` incremented, result carries ``degraded_to``);
+        ``"fail"`` fails the job deterministically (the chaos-smoke
+        negative control).
     """
 
     def __init__(
@@ -255,6 +304,8 @@ class FactorService:
         runner: Callable[[JobSpec, SystemConfig, str], JobResult] | None = None,
         verify_plans: bool = True,
         obs: SpanRecorder | None = None,
+        faults=None,
+        on_device_loss: str = "recover",
     ):
         self.config = config or PAPER_SYSTEM
         if n_workers < 1:
@@ -274,6 +325,10 @@ class FactorService:
             cache = None
         self.cache = cache
         self.verify_plans = verify_plans
+        self.faults = faults
+        self.on_device_loss = one_of(
+            on_device_loss, ("recover", "degrade", "fail"), "on_device_loss"
+        )
         self.metrics = metrics or MetricsRegistry()
         # Span recorder (repro.obs): one root span per job spanning
         # admission -> verify -> wait -> execute -> cache, with phase
@@ -334,6 +389,19 @@ class FactorService:
         self._distributed_c = m.counter(
             "jobs_distributed",
             "jobs placed across a multi-device pool via repro.dist",
+        )
+        self._faults_injected_c = m.counter(
+            "faults_injected",
+            "faults fired by the injection plane across all jobs",
+        )
+        self._recoveries_c = m.counter(
+            "recoveries_total",
+            "device-loss recoveries (lineage replays) performed by jobs",
+        )
+        self._degraded_c = m.counter(
+            "jobs_degraded",
+            "devices=P jobs re-admitted at a smaller surviving pool size "
+            "after device loss (graceful degradation, never cached)",
         )
 
         self._cv = threading.Condition()
@@ -643,6 +711,33 @@ class FactorService:
                     self._running_g.set(self._active)
                     self._cv.notify_all()
 
+    def _call_runner(self, spec: JobSpec, config: SystemConfig, injector):
+        """Dispatch one attempt. The default runner receives the fault
+        plane; replacement runners keep the plain three-argument call."""
+        if self._runner is run_job:
+            return run_job(
+                spec, config, self.job_concurrency,
+                faults=injector,
+                dist_recover=self.on_device_loss == "recover",
+            )
+        return self._runner(spec, config, self.job_concurrency)
+
+    def _retire_faults(self, job: _Job, injector, result) -> None:
+        """Fault-plane bookkeeping at retirement: counters plus one obs
+        instant per injected fault on the job's span stream."""
+        if injector is None:
+            return
+        self._faults_injected_c.inc(injector.fired)
+        if result is not None and result.faults is not None:
+            self._recoveries_c.inc(result.faults.recoveries)
+        if self.obs.enabled and job.obs_root is not None:
+            for ev in injector.events:
+                self.obs.event(
+                    f"fault:{ev.describe()}", cat="fault", lane="serve",
+                    parent_id=job.obs_root,
+                    attrs={"job": job.spec.label(), "kind": ev.kind},
+                )
+
     def _execute(self, job: _Job) -> None:
         handle = job.handle
         spec = job.spec
@@ -656,9 +751,16 @@ class FactorService:
                 parent_id=job.obs_root, attrs={"job": spec.label()},
             )
         job_config = self._capped_config(handle.footprint_bytes)
+        # One injector per job: its specs burn down across attempts, so
+        # a retry (or a degraded re-run) makes progress past a fault
+        # instead of re-hitting it forever.
+        injector = as_injector(self.faults)
+        spec_now = spec
+        degraded_to: int | None = None
+        retries = 0  # transient retries; degradation does not consume them
 
-        for attempt in range(self.max_retries + 1):
-            handle.attempts = attempt + 1
+        while True:
+            handle.attempts += 1
             t0 = _monotonic()
             attempt_t0 = obs.now() if obs.enabled else 0.0
 
@@ -671,15 +773,43 @@ class FactorService:
                     )
 
             try:
-                result = self._runner(spec, job_config, self.job_concurrency)
+                if injector is not None:
+                    injector.check("serve-worker")
+                result = self._call_runner(spec_now, job_config, injector)
+            except DeviceLostError as exc:
+                handle.run_s = _monotonic() - t0
+                record_attempt(type(exc).__name__)
+                survivors = spec_now.devices - len(set(exc.lost))
+                if (
+                    spec_now.devices > 1
+                    and survivors >= 1
+                    and self.on_device_loss != "fail"
+                ):
+                    try:
+                        spec_now, job_config = self._degrade(
+                            job, spec_now, survivors, exc
+                        )
+                    except AdmissionError as adm:
+                        self._fail_job(job, injector, adm)
+                        return
+                    degraded_to = survivors
+                    continue
+                self._fail_job(job, injector, exc)
+                return
             except Exception as exc:  # noqa: BLE001 - job isolation boundary
                 handle.run_s = _monotonic() - t0
                 record_attempt(type(exc).__name__)
                 retryable = not isinstance(exc, DETERMINISTIC_ERRORS)
-                if retryable and attempt < self.max_retries:
+                if retryable and retries < self.max_retries:
                     self._retries_c.inc()
-                    time.sleep(
-                        min(self.backoff_max_s, self.backoff_base_s * 2**attempt)
+                    retries += 1
+                    # module-attribute call: one clock.sleep monkeypatch
+                    # fakes every backoff ladder (docs/robustness.md)
+                    _clock.sleep(
+                        min(
+                            self.backoff_max_s,
+                            self.backoff_base_s * 2 ** (retries - 1),
+                        )
                     )
                     continue
                 if isinstance(exc, NumericalError):
@@ -690,12 +820,7 @@ class FactorService:
                     report = getattr(exc, "report", None)
                     if report is not None:
                         self._escalations_c.inc(report.n_escalations)
-                self._failed_c.inc()
-                self._record_job_root(
-                    spec, job.obs_root, job.obs_t0, "failed",
-                    attempts=handle.attempts,
-                )
-                handle._fail(exc)
+                self._fail_job(job, injector, exc)
                 return
             handle.run_s = _monotonic() - t0
             record_attempt("ok")
@@ -710,7 +835,35 @@ class FactorService:
                 self._escalations_c.inc(result.health.n_escalations)
             if result.makespan == 0.0:
                 result.makespan = handle.run_s
-            if self.cache is not None and job.cache_key is not None:
+            result.attempts = handle.attempts
+            result.degraded_to = degraded_to
+            if injector is not None and injector.fired:
+                if result.faults is None:
+                    # single-device (or test-runner) job faulted at the
+                    # serve-worker guard: synthesize the provenance report
+                    result.faults = FaultReport(
+                        plan_seed=injector.plan.seed,
+                        events=injector.events,
+                        retries=retries,
+                    )
+                elif retries:
+                    # the dist backend reported its own run; fold the
+                    # serve-level retries (and any serve-worker events)
+                    # into the job's provenance
+                    result.faults = replace(
+                        result.faults,
+                        events=injector.events,
+                        retries=result.faults.retries + retries,
+                    )
+            if degraded_to is not None:
+                self._degraded_c.inc()
+            if (
+                self.cache is not None
+                and job.cache_key is not None
+                and degraded_to is None
+            ):
+                # degraded results ran at a different pool size than the
+                # key was computed for — never cache them
                 self.cache.put(job.cache_key, result)
                 if obs.enabled and job.obs_root is not None:
                     obs.event(
@@ -718,9 +871,52 @@ class FactorService:
                         parent_id=job.obs_root, attrs={"job": spec.label()},
                     )
             self._completed_c.inc()
+            self._retire_faults(job, injector, result)
             self._record_job_root(
                 spec, job.obs_root, job.obs_t0, "completed",
                 attempts=handle.attempts,
             )
             handle._resolve(result)
             return
+
+    def _degrade(
+        self,
+        job: _Job,
+        spec_now: JobSpec,
+        survivors: int,
+        exc: DeviceLostError,
+    ) -> tuple[JobSpec, SystemConfig]:
+        """Re-admit a shrunken-pool job at its surviving size.
+
+        Re-prices the job's footprint for the smaller pool through the
+        admission charger (the swap must still fit the budget — raises
+        ``AdmissionError("degraded-over-budget")`` otherwise) and hands
+        back the degraded spec plus its re-capped config.
+        """
+        new_spec = replace(spec_now, devices=survivors)
+        new_footprint = estimate_footprint_bytes(new_spec, self.config)
+        with self._cv:
+            self.admission.recharge(job.handle.job_id, new_footprint)
+            self._admitted_g.set(self.admission.in_use_bytes)
+        job.handle.footprint_bytes = new_footprint
+        job.handle.charged_bytes = new_footprint
+        if self.obs.enabled and job.obs_root is not None:
+            self.obs.event(
+                f"degrade:{spec_now.devices}->{survivors}",
+                cat="fault", lane="serve", parent_id=job.obs_root,
+                attrs={
+                    "job": job.spec.label(),
+                    "lost": list(exc.lost),
+                    "devices": survivors,
+                },
+            )
+        return new_spec, self._capped_config(new_footprint)
+
+    def _fail_job(self, job: _Job, injector, exc: BaseException) -> None:
+        self._failed_c.inc()
+        self._retire_faults(job, injector, None)
+        self._record_job_root(
+            job.spec, job.obs_root, job.obs_t0, "failed",
+            attempts=job.handle.attempts,
+        )
+        job.handle._fail(exc)

@@ -95,9 +95,16 @@ class TestWallclockInStepLogic:
         assert rules("t = time.time()", parts=("obs", "clock.py")) == []
         assert rules("from time import perf_counter", parts=("obs", "x.py")) == []
 
-    def test_sleep_is_not_a_clock_read(self):
-        assert rules("time.sleep(0.1)", parts=("serve", "x.py")) == []
-        assert rules("from time import sleep", parts=("serve", "x.py")) == []
+    def test_sleep_is_a_wallclock_call_too(self):
+        # backoff and pacing sleeps must route through repro.obs.clock
+        # so tests can fake them; a raw time.sleep dodges injection
+        assert rules("time.sleep(0.1)", parts=("serve", "x.py")) == [
+            "wallclock-in-step-logic"
+        ]
+        assert rules("from time import sleep", parts=("bench", "x.py")) == [
+            "wallclock-in-step-logic"
+        ]
+        assert rules("time.sleep(0.1)", parts=("obs", "clock.py")) == []
 
     def test_message_points_to_the_sanctioned_source(self):
         (finding,) = lint_source(
@@ -151,6 +158,34 @@ class TestLayeringImports:
     def test_other_layers_unconstrained(self):
         assert rules(
             "from repro.serve.job import JobSpec", parts=("bench", "x.py")
+        ) == []
+
+    def test_faults_may_not_import_its_consumers(self):
+        # the injection plane sits below everything it injects into
+        for target in ("repro.serve", "repro.dist", "repro.runtime"):
+            assert rules(
+                f"import {target}", parts=("faults", "plan.py")
+            ) == ["layering-imports"], target
+        assert rules(
+            "from repro.dist.numeric import dist_qr_numeric",
+            parts=("faults", "inject.py"),
+        ) == ["layering-imports"]
+
+    def test_faults_may_import_errors_and_util(self):
+        assert rules(
+            "from repro.errors import FaultError", parts=("faults", "x.py")
+        ) == []
+        assert rules(
+            "from repro.util.rng import default_rng", parts=("faults", "x.py")
+        ) == []
+
+    def test_consumers_may_import_faults(self):
+        assert rules(
+            "from repro.faults import as_injector",
+            parts=("serve", "service.py"),
+        ) == []
+        assert rules(
+            "from repro.faults import FaultPlan", parts=("dist", "numeric.py")
         ) == []
 
     def test_message_names_the_edge(self):

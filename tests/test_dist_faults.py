@@ -1,0 +1,268 @@
+"""Fault-tolerant distributed execution (`repro.dist` under
+`repro.faults`): the ISSUE's acceptance sweep.
+
+The centerpiece: under **every** single-fault schedule in
+:func:`repro.dist.recovery.injection_matrix` — a worker kill at every
+leaf and every reduction round, a device loss at every site, a timeout
+on every transfer edge — the recovered ``Q``, ``R`` are bitwise
+identical to the fault-free run, every re-placed per-device program
+passes ``verify_program``, and comm accounting never counts a
+retransmission. Negative controls prove faults are loud when recovery
+is off and bitwise-off when the plan is disabled.
+
+Lives in a real file (not an inline script) because spawn-based pools
+re-import ``__main__``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.config import PAPER_SYSTEM
+from repro.dist.numeric import dist_qr_numeric
+from repro.dist.recovery import (
+    injection_matrix,
+    plan_recovery,
+    remap_devices,
+)
+from repro.dist.tree import build_tree
+from repro.errors import DeviceLostError, FaultError, ValidationError
+from repro.faults import FaultPlan
+from repro.util.rng import default_rng
+
+SHAPES = [(128, 16, 2), (128, 8, 4), (256, 8, 8), (130, 8, 4)]
+
+
+def _matrix(m: int, n: int, p: int) -> np.ndarray:
+    return default_rng(m + n + p).standard_normal((m, n))
+
+
+class TestInjectionMatrixSweep:
+    """Kill something at every coordinate; recovery must be bitwise."""
+
+    @pytest.mark.parametrize("m,n,p", SHAPES)
+    def test_every_single_fault_schedule_is_bitwise(self, m, n, p):
+        a = _matrix(m, n, p)
+        base = dist_qr_numeric(a, n_devices=p, processes=0)
+        for plan in injection_matrix(p):
+            res = dist_qr_numeric(a, n_devices=p, processes=0, faults=plan)
+            label = plan.describe()
+            assert res.faults is not None, label
+            assert res.faults.n_injected == 1, label
+            assert np.array_equal(res.q, base.q), label
+            assert np.array_equal(res.r, base.r), label
+
+    def test_matrix_covers_leaves_rounds_and_transfers(self):
+        plans = injection_matrix(4)
+        sites = [p.specs[0].sites[0] for p in plans]
+        # worker_crash at every leaf and every merge of every round,
+        # device_loss likewise, transfer_timeout on every up edge
+        assert sites.count("leaf") == 8          # 4 leaves x 2 kinds
+        assert sites.count("merge") == 6         # 3 merges x 2 kinds
+        assert sites.count("transfer-up") == 3   # 3 up edges
+        rounds = {
+            p.specs[0].round_index
+            for p in plans
+            if p.specs[0].sites[0] == "merge"
+        }
+        assert rounds == {0, 1}
+
+    @pytest.mark.parametrize("m,n,p", [(128, 8, 4)])
+    def test_device_loss_recovery_verifies_programs(self, m, n, p):
+        a = _matrix(m, n, p)
+        plan = FaultPlan.single("device_loss", device=1, site="leaf")
+        res = dist_qr_numeric(a, n_devices=p, processes=0, faults=plan)
+        assert res.faults.recoveries == 1
+        assert res.faults.devices_lost == (1,)
+        assert res.faults.replacements_verified == p
+        assert res.faults.details["remap"] == {1: 0}
+
+    def test_comm_accounting_ignores_retransmissions(self):
+        a = _matrix(128, 8, 4)
+        base = dist_qr_numeric(a, n_devices=4, processes=0)
+        plan = FaultPlan.single("transfer_timeout", site="transfer-up")
+        res = dist_qr_numeric(a, n_devices=4, processes=0, faults=plan)
+        assert res.faults.retries == 1
+        # logical comm volume is a property of the schedule, not the run
+        assert res.comm.total_up_words == base.comm.total_up_words
+        assert res.comm.down_words == base.comm.down_words
+
+    def test_flat_tree_recovers_too(self):
+        a = _matrix(96, 8, 3)
+        base = dist_qr_numeric(a, n_devices=3, tree="flat", processes=0)
+        plan = FaultPlan.single("device_loss", device=2, site="leaf")
+        res = dist_qr_numeric(
+            a, n_devices=3, tree="flat", processes=0, faults=plan
+        )
+        assert res.faults.recoveries == 1
+        assert np.array_equal(res.q, base.q)
+        assert np.array_equal(res.r, base.r)
+
+
+class TestProcessPoolPath:
+    """The same guarantees across real spawn workers."""
+
+    def test_worker_crash_retries_bitwise(self):
+        a = _matrix(128, 8, 4)
+        base = dist_qr_numeric(a, n_devices=4, processes=0)
+        plan = FaultPlan.single("worker_crash", site="pushdown")
+        res = dist_qr_numeric(a, n_devices=4, processes=2, faults=plan)
+        assert res.faults.retries == 1
+        assert np.array_equal(res.q, base.q)
+        assert np.array_equal(res.r, base.r)
+
+    def test_device_loss_recovers_bitwise(self):
+        a = _matrix(128, 8, 4)
+        base = dist_qr_numeric(a, n_devices=4, processes=0)
+        plan = FaultPlan.single(
+            "device_loss", device=0, round_index=1, site="merge"
+        )
+        res = dist_qr_numeric(a, n_devices=4, processes=2, faults=plan)
+        assert res.faults.recoveries == 1
+        assert res.faults.replacements_verified == 4
+        assert np.array_equal(res.q, base.q)
+        assert np.array_equal(res.r, base.r)
+
+
+class TestNegativeControls:
+    def test_recovery_disabled_fails_loudly(self):
+        a = _matrix(128, 8, 4)
+        plan = FaultPlan.single("device_loss", device=1, site="leaf")
+        with pytest.raises(DeviceLostError) as exc:
+            dist_qr_numeric(
+                a, n_devices=4, processes=0, faults=plan, recover=False
+            )
+        assert exc.value.lost == (1,)
+        assert "recovery disabled" in str(exc.value)
+
+    def test_retries_exhaust_into_fault_error(self):
+        a = _matrix(128, 8, 4)
+        plan = FaultPlan.single("worker_crash", site="leaf", count=5)
+        with pytest.raises(FaultError) as exc:
+            dist_qr_numeric(
+                a, n_devices=4, processes=0, faults=plan, max_retries=1,
+                backoff_base_s=0.0,
+            )
+        assert exc.value.reason == "retries-exhausted"
+
+    def test_losing_every_device_exhausts_pool(self):
+        a = _matrix(64, 8, 2)
+        plan = FaultPlan(
+            specs=(
+                FaultPlan.single("device_loss", device=0).specs[0],
+                FaultPlan.single("device_loss", device=1).specs[0],
+            )
+        )
+        with pytest.raises(FaultError) as exc:
+            dist_qr_numeric(a, n_devices=2, processes=0, faults=plan)
+        assert exc.value.reason == "pool-exhausted"
+
+    def test_disabled_plan_is_bitwise_off(self):
+        a = _matrix(128, 8, 4)
+        base = dist_qr_numeric(a, n_devices=4, processes=0)
+        plan = FaultPlan.single("device_loss", device=1, enabled=False)
+        res = dist_qr_numeric(a, n_devices=4, processes=0, faults=plan)
+        assert res.faults is None
+        assert np.array_equal(res.q, base.q)
+        assert np.array_equal(res.r, base.r)
+
+
+class TestScratchLifecycle:
+    """The satellite fix: scratch memmaps are torn down on every exit
+    path, including mid-run failures."""
+
+    def test_scratch_dir_empty_after_success(self, tmp_path):
+        a = _matrix(64, 8, 2)
+        dist_qr_numeric(a, n_devices=2, processes=0, scratch_dir=str(tmp_path))
+        assert os.listdir(tmp_path) == []
+
+    def test_scratch_dir_empty_after_injected_failure(self, tmp_path):
+        a = _matrix(128, 8, 4)
+        plan = FaultPlan.single("device_loss", device=1, site="leaf")
+        with pytest.raises(DeviceLostError):
+            dist_qr_numeric(
+                a, n_devices=4, processes=0, faults=plan, recover=False,
+                scratch_dir=str(tmp_path),
+            )
+        assert os.listdir(tmp_path) == []
+
+    def test_scratch_dir_empty_after_exhausted_retries(self, tmp_path):
+        a = _matrix(128, 8, 4)
+        plan = FaultPlan.single("worker_crash", site="leaf", count=9)
+        with pytest.raises(FaultError):
+            dist_qr_numeric(
+                a, n_devices=4, processes=0, faults=plan, max_retries=1,
+                backoff_base_s=0.0, scratch_dir=str(tmp_path),
+            )
+        assert os.listdir(tmp_path) == []
+
+
+class TestRecoveryPlanning:
+    def test_remap_prefers_binomial_sibling(self):
+        assert remap_devices(8, {3}) == {3: 2}
+        assert remap_devices(8, {3, 2}) == {2: 0, 3: 1}
+        assert remap_devices(4, {0}) == {0: 1}
+
+    def test_remap_rejects_out_of_range(self):
+        with pytest.raises(ValidationError):
+            remap_devices(4, {4})
+
+    def test_remap_rejects_total_loss(self):
+        with pytest.raises(FaultError) as exc:
+            remap_devices(2, {0, 1})
+        assert exc.value.reason == "pool-exhausted"
+
+    def test_plan_recovery_verifies_every_program(self):
+        tree = build_tree("binomial", 4)
+        plan = plan_recovery(m=128, n=8, tree=tree, lost={1})
+        assert plan.all_verified
+        assert plan.surviving == 3
+        assert plan.remap == {1: 0}
+        assert plan.check() is plan
+
+
+class TestSimLayer:
+    def test_device_loss_recovers_and_reverifies(self):
+        from repro.dist.sim import simulate_dist_qr
+
+        base = simulate_dist_qr(PAPER_SYSTEM, m=65536, n=256, n_devices=4)
+        plan = FaultPlan.single("device_loss", device=1)
+        res = simulate_dist_qr(
+            PAPER_SYSTEM, m=65536, n=256, n_devices=4, faults=plan
+        )
+        assert res.faults.recoveries == 1
+        assert res.recovery is not None and res.recovery.all_verified
+        assert res.recovery.topology.surviving == (0, 2, 3)
+        # three devices doing four devices' work takes longer
+        assert res.makespan > base.makespan
+        assert res.all_verified
+
+    def test_trace_gains_fault_lane(self):
+        from repro.dist.sim import dist_trace_spans, simulate_dist_qr
+
+        plan = FaultPlan.single("device_loss", device=1)
+        res = simulate_dist_qr(
+            PAPER_SYSTEM, m=65536, n=256, n_devices=4, faults=plan
+        )
+        lanes = {s.lane for s in dist_trace_spans(res)}
+        assert "faults" in lanes
+
+    def test_transient_records_retry_without_recovery(self):
+        from repro.dist.sim import simulate_dist_qr
+
+        plan = FaultPlan.single("transfer_timeout")
+        res = simulate_dist_qr(
+            PAPER_SYSTEM, m=65536, n=256, n_devices=4, faults=plan
+        )
+        assert res.faults.retries == 1
+        assert res.recovery is None
+
+    def test_dist_qr_api_threads_faults(self):
+        from repro.dist import dist_qr
+
+        plan = FaultPlan.single("transfer_timeout")
+        res = dist_qr(m=65536, n=256, n_devices=4, faults=plan)
+        assert res.faults is not None and res.faults.n_injected == 1

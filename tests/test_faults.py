@@ -1,0 +1,206 @@
+"""The injection plane itself (`repro.faults`): specs, plans, the
+stateful injector, seed stability, the NULL-object guard, and the DAG
+scheduler's per-task guard."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    DeviceLostError,
+    FaultError,
+    InjectedFaultError,
+    ValidationError,
+)
+from repro.faults import (
+    DEFAULT_SITES,
+    FAULT_KINDS,
+    NULL_INJECTOR,
+    FaultPlan,
+    FaultSpec,
+    as_injector,
+)
+
+
+class TestSpecAndPlan:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValidationError):
+            FaultSpec("meteor_strike")
+
+    def test_every_kind_has_default_sites(self):
+        for kind in FAULT_KINDS:
+            assert DEFAULT_SITES[kind], kind
+
+    def test_seed_is_stable_across_processes(self):
+        # blake2b-derived, not hash(): identical spec lists must agree
+        a = FaultPlan.single("worker_crash", device=2, round_index=1)
+        b = FaultPlan.single("worker_crash", device=2, round_index=1)
+        assert a.seed == b.seed
+
+    def test_seed_distinguishes_schedules(self):
+        a = FaultPlan.single("worker_crash", device=2)
+        b = FaultPlan.single("worker_crash", device=3)
+        c = FaultPlan.single("device_loss", device=2)
+        assert len({a.seed, b.seed, c.seed}) == 3
+
+    def test_explicit_seed_wins(self):
+        assert FaultPlan.single("task_error", seed=42).seed == 42
+
+
+class TestInjector:
+    def test_wildcard_spec_fires_at_first_matching_site(self):
+        inj = FaultPlan.single("worker_crash").injector()
+        with pytest.raises(InjectedFaultError):
+            inj.check("leaf", device=0)
+        assert inj.fired == 1
+        assert inj.events[0].site == "leaf"
+
+    def test_pinned_spec_skips_other_coordinates(self):
+        inj = FaultPlan.single(
+            "worker_crash", device=1, round_index=1, site="merge"
+        ).injector()
+        inj.check("merge", device=1, round_index=0)   # wrong round
+        inj.check("merge", device=0, round_index=1)   # wrong device
+        inj.check("leaf", device=1, round_index=1)    # wrong site
+        assert inj.fired == 0
+        with pytest.raises(InjectedFaultError):
+            inj.check("merge", device=1, round_index=1)
+
+    def test_specs_burn_down_so_retries_progress(self):
+        inj = FaultPlan.single("worker_crash", site="leaf").injector()
+        with pytest.raises(InjectedFaultError):
+            inj.check("leaf", device=0)
+        # the retry of the same guarded step passes
+        inj.check("leaf", device=0)
+        assert inj.exhausted
+
+    def test_count_fires_that_many_times(self):
+        inj = FaultPlan.single("worker_crash", site="leaf", count=3).injector()
+        for _ in range(3):
+            with pytest.raises(InjectedFaultError):
+                inj.check("leaf")
+        inj.check("leaf")
+        assert inj.fired == 3
+
+    def test_device_loss_raises_device_lost(self):
+        inj = FaultPlan.single("device_loss", device=2, site="leaf").injector()
+        with pytest.raises(DeviceLostError) as exc:
+            inj.check("leaf", device=2)
+        assert exc.value.device == 2
+        assert exc.value.lost == (2,)
+        assert isinstance(exc.value, FaultError)
+        assert inj.lost_devices == (2,)
+
+    def test_transfer_stall_sleeps_then_raises(self):
+        naps = []
+        inj = FaultPlan.single(
+            "transfer_stall", site="transfer-up", delay_s=0.5
+        ).injector(sleep=naps.append)
+        with pytest.raises(InjectedFaultError):
+            inj.check("transfer-up", device=0)
+        assert naps == [0.5]
+
+    def test_event_describe_carries_coordinates(self):
+        inj = FaultPlan.single("task_error").injector()
+        with pytest.raises(InjectedFaultError):
+            inj.check("task", op_index=7)
+        assert "task_error@task" in inj.events[0].describe()
+        assert "op7" in inj.events[0].describe()
+
+
+class TestNullAndNormalize:
+    def test_null_injector_is_inert(self):
+        assert NULL_INJECTOR.check("leaf", device=0) is None
+        assert NULL_INJECTOR.fired == 0
+        assert not NULL_INJECTOR.enabled
+
+    def test_as_injector_none(self):
+        assert as_injector(None) is None
+
+    def test_as_injector_disabled_plan_is_none(self):
+        plan = FaultPlan.single("worker_crash", enabled=False)
+        assert as_injector(plan) is None
+
+    def test_as_injector_null_is_none(self):
+        assert as_injector(NULL_INJECTOR) is None
+
+    def test_as_injector_passes_live_injector_through(self):
+        inj = FaultPlan.single("worker_crash").injector()
+        assert as_injector(inj) is inj
+
+    def test_as_injector_fresh_per_plan_call(self):
+        plan = FaultPlan.single("worker_crash")
+        assert as_injector(plan) is not as_injector(plan)
+
+
+class TestSchedulerGuard:
+    """The DAG scheduler's per-task guard: faults surface loudly (no
+    scheduler-level recovery), and no plan is bitwise-off."""
+
+    def _graph_and_backend(self):
+        from repro.config import SystemConfig
+        from repro.hw.gemm import Precision
+        from repro.runtime import RecordingBackend, TaskGraph
+        from repro.sim.ops import EngineKind, OpKind, SimOp
+        from tests.conftest import make_tiny_spec
+
+        config = SystemConfig(gpu=make_tiny_spec(), precision=Precision.FP32)
+        graph = TaskGraph(config, label="faults-guard")
+        for i in range(6):
+            accesses = [(0, i * 8, i * 8 + 8, 0, 8, True)]
+            op = SimOp(
+                name=f"t{i}", engine=EngineKind.COMPUTE, kind=OpKind.GEMM,
+                duration=0.0, tags={"accesses": accesses},
+            )
+            graph.add_op(op, accesses=accesses)
+        return graph, RecordingBackend()
+
+    def test_serial_task_fault_surfaces(self):
+        from repro.runtime.scheduler import DagScheduler
+
+        graph, backend = self._graph_and_backend()
+        plan = FaultPlan.single("task_error", site="task")
+        with pytest.raises(InjectedFaultError):
+            DagScheduler(graph).run_serial(backend, faults=plan)
+
+    def test_threaded_task_fault_surfaces(self):
+        from repro.runtime.scheduler import DagScheduler
+
+        graph, backend = self._graph_and_backend()
+        plan = FaultPlan.single("task_error", site="task")
+        with pytest.raises(InjectedFaultError):
+            DagScheduler(graph).run_threaded(
+                backend, compute_workers=2, faults=plan
+            )
+
+    def test_no_plan_runs_every_task(self):
+        from repro.runtime.scheduler import DagScheduler
+
+        graph, backend = self._graph_and_backend()
+        DagScheduler(graph).run_serial(backend)
+        assert len(backend.order) == len(graph.tasks)
+
+    def test_pinned_op_index_fires_at_that_task(self):
+        from repro.runtime.scheduler import DagScheduler
+
+        graph, backend = self._graph_and_backend()
+        target = graph.tasks[3].task_id
+        plan = FaultPlan.single("task_error", site="task", op_index=target)
+        inj = plan.injector()
+        with pytest.raises(InjectedFaultError):
+            DagScheduler(graph).run_serial(backend, faults=inj)
+        assert inj.events[0].op_index == target
+
+
+def test_report_summary_lines():
+    from repro.faults import FaultReport
+
+    assert FaultReport(plan_seed=None).summary() == "no faults"
+    inj = FaultPlan.single("worker_crash", site="leaf").injector()
+    with pytest.raises(InjectedFaultError):
+        inj.check("leaf", device=0)
+    rep = FaultReport(plan_seed=inj.plan.seed, events=inj.events, retries=1)
+    assert "1 injected" in rep.summary()
+    assert "1 retries" in rep.summary()
+    assert not rep.clean
+    assert rep.n_injected == 1

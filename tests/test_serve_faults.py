@@ -1,0 +1,210 @@
+"""Serve-layer fault tolerance: the per-job injector, the retry
+ladder's injectable backoff, device-loss policies (recover / degrade /
+fail), re-pricing through the admission charger, cache hygiene for
+degraded results, and the fault metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dist.numeric import dist_qr_numeric
+from repro.errors import AdmissionError, DeviceLostError
+from repro.faults import FaultPlan
+from repro.obs import clock
+from repro.serve import FactorService, JobSpec
+from repro.util.rng import default_rng
+
+
+@pytest.fixture()
+def matrix():
+    return np.asfortranarray(default_rng(7).standard_normal((128, 8)))
+
+
+@pytest.fixture()
+def baseline(matrix):
+    return dist_qr_numeric(matrix, n_devices=4, processes=0)
+
+
+def _service(**kwargs):
+    kwargs.setdefault("cache", False)
+    return FactorService(**kwargs)
+
+
+class TestServeWorkerRetry:
+    def test_transient_retries_and_synthesizes_provenance(
+        self, matrix, baseline
+    ):
+        plan = FaultPlan.single("worker_crash", site="serve-worker")
+        with _service(faults=plan) as svc:
+            res = svc.submit(JobSpec("qr", (matrix,), devices=4)).result(60)
+            snap = svc.snapshot_metrics()
+        assert res.attempts == 2
+        assert res.faults is not None and res.faults.n_injected == 1
+        assert res.faults.retries == 1
+        assert np.array_equal(res.arrays["q"], baseline.q)
+        assert np.array_equal(res.arrays["r"], baseline.r)
+        assert snap["faults_injected"]["value"] == 1
+        assert snap["job_retries"]["value"] == 1
+
+    def test_backoff_routes_through_injectable_clock(
+        self, matrix, monkeypatch
+    ):
+        naps: list[float] = []
+        monkeypatch.setattr(clock, "sleep", naps.append)
+        plan = FaultPlan.single(
+            "worker_crash", site="serve-worker", count=3
+        )
+        with _service(
+            faults=plan, max_retries=3, backoff_base_s=0.1, backoff_max_s=0.15
+        ) as svc:
+            res = svc.submit(JobSpec("qr", (matrix,), devices=4)).result(60)
+        assert res.attempts == 4
+        # exponential ladder, capped: 0.1, 0.2->0.15, 0.4->0.15
+        assert naps == [0.1, 0.15, 0.15]
+
+    def test_retries_exhaust_into_failure(self, matrix):
+        plan = FaultPlan.single(
+            "worker_crash", site="serve-worker", count=9
+        )
+        with _service(
+            faults=plan, max_retries=1, backoff_base_s=0.0
+        ) as svc:
+            exc = svc.submit(
+                JobSpec("qr", (matrix,), devices=4)
+            ).exception(60)
+            snap = svc.snapshot_metrics()
+        assert exc is not None
+        assert snap["jobs_failed"]["value"] == 1
+        # every fired fault is still counted at retirement
+        assert snap["faults_injected"]["value"] == 2
+
+
+class TestDeviceLossPolicies:
+    def test_recover_policy_is_bitwise_at_full_pool(self, matrix, baseline):
+        plan = FaultPlan.single("device_loss", device=1, site="leaf")
+        with _service(faults=plan) as svc:
+            res = svc.submit(JobSpec("qr", (matrix,), devices=4)).result(60)
+            snap = svc.snapshot_metrics()
+        assert res.degraded_to is None
+        assert res.attempts == 1
+        assert res.faults.recoveries == 1
+        assert res.faults.replacements_verified == 4
+        assert np.array_equal(res.arrays["q"], baseline.q)
+        assert np.array_equal(res.arrays["r"], baseline.r)
+        assert snap["recoveries_total"]["value"] == 1
+        assert snap["jobs_degraded"]["value"] == 0
+
+    def test_degrade_policy_readmits_at_surviving_size(self, matrix):
+        plan = FaultPlan.single("device_loss", device=1, site="leaf")
+        with _service(faults=plan, on_device_loss="degrade") as svc:
+            handle = svc.submit(JobSpec("qr", (matrix,), devices=4))
+            res = handle.result(60)
+            snap = svc.snapshot_metrics()
+        assert res.degraded_to == 3
+        assert res.attempts == 2
+        # the degraded run matches a clean devices=3 run bitwise
+        ref = dist_qr_numeric(matrix, n_devices=3, processes=0)
+        assert np.array_equal(res.arrays["q"], ref.q)
+        assert np.array_equal(res.arrays["r"], ref.r)
+        assert snap["jobs_degraded"]["value"] == 1
+
+    def test_degraded_results_never_poison_the_cache(self, matrix):
+        plan = FaultPlan.single("device_loss", device=1, site="leaf")
+        with FactorService(
+            cache=True, faults=plan, on_device_loss="degrade"
+        ) as svc:
+            first = svc.submit(JobSpec("qr", (matrix,), devices=4))
+            assert first.result(60).degraded_to == 3
+            # degraded results are never cache.put: the resubmission is
+            # a miss and really runs (each job gets a fresh injector,
+            # so it degrades again instead of being served stale
+            # devices=3 arrays under a devices=4 key)
+            second = svc.submit(JobSpec("qr", (matrix,), devices=4))
+            res = second.result(60)
+        assert not second.cache_hit
+        assert res.attempts >= 1 and res.degraded_to == 3
+        ref = dist_qr_numeric(matrix, n_devices=3, processes=0)
+        assert np.array_equal(res.arrays["q"], ref.q)
+
+    def test_degraded_over_budget_fails_the_job(self, matrix, monkeypatch):
+        import repro.serve.service as service_mod
+
+        plan = FaultPlan.single("device_loss", device=1, site="leaf")
+        real_estimate = service_mod.estimate_footprint_bytes
+
+        def inflated(spec, config):
+            fp = real_estimate(spec, config)
+            # a degraded (smaller-pool) spec suddenly needs more than
+            # the whole budget: recharge must refuse, not overcommit
+            return fp * 10_000 if spec.devices == 3 else fp
+
+        monkeypatch.setattr(
+            service_mod, "estimate_footprint_bytes", inflated
+        )
+        with _service(
+            faults=plan, on_device_loss="degrade", device_budget=1 << 20
+        ) as svc:
+            exc = svc.submit(
+                JobSpec("qr", (matrix,), devices=4)
+            ).exception(60)
+        assert isinstance(exc, AdmissionError)
+        assert exc.reason == "degraded-over-budget"
+
+    def test_fail_policy_is_the_loud_negative_control(self, matrix):
+        plan = FaultPlan.single("device_loss", device=1, site="leaf")
+        with _service(faults=plan, on_device_loss="fail") as svc:
+            exc = svc.submit(
+                JobSpec("qr", (matrix,), devices=4)
+            ).exception(60)
+            snap = svc.snapshot_metrics()
+        assert isinstance(exc, DeviceLostError)
+        assert snap["jobs_failed"]["value"] == 1
+        assert snap["jobs_degraded"]["value"] == 0
+
+    def test_pool_of_one_cannot_degrade(self, matrix):
+        # first loss degrades 2 -> 1; the second hits the now
+        # single-device job, which has no pool left to shrink
+        plan = FaultPlan.single("device_loss", site="serve-worker")
+        plan2 = FaultPlan(specs=plan.specs + plan.specs)
+        with _service(faults=plan2, on_device_loss="degrade") as svc:
+            exc = svc.submit(
+                JobSpec("qr", (matrix,), devices=2)
+            ).exception(60)
+        assert isinstance(exc, DeviceLostError)
+
+
+class TestBitwiseOff:
+    def test_disabled_plan_matches_no_plan(self, matrix, baseline):
+        plan = FaultPlan.single("device_loss", device=1, enabled=False)
+        with _service(faults=plan) as svc:
+            res = svc.submit(JobSpec("qr", (matrix,), devices=4)).result(60)
+            snap = svc.snapshot_metrics()
+        assert res.faults is None
+        assert res.attempts == 1
+        assert np.array_equal(res.arrays["q"], baseline.q)
+        assert np.array_equal(res.arrays["r"], baseline.r)
+        assert snap["faults_injected"]["value"] == 0
+
+    def test_validated_policy_values(self):
+        from repro.errors import ValidationError
+
+        with pytest.raises(ValidationError):
+            FactorService(on_device_loss="panic")
+
+
+class TestObsIntegration:
+    def test_fault_instants_on_job_span_stream(self, matrix):
+        from repro.obs import SpanRecorder
+
+        rec = SpanRecorder()
+        plan = FaultPlan.single("device_loss", device=1, site="leaf")
+        with _service(
+            faults=plan, on_device_loss="degrade", obs=rec
+        ) as svc:
+            svc.submit(JobSpec("qr", (matrix,), devices=4)).result(60)
+        cats = {s.cat for s in rec.spans()}
+        assert "fault" in cats
+        names = [s.name for s in rec.spans() if s.cat == "fault"]
+        assert any(n.startswith("fault:device_loss") for n in names)
+        assert any(n.startswith("degrade:4->3") for n in names)
