@@ -7,8 +7,10 @@ engine's op stream symbolically (no data, no clock);
 allocator lifetime proofs, exact peak-memory accounting, and §3.2
 transfer-volume checks over the captured program;
 :mod:`repro.analysis.engines` sweeps every shipped engine configuration;
-:mod:`repro.analysis.lint` is the AST-based repo lint pack behind
-``tools/lint_repro.py``. See docs/analysis.md.
+:mod:`repro.analysis.precision` is the static precision / error-flow pass
+(per-tile precision lattice + symbolic forward-error bound, judged
+against a caller tolerance); :mod:`repro.analysis.lint` is the AST-based
+repo lint pack behind ``tools/lint_repro.py``. See docs/analysis.md.
 
 :func:`verify_program` also accepts a first-class
 :class:`~repro.runtime.task.TaskGraph` from the DAG runtime directly —
@@ -29,6 +31,16 @@ from repro.analysis.engines import (
     verify_all_engines,
     verify_engine,
 )
+from repro.analysis.precision import (
+    DEFAULT_TOLERANCE,
+    PRECISION_LEVELS,
+    PRECISION_RULES,
+    PrecisionFlow,
+    PrecisionPlan,
+    assert_precision_ok,
+    check_precision,
+    propagate,
+)
 from repro.analysis.verify import (
     VOLUME_SLACK,
     AnalysisFinding,
@@ -39,20 +51,28 @@ from repro.analysis.verify import (
 )
 
 __all__ = [
+    "DEFAULT_TOLERANCE",
     "ENGINE_CAPTURES",
+    "PRECISION_LEVELS",
+    "PRECISION_RULES",
     "VOLUME_SLACK",
     "AnalysisFinding",
     "AnalysisReport",
     "CaptureExecutor",
     "CapturedProgram",
     "MemEvent",
+    "PrecisionFlow",
+    "PrecisionPlan",
     "assert_plan_ok",
+    "assert_precision_ok",
     "capture_cholesky",
     "capture_gemm",
     "capture_job",
     "capture_lu",
     "capture_qr",
+    "check_precision",
     "exact_peak_bytes",
+    "propagate",
     "verify_all_engines",
     "verify_engine",
     "verify_program",

@@ -184,18 +184,27 @@ def verify_engine(
     m: int = 96,
     n: int = 64,
     b: int = 16,
+    tolerance: float | None = None,
+    precision=None,
 ) -> AnalysisReport:
     """Capture one registry engine and verify it.
 
     QR captures assert the ``m*n``-word input floor on top of the §3.2
     upper bounds (every input element must be loaded at least once).
+    ``tolerance`` / ``precision`` flow through to the precision pass
+    (see :func:`repro.analysis.verify.verify_program`).
     """
     config = config or PAPER_SYSTEM
     program = ENGINE_CAPTURES[name](config, m, n, b)
     floor = None
     if name.startswith("qr-"):
         floor = m * n
-    return verify_program(program, input_floor_words=floor)
+    return verify_program(
+        program,
+        input_floor_words=floor,
+        tolerance=tolerance,
+        precision=precision,
+    )
 
 
 def verify_all_engines(

@@ -1,6 +1,6 @@
 """Repo lint pack: AST rules encoding this codebase's invariants.
 
-Five rules, each guarding a property the test suite and docs rely on but
+Six rules, each guarding a property the test suite and docs rely on but
 ordinary linters cannot express:
 
 ``reproerror-raises``
@@ -16,6 +16,16 @@ ordinary linters cannot express:
     under ``tc/`` — the emulated-TensorCore layer owns every rounding
     decision (see :mod:`repro.tc`). A stray ``np.float16`` elsewhere
     silently degrades a whole pipeline.
+
+``raw-dtype-cast``
+    The casting *operations* that dodge the attribute rule above:
+    ``.astype(...)`` to a half-precision target, a ``dtype=`` keyword
+    carrying a half-precision string (``"float16"`` / ``"bfloat16"`` /
+    ``"half"`` / ``"e"``), and direct ``float16(...)``-style constructor
+    calls — all forbidden outside ``tc/``. A raw cast bypasses the
+    quantizer (:func:`repro.tc.precision.round_to`), so its rounding is
+    invisible to the static precision pass
+    (:mod:`repro.analysis.precision`) and the health sentinel.
 
 ``wallclock-in-step-logic``
     :mod:`repro.obs.clock` is the only sanctioned clock source: no module
@@ -115,6 +125,11 @@ _OBS_DIR = "obs"
 #: Directories allowed to call ``._issue`` / touch ``.deps`` directly.
 _SCHEDULER_DIRS = ("execution", "sim", "analysis")
 
+#: Dtype spellings (strings and bare names) the ``raw-dtype-cast`` rule
+#: treats as half-precision targets; ``"e"`` is numpy's fp16 typecode.
+_HALF_DTYPE_NAMES = {"float16", "bfloat16", "half"}
+_HALF_DTYPE_STRINGS = _HALF_DTYPE_NAMES | {"e", "f2", "<f2", ">f2", "=f2"}
+
 #: Layering edges that must not exist: top-level directory under
 #: ``src/repro`` -> module prefixes it may never import.
 _LAYERING_FORBIDDEN: dict[str, tuple[str, ...]] = {
@@ -166,6 +181,18 @@ def _rel_parts(path: Path, root: Path) -> tuple[str, ...]:
         return path.relative_to(root).parts
     except ValueError:
         return path.parts
+
+
+def _is_half_dtype(node: ast.AST) -> str | None:
+    """The half-precision dtype a node spells, if any (``raw-dtype-cast``)."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        if node.value.lower() in _HALF_DTYPE_STRINGS:
+            return node.value
+    elif isinstance(node, ast.Attribute) and node.attr in _HALF_DTYPE_NAMES:
+        return node.attr
+    elif isinstance(node, ast.Name) and node.id in _HALF_DTYPE_NAMES:
+        return node.id
+    return None
 
 
 def _raised_name(node: ast.Raise) -> str | None:
@@ -258,6 +285,42 @@ def lint_source(source: str, path: str, rel_parts: tuple[str, ...]) -> list[Lint
                     "scheduler-bypass",
                     "mutating SimOp.deps outside execution/sim/analysis "
                     "bypasses the scheduler's happens-before bookkeeping",
+                )
+        if isinstance(node, ast.Call) and not in_tc:
+            # raw-dtype-cast: the casting operations that dodge the
+            # attribute rule — astype(<half>), dtype=<half string>, and
+            # bare float16(...)-style constructor calls
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr == "astype"
+            ):
+                for arg in node.args:
+                    spelled = _is_half_dtype(arg)
+                    if spelled is not None:
+                        report(
+                            node,
+                            "raw-dtype-cast",
+                            f"astype({spelled!r}) outside tc/ bypasses the "
+                            f"quantizer (repro.tc.precision.round_to); the "
+                            f"precision verifier cannot see raw casts",
+                        )
+            for kw in node.keywords:
+                if kw.arg == "dtype":
+                    spelled = _is_half_dtype(kw.value)
+                    if spelled is not None:
+                        report(
+                            node,
+                            "raw-dtype-cast",
+                            f"dtype={spelled!r} outside tc/ allocates "
+                            f"half-precision storage behind the precision "
+                            f"verifier's back; route through repro.tc",
+                        )
+            if isinstance(node.func, ast.Name) and node.func.id in _HALF_DTYPE_NAMES:
+                report(
+                    node,
+                    "raw-dtype-cast",
+                    f"{node.func.id}(...) outside tc/ is a raw scalar/array "
+                    f"cast; all rounding goes through repro.tc",
                 )
         if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
             func = node.func

@@ -42,6 +42,7 @@ survives.
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass, field
 
 from repro.analysis.capture import CapturedProgram, MemEvent
@@ -103,6 +104,12 @@ class AnalysisReport:
     #: Passes that could not run (with the reason), e.g. a volume model
     #: whose divisibility preconditions the shape does not meet.
     skipped: list[str] = field(default_factory=list)
+    #: Predicted forward-error bound from the precision pass (0.0 when the
+    #: pass did not run), the tolerance it was judged against (0.0 when the
+    #: pass ran structurally only), and the plan tag it walked under.
+    precision_bound: float = 0.0
+    precision_tolerance: float = 0.0
+    precision_plan: str = ""
 
     @property
     def ok(self) -> bool:
@@ -111,12 +118,25 @@ class AnalysisReport:
 
     def summary(self) -> str:
         """One-line verdict for logs and the CLI."""
-        verdict = "clean" if self.ok else f"{len(self.findings)} violation(s)"
-        return (
+        if self.ok:
+            verdict = "clean"
+        else:
+            counts = Counter(f.rule for f in self.findings)
+            per_rule = " ".join(
+                f"{rule}={n}" for rule, n in sorted(counts.items())
+            )
+            verdict = f"{len(self.findings)} violation(s) [{per_rule}]"
+        line = (
             f"{self.label or 'plan'}: {verdict}; {self.n_ops} ops, "
             f"peak {self.peak_bytes} B of {self.budget_bytes} B budget, "
             f"H2D {self.h2d_bytes} B, D2H {self.d2h_bytes} B"
         )
+        if self.precision_plan:
+            line += f", err bound {self.precision_bound:.2e}"
+            if self.precision_tolerance:
+                line += f" (tol {self.precision_tolerance:.1e})"
+            line += f" [{self.precision_plan}]"
+        return line
 
 
 # -- happens-before hazards ------------------------------------------------------
@@ -435,6 +455,8 @@ def verify_program(
     *,
     budget_bytes: int | None = None,
     input_floor_words: int | None = None,
+    tolerance: float | None = None,
+    precision=None,
 ) -> AnalysisReport:
     """Run every applicable pass over *program* — a
     :class:`~repro.analysis.capture.CapturedProgram` or a
@@ -444,6 +466,13 @@ def verify_program(
     (the capacity the engines planned against); serve admission passes its
     own grant. ``input_floor_words`` optionally asserts a minimum H2D
     volume (QR programs pass ``m * n``).
+
+    The precision pass (:mod:`repro.analysis.precision`) always runs its
+    structural rules and records the predicted forward-error bound in the
+    report; pass ``tolerance`` to additionally judge the bound (and each
+    quantization step) against it, and ``precision`` (a
+    :class:`~repro.analysis.precision.PrecisionPlan`) to override the plan
+    the program's config implies.
     """
     budget = (
         program.config.usable_device_bytes
@@ -466,6 +495,16 @@ def verify_program(
     if input_floor_words is not None:
         report.findings.extend(check_volume_floor(program, input_floor_words))
     report.findings.extend(check_redundant_transfers(program))
+    # lazy import: precision.py imports AnalysisFinding from this module
+    from repro.analysis.precision import check_precision
+
+    flow, precision_findings = check_precision(
+        program, plan=precision, tolerance=tolerance
+    )
+    report.precision_bound = flow.bound
+    report.precision_tolerance = tolerance or 0.0
+    report.precision_plan = flow.plan.describe()
+    report.findings.extend(precision_findings)
     return report
 
 

@@ -364,9 +364,13 @@ def main(argv: list[str] | None = None) -> int:
         "(race/leak/budget/volume proofs; see docs/analysis.md)",
     )
     p_an.add_argument(
-        "--what", choices=["lint", "plans", "graphs", "all"], default="all",
+        "--what",
+        choices=["lint", "plans", "graphs", "precision", "all"],
+        default="all",
         help="run the repo lint pack, the captured-plan verifier sweep, "
-        "the DAG-runtime task-graph sweep, or all three",
+        "the DAG-runtime task-graph sweep, the precision/error-flow "
+        "sweep (split-precision plans must prove their bound, the "
+        "flat-tree fp16 negative control must be flagged), or all",
     )
     p_an.add_argument("-m", "--rows", type=int, default=96,
                       help="capture shape rows (small by design: the "
@@ -379,6 +383,11 @@ def main(argv: list[str] | None = None) -> int:
     )
     p_an.add_argument("--gpu", default=V100_32GB.name)
     p_an.add_argument("--memory-gib", type=float, default=None)
+    p_an.add_argument(
+        "--tolerance", type=float, default=None,
+        help="forward-error tolerance for --what precision (default: the "
+        "pass's DEFAULT_TOLERANCE)",
+    )
 
     p_dist = sub.add_parser(
         "dist",
@@ -690,6 +699,74 @@ def _run_analyze(args) -> int:
             for skip in report.skipped:
                 print(f"  skipped: {skip}")
             failures += len(report.findings)
+
+    if args.what in ("precision", "all"):
+        from dataclasses import replace as _replace
+
+        from repro.analysis import (
+            DEFAULT_TOLERANCE,
+            ENGINE_CAPTURES,
+            verify_engine,
+        )
+        from repro.dist.sim import dist_precision_report
+        from repro.hw.gemm import Precision
+
+        config = _config(args)
+        tol = args.tolerance if args.tolerance is not None else DEFAULT_TOLERANCE
+        m, n, b = args.rows, args.cols, args.blocksize
+
+        # structural sweep: every engine at the config's own precision
+        # (no tolerance judging — the bound is reported, not gated)
+        for name in ENGINE_CAPTURES:
+            report = verify_engine(name, config, m=m, n=n, b=b)
+            print(f"precision {report.summary()}")
+
+        # positive set: the paper's split-precision recursive-QR plans
+        # must prove their bound within the tolerance
+        for prec in (Precision.TC_FP16_SPLIT3, Precision.TC_FP16_SPLIT4):
+            report = verify_engine(
+                "qr-recursive", _replace(config, precision=prec),
+                m=m, n=n, b=b, tolerance=tol,
+            )
+            print(f"precision [{prec.value}] {report.summary()}")
+            for finding in report.findings:
+                print(f"  {finding}")
+            failures += len(report.findings)
+
+        # dist positive: 64-device binomial tree under fp16x4 (the bound
+        # accrues log2 P merge steps and must stay within tolerance)
+        dist_n = b
+        dist_m = 64 * b
+        report = dist_precision_report(
+            _replace(config, precision=Precision.TC_FP16_SPLIT4),
+            m=dist_m, n=dist_n, n_devices=64, tree="binomial",
+            tolerance=tol,
+        )
+        print(f"precision [tc-fp16x4 binomial-64] {report.summary()}")
+        for finding in report.findings:
+            print(f"  {finding}")
+        failures += len(report.findings)
+
+        # negative control: the same 64 devices on a *flat* tree under
+        # plain fp16 accrue P-1 merge steps and must be flagged
+        report = dist_precision_report(
+            _replace(config, precision=Precision.TC_FP16),
+            m=dist_m, n=dist_n, n_devices=64, tree="flat",
+            tolerance=tol,
+        )
+        if report.findings:
+            print(
+                f"precision [tc-fp16 flat-64] negative control flagged "
+                f"(expected): bound {report.precision_bound:.2e} > "
+                f"tol {tol:.1e}"
+            )
+        else:
+            print(
+                f"precision [tc-fp16 flat-64] NEGATIVE CONTROL NOT "
+                f"FLAGGED: bound {report.precision_bound:.2e} passed "
+                f"tol {tol:.1e} — the pass lost its depth sensitivity"
+            )
+            failures += 1
 
     if args.what in ("graphs", "all"):
         from repro.runtime import GRAPH_BUILDERS, verify_engine_graph

@@ -38,6 +38,7 @@ from repro.dist.shard import BlockCyclicLayout, ShardedMatrix, slab_offsets
 from repro.dist.sim import (
     DistSimResult,
     build_dist_qr_graph,
+    dist_precision_report,
     dist_scaling_sweep,
     dist_trace_spans,
     simulate_dist_qr,
@@ -75,6 +76,7 @@ __all__ = [
     "caqr_lower_bound_words",
     "dist_qr",
     "dist_qr_numeric",
+    "dist_precision_report",
     "dist_scaling_sweep",
     "dist_trace_spans",
     "injection_matrix",

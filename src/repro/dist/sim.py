@@ -41,7 +41,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
-from repro.analysis.verify import AnalysisReport
+from repro.analysis.precision import check_precision
+from repro.analysis.verify import AnalysisReport, verify_program
 from repro.config import SystemConfig
 from repro.dist.placement import DeviceProgram, Placement, partition_graph
 from repro.dist.recovery import RecoveryPlan, recover_placement
@@ -86,6 +87,13 @@ class DistSimResult:
     #: The verified re-placement over survivors after injected device
     #: losses (``None`` on fault-free runs).
     recovery: RecoveryPlan | None = None
+    #: Static precision pass over the *global* graph (the per-device
+    #: reports cover only each slice): predicted forward-error bound and
+    #: the plan it was walked under. The bound prices the reduction tree
+    #: by its depth — ``log2 P`` merge steps for binomial, ``P - 1`` for
+    #: flat. See :mod:`repro.analysis.precision` / docs/analysis.md.
+    precision_bound: float = 0.0
+    precision_plan: str = ""
 
     @property
     def all_verified(self) -> bool:
@@ -382,6 +390,7 @@ def simulate_dist_qr(
         placement = partition_graph(graph, shards, topology, pin=pin)
         reports = placement.verify(budget_bytes=budget_bytes)
     traces = [_simulate_program(prog) for prog in placement.programs]
+    flow, _ = check_precision(graph)
     return DistSimResult(
         m=m,
         n=n,
@@ -397,7 +406,34 @@ def simulate_dist_qr(
         comm=tree_obj.comm_report(n),
         faults=fault_report,
         recovery=recovery,
+        precision_bound=flow.bound,
+        precision_plan=flow.plan.describe(),
     )
+
+
+def dist_precision_report(
+    config: SystemConfig,
+    *,
+    m: int,
+    n: int,
+    n_devices: int,
+    tree: str = "binomial",
+    tolerance: float | None = None,
+    precision=None,
+) -> AnalysisReport:
+    """Statically verify one distributed-QR plan's precision, without
+    placing or timing it.
+
+    Builds the global graph for the requested reduction tree and runs the
+    full verifier (:func:`repro.analysis.verify.verify_program`) over it,
+    so the report carries the precision bound/findings next to the usual
+    hazard/lifetime passes. Lives here, not in :mod:`repro.analysis` —
+    the analysis package must stay importable without the dist layer
+    (this module already imports it the other way).
+    """
+    tree_obj = build_tree(tree, positive_int(n_devices, "n_devices"))
+    graph, _shards, _pin = build_dist_qr_graph(config, m=m, n=n, tree=tree_obj)
+    return verify_program(graph, tolerance=tolerance, precision=precision)
 
 
 def dist_scaling_sweep(

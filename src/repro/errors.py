@@ -130,6 +130,39 @@ class PlanViolation(AnalysisError):
         )
 
 
+class PrecisionError(AnalysisError):
+    """The static precision/error-flow pass could not certify a plan.
+
+    Raised by :mod:`repro.analysis.precision` when a mixed-precision plan
+    is structurally broken (TensorCore input-format invariant, wasted
+    upcast) or its predicted forward-error bound cannot meet the caller's
+    tolerance. Like every :class:`ReproError`, the CLI maps it to a
+    one-line ``error:`` message and exit code 2.
+    """
+
+
+class PrecisionViolation(PrecisionError):
+    """The precision verifier proved a plan numerically unsafe.
+
+    Mirrors :class:`PlanViolation`: carries the full
+    :class:`~repro.analysis.verify.AnalysisReport` in ``report`` (its
+    ``precision_bound`` / ``precision_tolerance`` fields hold the
+    predicted bound and the tolerance it was checked against); the
+    message lists the first few findings.
+    """
+
+    def __init__(self, report):
+        self.report = report
+        findings = getattr(report, "findings", [])
+        listing = "; ".join(str(f) for f in findings[:4])
+        more = "" if len(findings) <= 4 else f" (+{len(findings) - 4} more)"
+        label = getattr(report, "label", "") or "plan"
+        super().__init__(
+            f"{label}: {len(findings)} precision violation(s): "
+            f"{listing}{more}"
+        )
+
+
 class CheckpointError(ReproError):
     """A checkpoint could not be trusted or applied (corrupt manifest or
     payload, config fingerprint mismatch, wrong backing storage).

@@ -47,12 +47,17 @@ class Precision(str, Enum):
 
     TC_FP16 = "tc-fp16"             # TensorCore: fp16 inputs, fp32 accumulate
     TC_FP16_SPLIT3 = "tc-fp16x3"    # precision-split: 3 TC GEMMs, ~fp32 accuracy
+    TC_FP16_SPLIT4 = "tc-fp16x4"    # precision-split: 4 TC GEMMs, full fp32 inputs
     FP32 = "fp32"                   # CUDA-core SGEMM
 
     @property
     def work_factor(self) -> int:
         """TensorCore GEMM invocations per logical GEMM."""
-        return 3 if self is Precision.TC_FP16_SPLIT3 else 1
+        if self is Precision.TC_FP16_SPLIT3:
+            return 3
+        if self is Precision.TC_FP16_SPLIT4:
+            return 4
+        return 1
 
     @property
     def input_format(self) -> str:
@@ -61,6 +66,8 @@ class Precision(str, Enum):
             return "fp16"
         if self is Precision.TC_FP16_SPLIT3:
             return "fp16x3"
+        if self is Precision.TC_FP16_SPLIT4:
+            return "fp16x4"
         return "fp32"
 
 

@@ -215,15 +215,23 @@ def verify_engine_graph(
     m: int = 96,
     n: int = 64,
     b: int = 16,
+    tolerance: float | None = None,
+    precision=None,
 ) -> AnalysisReport:
     """Build one registry engine's task graph and verify it directly —
-    no capture pass; ``verify_program`` consumes the DAG itself."""
+    no capture pass; ``verify_program`` consumes the DAG itself.
+    ``tolerance`` / ``precision`` flow through to the precision pass."""
     config = config or PAPER_SYSTEM
     graph = GRAPH_BUILDERS[name](config, m, n, b)
     floor = None
     if name.startswith("qr-"):
         floor = m * n
-    return verify_program(graph, input_floor_words=floor)
+    return verify_program(
+        graph,
+        input_floor_words=floor,
+        tolerance=tolerance,
+        precision=precision,
+    )
 
 
 def verify_all_engine_graphs(

@@ -70,6 +70,15 @@ class JobSpec:
         slab footprint, and the per-device programs are verified by the
         dist runner instead of the single-device submit-time plan
         verifier. See docs/dist.md.
+    tolerance
+        Optional forward-error tolerance for the static precision pass
+        (:mod:`repro.analysis.precision`). When set, admission judges the
+        plan's predicted error bound against it: a violating plan is
+        rejected (``plan-rejected`` quarantine) unless the job's health
+        options provide the ``escalate`` runtime fallback, in which case
+        it is admitted with a waiver (the ``plans_precision_waived``
+        counter). ``None`` (default) runs only the structural precision
+        rules. See docs/analysis.md.
     """
 
     kind: str
@@ -84,6 +93,7 @@ class JobSpec:
     checkpoint_dir: str | None = None
     checkpoint_every: int = 1
     devices: int = 1
+    tolerance: float | None = None
 
     def __post_init__(self) -> None:
         one_of(self.kind, JOB_KINDS, "kind")
@@ -136,6 +146,8 @@ class JobSpec:
                 )
         if self.device_memory is not None and self.device_memory <= 0:
             raise ValidationError("device_memory must be positive or None")
+        if self.tolerance is not None and self.tolerance <= 0:
+            raise ValidationError("tolerance must be positive or None")
 
     def shapes(self) -> tuple[tuple[int, int], ...]:
         """The (rows, cols) of every operand, data or shape-only."""

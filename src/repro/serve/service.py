@@ -48,6 +48,7 @@ from repro.errors import (
     OutOfHostMemoryError,
     PlanError,
     PlanViolation,
+    PrecisionViolation,
     ShapeError,
     ValidationError,
 )
@@ -171,6 +172,23 @@ def _run_dist_job(
     :class:`~repro.errors.DeviceLostError` for the service's graceful
     degradation path.
     """
+    if spec.tolerance is not None:
+        # Multi-device jobs skip the single-device submit-time capture, so
+        # the precision gate runs here against the global dist graph (the
+        # bound prices the reduction tree by depth; docs/analysis.md).
+        from repro.analysis import PRECISION_RULES
+        from repro.dist.sim import dist_precision_report
+
+        dm, dn = spec.shapes()[0]
+        report = dist_precision_report(
+            config, m=dm, n=dn, n_devices=spec.devices,
+            tolerance=spec.tolerance,
+        )
+        if (
+            any(f.rule in PRECISION_RULES for f in report.findings)
+            and not spec.options.health.escalating
+        ):
+            raise PrecisionViolation(report)
     if spec.mode == "numeric":
         from repro.dist.numeric import dist_qr_numeric
 
@@ -386,6 +404,12 @@ class FactorService:
             "submissions quarantined because the static plan verifier "
             "found violations (race, leak, over-budget peak, ...)",
         )
+        self._plans_precision_waived_c = m.counter(
+            "plans_precision_waived",
+            "submissions admitted despite precision findings because the "
+            "job's health=escalate runtime fallback can recover per-panel "
+            "(static bound over tolerance, waived; see docs/analysis.md)",
+        )
         self._distributed_c = m.counter(
             "jobs_distributed",
             "jobs placed across a multi-device pool via repro.dist",
@@ -456,7 +480,49 @@ class FactorService:
                 f"{spec.label()} cannot be planned inside its "
                 f"{footprint}-byte grant: {exc}",
             ) from exc
-        return verify_program(program, budget_bytes=footprint)
+        return verify_program(
+            program, budget_bytes=footprint, tolerance=spec.tolerance
+        )
+
+    def _gate_plan(self, spec: JobSpec, footprint: int, rid, t_submit):
+        """Verify *spec*'s plan and apply the admission gate; returns the
+        report, or raises ``AdmissionError`` (counting and recording the
+        rejection). Precision-only findings are waived — with the
+        ``plans_precision_waived`` counter on the books — when the job's
+        health options provide the ``escalate`` runtime fallback."""
+        try:
+            report = self._verify_plan(spec, footprint)
+        except AdmissionError:
+            self._rejected_c.inc()
+            self._record_job_root(spec, rid, t_submit, "rejected")
+            raise
+        if report.findings:
+            from repro.analysis import PRECISION_RULES
+
+            precision_only = all(
+                f.rule in PRECISION_RULES for f in report.findings
+            )
+            if precision_only and spec.options.health.escalating:
+                # The runtime escalation ladder (docs/health.md) can
+                # re-run unhealthy panels at higher precision, so a
+                # statically-over-tolerance plan is admissible — with
+                # a waiver on the books, not silently.
+                self._plans_precision_waived_c.inc()
+            else:
+                self._plans_rejected_c.inc()
+                self._rejected_c.inc()
+                self._record_job_root(spec, rid, t_submit, "plan-rejected")
+                violation = (
+                    PrecisionViolation(report)
+                    if precision_only
+                    else PlanViolation(report)
+                )
+                raise AdmissionError(
+                    "plan-rejected", str(violation)
+                ) from violation
+        else:
+            self._plans_verified_c.inc()
+        return report
 
     def submit(self, spec: JobSpec) -> JobHandle:
         """Admit one job; returns its future-like handle.
@@ -465,7 +531,9 @@ class FactorService:
         tag) when the job can never fit the budget, the queue is
         saturated, the service is closed, or (``verify_plans``) the
         static plan verifier proves the job's op stream unsafe
-        (``plan-rejected``).
+        (``plan-rejected``) — including the precision pass when the spec
+        carries a ``tolerance`` (waived if the job's ``health=escalate``
+        runtime fallback can recover per-panel; see docs/analysis.md).
         """
         obs = self.obs
         # Root span id + start are fixed at submit; the span itself is
@@ -478,6 +546,16 @@ class FactorService:
             key = job_cache_key(spec, self.config, footprint)
             cached = self.cache.get(key)
             if cached is not None:
+                if (
+                    spec.tolerance is not None
+                    and self.verify_plans
+                    and spec.devices == 1
+                ):
+                    # A cached result must not bypass the precision gate:
+                    # the tolerance is an admission predicate, not part of
+                    # the result's identity (the plan computes the same
+                    # bits either way, so it is absent from the cache key).
+                    self._gate_plan(spec, footprint, rid, t_submit)
                 self._cache_hits_c.inc()
                 handle = JobHandle(next(self._seq), spec, footprint)
                 handle._resolve(
@@ -500,24 +578,12 @@ class FactorService:
         charge = footprint
         if self.verify_plans and spec.devices == 1:
             verify_t0 = obs.now() if obs.enabled else 0.0
-            try:
-                report = self._verify_plan(spec, footprint)
-            except AdmissionError:
-                self._rejected_c.inc()
-                self._record_job_root(spec, rid, t_submit, "rejected")
-                raise
+            report = self._gate_plan(spec, footprint, rid, t_submit)
             if obs.enabled:
                 obs.record(
                     "verify", verify_t0, obs.now(), cat="serve", lane="serve",
                     parent_id=rid, attrs={"job": spec.label()},
                 )
-            if report.findings:
-                self._plans_rejected_c.inc()
-                self._rejected_c.inc()
-                self._record_job_root(spec, rid, t_submit, "plan-rejected")
-                violation = PlanViolation(report)
-                raise AdmissionError("plan-rejected", str(violation)) from violation
-            self._plans_verified_c.inc()
             # Charge the verifier's exact peak, not the plan heuristic.
             # The grant (allocator capacity the job runs under) stays at
             # the heuristic footprint so the engines plan identically; a

@@ -19,11 +19,17 @@ import numpy as np
 
 from repro.errors import ValidationError
 
-#: Unit roundoffs of the supported input formats (for error-bound tests).
+#: Unit roundoffs of the supported input formats (for error-bound tests
+#: and the static precision verifier, :mod:`repro.analysis.precision`).
+#: The split formats are *effective* input roundoffs of the Markidis-style
+#: multi-term TC GEMM (:mod:`repro.tc.split`): three fp16 terms recover
+#: ~22 bits of the input mantissa, four recover full fp32 (~2^-24).
 UNIT_ROUNDOFF = {
     "fp16": 2.0**-11,
     "bf16": 2.0**-8,
     "tf32": 2.0**-11,
+    "fp16x3": 2.0**-22,
+    "fp16x4": 2.0**-24,
     "fp32": 2.0**-24,
     "fp64": 2.0**-53,
 }

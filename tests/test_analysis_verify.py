@@ -14,13 +14,19 @@ from collections import Counter
 import pytest
 
 from repro.analysis import (
+    DEFAULT_TOLERANCE,
     ENGINE_CAPTURES,
     CaptureExecutor,
+    PrecisionPlan,
+    capture_gemm,
+    capture_qr,
+    check_precision,
     verify_all_engines,
     verify_engine,
     verify_program,
 )
 from repro.config import PAPER_SYSTEM
+from repro.dist.sim import dist_precision_report
 from repro.host.tiled import HostMatrix
 from repro.qr.blocking import ooc_blocking_qr
 from repro.qr.options import QrOptions
@@ -346,3 +352,145 @@ class TestDagDuplicatedH2d:
         (finding,) = report.findings
         assert "re-moves" in finding.message
         assert finding.op.startswith("h2d")
+
+
+# -- precision mutations: seeded plan defects through the error-flow pass ----------
+#
+# Same falsifiability contract as the scheduling mutations above, for the
+# static precision pass (repro.analysis.precision): a dropped upcast, an
+# fp16 leaf feeding a deep flat reduction tree, and a plainly
+# tolerance-violating plan must each surface exactly one finding of the
+# expected rule — and the clean twin of each mutation must verify clean.
+
+
+def capture_recursive_qr(config=PAPER_SYSTEM):
+    return capture_qr(config, M, N, B, method="recursive")
+
+
+class TestPrecisionMutations:
+    def test_dropped_upcast_flagged_once(self):
+        # the shipped plan splits inputs to fp16x4; the mutation runs the
+        # raw fp16 quantizer instead (an upcast dropped from the TC
+        # pipeline) against a tolerance only the split format can meet
+        program = capture_recursive_qr()
+        report = verify_program(
+            program,
+            tolerance=1e-4,
+            precision=PrecisionPlan(storage="fp32", gemm_input="fp16"),
+        )
+        counts = rule_counts(report)
+        assert counts == Counter({"unsafe-downcast": 1}), counts
+        (finding,) = report.findings
+        assert "fp16" in finding.message
+        assert finding.op  # anchored at the first GEMM-kind op
+
+    def test_restored_upcast_is_clean(self):
+        report = verify_program(
+            capture_recursive_qr(),
+            tolerance=1e-4,
+            precision=PrecisionPlan(storage="fp32", gemm_input="fp16x4"),
+        )
+        assert report.ok, report.summary()
+        assert 0 < report.precision_bound <= 1e-4
+
+    def test_fp16_leaf_in_deep_flat_tree_flagged_once(self):
+        # identical plan and tolerance; only the reduction-tree shape
+        # differs — the flat tree's P-1 serial merges blow the bound the
+        # binomial tree's log2(P) depth keeps
+        report = dist_precision_report(
+            PAPER_SYSTEM, m=64 * 16, n=16, n_devices=16, tree="flat",
+            tolerance=1e-2,
+        )
+        counts = rule_counts(report)
+        assert counts == Counter({"tolerance-exceeded": 1}), counts
+        (finding,) = report.findings
+        assert "tolerance" in finding.message
+
+    def test_binomial_twin_of_the_flat_mutation_is_clean(self):
+        report = dist_precision_report(
+            PAPER_SYSTEM, m=64 * 16, n=16, n_devices=16, tree="binomial",
+            tolerance=1e-2,
+        )
+        assert report.ok, report.summary()
+
+    def test_tolerance_violating_plan_flagged_once(self):
+        # plain-fp16 recursive QR against the default tolerance: the
+        # propagated bound (not any single downcast) is the root cause
+        report = verify_program(
+            capture_recursive_qr(), tolerance=DEFAULT_TOLERANCE
+        )
+        counts = rule_counts(report)
+        assert counts == Counter({"tolerance-exceeded": 1}), counts
+        (finding,) = report.findings
+        assert f"{report.precision_bound:.2e}" in finding.message
+        assert report.precision_plan in finding.message
+
+    def test_split_plan_meets_the_same_tolerance(self):
+        from dataclasses import replace
+
+        from repro.hw.gemm import Precision
+
+        config = replace(PAPER_SYSTEM, precision=Precision.TC_FP16_SPLIT4)
+        report = verify_program(
+            capture_recursive_qr(config), tolerance=DEFAULT_TOLERANCE
+        )
+        assert report.ok, report.summary()
+        assert 0 < report.precision_bound <= DEFAULT_TOLERANCE
+
+
+# -- precision properties: the bound is monotone in depth and k --------------------
+
+
+class TestPrecisionProperties:
+    def test_bound_monotone_in_flat_tree_depth(self):
+        bounds = [
+            dist_precision_report(
+                PAPER_SYSTEM, m=64 * p, n=16, n_devices=p, tree="flat"
+            ).precision_bound
+            for p in (2, 4, 8, 16)
+        ]
+        assert all(b > 0 for b in bounds)
+        assert all(lo < hi for lo, hi in zip(bounds, bounds[1:])), bounds
+
+    def test_bound_monotone_in_binomial_tree_depth(self):
+        bounds = [
+            dist_precision_report(
+                PAPER_SYSTEM, m=64 * p, n=16, n_devices=p, tree="binomial"
+            ).precision_bound
+            for p in (2, 4, 8, 16)
+        ]
+        assert all(lo < hi for lo, hi in zip(bounds, bounds[1:])), bounds
+
+    def test_binomial_depth_beats_flat_at_every_width(self):
+        # log2(P) vs P-1 merge contributions: equal at P=2, then the flat
+        # bound pulls away — the separation is what the CI negative
+        # control (repro analyze --what precision) leans on
+        for p, strictly in ((2, False), (4, True), (16, True)):
+            flat = dist_precision_report(
+                PAPER_SYSTEM, m=64 * p, n=16, n_devices=p, tree="flat"
+            ).precision_bound
+            bino = dist_precision_report(
+                PAPER_SYSTEM, m=64 * p, n=16, n_devices=p, tree="binomial"
+            ).precision_bound
+            if strictly:
+                assert bino < flat, (p, bino, flat)
+            else:
+                assert bino <= flat, (p, bino, flat)
+
+    def test_bound_monotone_in_k(self):
+        # deeper accumulation chains in the k-split inner GEMM engine:
+        # more k-chunks accumulated into the same C tile must never
+        # cheapen the predicted error
+        bounds = []
+        for k in (64, 128, 256):
+            flow, findings = check_precision(
+                capture_gemm(PAPER_SYSTEM, 32, 32, k, 16)
+            )
+            assert findings == []
+            bounds.append(flow.bound)
+        assert all(lo < hi for lo, hi in zip(bounds, bounds[1:])), bounds
+
+    def test_max_k_tracks_the_deepest_chain(self):
+        flow, _ = check_precision(capture_gemm(PAPER_SYSTEM, 32, 32, 128, 16))
+        assert flow.n_gemms > 0
+        assert flow.max_k >= 16  # at least one full k-chunk GEMM

@@ -1,29 +1,82 @@
 #!/usr/bin/env python
 """Run the repro repo lint pack (repro.analysis.lint) over src/repro.
 
-Prints one ``path:line: rule: message`` line per finding and exits 1 when
-any survive (0 when clean), so CI can run it next to ruff. Waive a single
-line with a ``# lint: allow[<rule>]`` comment.
+Prints one finding per line and exits 1 when any survive (0 when clean),
+so CI can run it next to ruff. Waive a single line with a
+``# lint: allow[<rule>]`` comment.
 
 Usage::
 
-    python tools/lint_repro.py [root]
+    python tools/lint_repro.py [--format {text,json,gha}] [root]
 
-*root* defaults to ``src/repro`` relative to the repo root.
+*root* defaults to ``src/repro`` relative to the repo root. ``--format
+json`` emits the findings as a JSON array of objects (``path`` / ``line``
+/ ``rule`` / ``message``) for tooling; ``--format gha`` emits GitHub
+Actions workflow annotations (``::error file=...``) so findings surface
+inline on pull-request diffs.
 """
 
 from __future__ import annotations
 
+import argparse
+import json
 import sys
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
 
+def render(findings, fmt: str) -> list[str]:
+    """Format findings as output lines for the chosen format."""
+    if fmt == "json":
+        return [
+            json.dumps(
+                [
+                    {
+                        "path": f.path,
+                        "line": f.line,
+                        "rule": f.rule,
+                        "message": f.message,
+                    }
+                    for f in findings
+                ],
+                indent=2,
+            )
+        ]
+    if fmt == "gha":
+        # GitHub Actions annotation syntax: properties are comma-
+        # delimited, so commas in the message body must be %-escaped.
+        def esc(text: str) -> str:
+            return (
+                text.replace("%", "%25")
+                .replace("\r", "%0D")
+                .replace("\n", "%0A")
+            )
+
+        return [
+            f"::error file={f.path},line={f.line},"
+            f"title={esc(f.rule)}::{esc(f.message)}"
+            for f in findings
+        ]
+    return [str(f) for f in findings]
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns the process exit code."""
-    argv = sys.argv[1:] if argv is None else argv
-    root = Path(argv[0]) if argv else REPO_ROOT / "src" / "repro"
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "root", nargs="?", default=None,
+        help="lint root (default: src/repro relative to the repo root)",
+    )
+    parser.add_argument(
+        "--format", choices=["text", "json", "gha"], default="text",
+        help="output format: human text (default), a JSON array, or "
+        "GitHub Actions ::error annotations",
+    )
+    args = parser.parse_args(argv)
+    root = (
+        Path(args.root) if args.root else REPO_ROOT / "src" / "repro"
+    )
     if not root.is_dir():
         print(f"error: lint root {root} is not a directory", file=sys.stderr)
         return 2
@@ -31,8 +84,8 @@ def main(argv: list[str] | None = None) -> int:
     from repro.analysis.lint import lint_tree
 
     findings = lint_tree(root)
-    for finding in findings:
-        print(finding)
+    for line in render(findings, args.format):
+        print(line)
     if findings:
         print(f"{len(findings)} lint finding(s)", file=sys.stderr)
         return 1
